@@ -1,0 +1,184 @@
+// Command datnode runs one live DAT monitoring node over real UDP — the
+// paper's prototype deployment (§5.1 ran up to 64 instances per machine).
+// Each node publishes its local CPU usage (from /proc/stat on Linux, or
+// a synthetic sensor with -synthetic) and participates in the continuous
+// aggregation of the global total and average.
+//
+// Start a ring:
+//
+//	datnode -listen 127.0.0.1:9000 -create
+//
+// Join more nodes (in other terminals):
+//
+//	datnode -listen 127.0.0.1:0 -join 127.0.0.1:9000
+//	datnode -listen 127.0.0.1:0 -join 127.0.0.1:9000 -probe
+//
+// Or run many instances in one process, as the paper's cluster
+// deployment did (64 per machine):
+//
+//	datnode -listen 127.0.0.1:9000 -create -instances 64
+//
+// Whichever node owns the attribute's rendezvous key prints one line per
+// slot with the global aggregate. Any node can also poll on demand with
+// -query. Stop with Ctrl-C (the node departs gracefully).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dat "repro"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		create    = flag.Bool("create", false, "bootstrap a new ring")
+		join      = flag.String("join", "", "bootstrap address of an existing ring")
+		probe     = flag.Bool("probe", false, "join with identifier probing (balanced placement)")
+		name      = flag.String("name", "", "host name in the resource directory (default: listen address)")
+		attr      = flag.String("attr", "cpu-usage", "monitored attribute")
+		slot      = flag.Duration("slot", 2*time.Second, "aggregation slot duration")
+		query     = flag.Duration("query", 0, "if set, poll the global aggregate on demand at this interval")
+		announce  = flag.Duration("announce", 10*time.Second, "MAAN directory refresh interval")
+		synthetic = flag.Bool("synthetic", false, "use a synthetic CPU sensor instead of /proc/stat")
+		instances = flag.Int("instances", 1, "additional in-process instances joining through this node")
+	)
+	flag.Parse()
+
+	if !*create && *join == "" {
+		log.Fatal("datnode: need -create or -join ADDR")
+	}
+
+	attrs := []dat.Attribute{
+		{Name: "cpu-usage", Min: 0, Max: 100},
+		{Name: "memory-size", Min: 0, Max: 1 << 20},
+	}
+	peer, err := dat.NewPeer(dat.PeerConfig{
+		Listen:     *listen,
+		Name:       *name,
+		Attributes: attrs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer peer.Close()
+	log.Printf("datnode %s id=%#x", peer.Addr(), peer.ID())
+
+	if *synthetic {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		base := 20 + rng.Float64()*40
+		peer.AddSensor(*attr, func() (float64, bool) {
+			return base + rng.Float64()*10, true
+		})
+	} else {
+		peer.AddCPUSensor(*attr)
+	}
+
+	switch {
+	case *create:
+		peer.Create()
+		log.Printf("created ring; bootstrap address: %s", peer.Addr())
+	case *probe:
+		if err := peer.JoinProbed(*join); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("joined via probing, id=%#x", peer.ID())
+	default:
+		if err := peer.Join(*join); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("joined ring via %s", *join)
+	}
+
+	err = peer.StartMonitor(*attr, *slot, func(s int64, agg dat.Aggregate) {
+		fmt.Printf("[root] slot=%d nodes=%d total=%.1f avg=%.1f min=%.1f max=%.1f\n",
+			s, agg.Count, agg.Sum, agg.Avg(), agg.Min, agg.Max)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := peer.Announce(*announce); err != nil {
+		log.Printf("announce: %v", err)
+	}
+
+	stopQuery := make(chan struct{})
+	if *query > 0 {
+		go func() {
+			ticker := time.NewTicker(*query)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopQuery:
+					return
+				case <-ticker.C:
+					agg, err := peer.Query(*attr, *slot)
+					if err != nil {
+						log.Printf("query: %v", err)
+						continue
+					}
+					fmt.Printf("[query] nodes=%d total=%.1f avg=%.1f\n",
+						agg.Count, agg.Sum, agg.Avg())
+				}
+			}
+		}()
+	}
+
+	// Extra in-process instances, as in the paper's 64-per-machine
+	// deployment: each gets its own socket and sensor and joins through
+	// the primary peer.
+	var extras []*dat.Peer
+	for i := 1; i < *instances; i++ {
+		extra, err := dat.NewPeer(dat.PeerConfig{
+			Listen:     "127.0.0.1:0",
+			Name:       fmt.Sprintf("%s#%d", peer.Addr(), i),
+			Attributes: attrs,
+		})
+		if err != nil {
+			log.Fatalf("instance %d: %v", i, err)
+		}
+		defer extra.Close()
+		if *synthetic {
+			rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(i)))
+			base := 20 + rng.Float64()*40
+			extra.AddSensor(*attr, func() (float64, bool) { return base + rng.Float64()*10, true })
+		} else {
+			extra.AddCPUSensor(*attr)
+		}
+		if err := extra.JoinProbed(peer.Addr()); err != nil {
+			log.Fatalf("instance %d join: %v", i, err)
+		}
+		tag := i
+		if err := extra.StartMonitor(*attr, *slot, func(s int64, agg dat.Aggregate) {
+			fmt.Printf("[root@#%d] slot=%d nodes=%d total=%.1f avg=%.1f\n",
+				tag, s, agg.Count, agg.Sum, agg.Avg())
+		}); err != nil {
+			log.Fatalf("instance %d monitor: %v", i, err)
+		}
+		if err := extra.Announce(*announce); err != nil {
+			log.Printf("instance %d announce: %v", i, err)
+		}
+		extras = append(extras, extra)
+	}
+	if len(extras) > 0 {
+		log.Printf("running %d extra in-process instances", len(extras))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopQuery)
+	log.Print("leaving ring")
+	for _, extra := range extras {
+		_ = extra.Leave()
+	}
+	if err := peer.Leave(); err != nil {
+		log.Printf("leave: %v", err)
+	}
+}

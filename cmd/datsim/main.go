@@ -1,0 +1,113 @@
+// Command datsim runs large-scale simulated deployments of the DAT
+// monitoring stack — the event-driven setup the paper uses for networks
+// beyond its 512-instance cluster, up to 8192 nodes (§5.1).
+//
+// Example: 4096 probed nodes aggregating a synthetic CPU trace for 10
+// simulated minutes under the balanced scheme, reporting tree shape and
+// per-slot aggregates:
+//
+//	datsim -n 4096 -ids probed -scheme balanced-local -duration 10m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	dat "repro"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1024, "number of nodes")
+		bits     = flag.Uint("bits", 32, "identifier space width")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ids      = flag.String("ids", "probed", "identifier placement: random, probed, even")
+		scheme   = flag.String("scheme", "balanced-local", "tree scheme: basic, balanced, balanced-local")
+		attr     = flag.String("attr", "cpu-usage", "monitored attribute")
+		slot     = flag.Duration("slot", 15*time.Second, "aggregation slot")
+		duration = flag.Duration("duration", 5*time.Minute, "simulated run length")
+		report   = flag.Int("report", 4, "print one aggregate line per this many slots")
+		churn    = flag.Float64("churn", 0, "crash this fraction of nodes halfway through")
+	)
+	flag.Parse()
+
+	idStrategy := map[string]dat.IDStrategy{
+		"random": dat.RandomIDs, "probed": dat.ProbedIDs, "even": dat.EvenIDs,
+	}[*ids]
+	schemeVal, ok := map[string]dat.Scheme{
+		"basic": dat.Basic, "balanced": dat.Balanced, "balanced-local": dat.BalancedLocal,
+	}[*scheme]
+	if !ok {
+		log.Fatalf("datsim: unknown scheme %q", *scheme)
+	}
+
+	log.Printf("building %d-node simulated grid (%s ids, %s scheme)...", *n, *ids, *scheme)
+	start := time.Now()
+	traces := make([]*dat.Series, *n)
+	for i := range traces {
+		traces[i] = dat.GenerateCPUTrace(fmt.Sprintf("node%d", i), *seed+int64(i))
+	}
+	grid, err := dat.NewSimGrid(dat.SimGridConfig{
+		N:      *n,
+		Bits:   *bits,
+		Seed:   *seed,
+		IDs:    idStrategy,
+		Scheme: schemeVal,
+		// Long-slot runs: scale maintenance with the slot so the event
+		// queue is dominated by aggregation, not pings.
+		MaintenanceEvery: *slot,
+		Sensor: func(node int, now time.Duration, _ string) (float64, bool) {
+			return traces[node].At(now), true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("grid converged in %v wall time", time.Since(start).Round(time.Millisecond))
+
+	tree := grid.Tree(*attr, schemeVal)
+	fmt.Printf("tree: root=%v height=%d maxBranching=%d avgBranching=%.2f\n",
+		tree.Root, tree.Height(), tree.MaxBranching(), tree.AvgBranching())
+
+	latest, err := grid.Monitor(*attr, *slot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm-up: the slot-synchronized tree enrolls one level per slot.
+	warmup := tree.Height() + 4
+	log.Printf("warming up %d slots (height %d)...", warmup, tree.Height())
+	grid.Run(time.Duration(warmup) * *slot)
+
+	slots := int(*duration / *slot)
+	half := slots / 2
+	lastSlot := int64(-1)
+	for s := 0; s < slots; s++ {
+		grid.Run(*slot)
+		if *churn > 0 && s == half {
+			k := int(float64(*n) * *churn)
+			for i := 0; i < k; i++ {
+				grid.Crash(i)
+			}
+			log.Printf("crashed %d nodes at t=%v", k, grid.Now())
+		}
+		slotIdx, agg, ok := latest()
+		if !ok || slotIdx == lastSlot {
+			continue
+		}
+		lastSlot = slotIdx
+		if s%*report == 0 {
+			fmt.Printf("t=%-8v slot=%-5d nodes=%-5d total=%.1f avg=%.2f\n",
+				grid.Now().Round(time.Second), slotIdx, agg.Count, agg.Sum, agg.Avg())
+		}
+	}
+	_, agg, ok := latest()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "datsim: no final aggregate")
+		os.Exit(1)
+	}
+	fmt.Printf("final: nodes=%d of %d live, total=%.1f avg=%.2f (wall %v)\n",
+		agg.Count, grid.N(), agg.Sum, agg.Avg(), time.Since(start).Round(time.Millisecond))
+}

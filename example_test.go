@@ -1,0 +1,73 @@
+package dat_test
+
+import (
+	"fmt"
+	"time"
+
+	dat "repro"
+)
+
+// ExampleNewTopology analyses tree shape without running any protocol:
+// the balanced construction keeps branching constant where plain Chord
+// routing concentrates load near the root.
+func ExampleNewTopology() {
+	topo, err := dat.NewTopology(32, 1024, dat.ProbedIDs, 1)
+	if err != nil {
+		panic(err)
+	}
+	basic := topo.Tree("cpu-usage", dat.Basic)
+	balanced := topo.Tree("cpu-usage", dat.Balanced)
+	fmt.Printf("basic:    height=%d max-branching=%d\n", basic.Height(), basic.MaxBranching())
+	fmt.Printf("balanced: height=%d max-branching=%d\n", balanced.Height(), balanced.MaxBranching())
+	// Output:
+	// basic:    height=10 max-branching=10
+	// balanced: height=10 max-branching=4
+}
+
+// ExampleTopology_AggregateOnce runs one complete aggregation round over
+// a snapshot tree and reads the classic aggregate functions from the
+// merged summary.
+func ExampleTopology_AggregateOnce() {
+	topo, err := dat.NewTopology(16, 64, dat.EvenIDs, 1)
+	if err != nil {
+		panic(err)
+	}
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	agg, loads := topo.AggregateOnce("load", dat.Balanced, values)
+	var msgs uint64
+	for _, l := range loads {
+		msgs += l
+	}
+	fmt.Printf("count=%d sum=%.0f avg=%.1f min=%.0f max=%.0f messages=%d\n",
+		agg.Count, agg.Sum, agg.Avg(), agg.Min, agg.Max, msgs)
+	// Output:
+	// count=64 sum=2016 avg=31.5 min=0 max=63 messages=63
+}
+
+// ExampleNewSimGrid runs a live 32-node deployment in virtual time and
+// monitors a global aggregate continuously.
+func ExampleNewSimGrid() {
+	grid, err := dat.NewSimGrid(dat.SimGridConfig{
+		N:    32,
+		Seed: 1,
+		IDs:  dat.ProbedIDs,
+		Sensor: func(node int, _ time.Duration, _ string) (float64, bool) {
+			return float64(node), true
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	latest, err := grid.Monitor("cpu-usage", time.Second)
+	if err != nil {
+		panic(err)
+	}
+	grid.Run(15 * time.Second)
+	_, agg, _ := latest()
+	fmt.Printf("nodes=%d avg=%.1f\n", agg.Count, agg.Avg())
+	// Output:
+	// nodes=32 avg=15.5
+}

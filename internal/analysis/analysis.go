@@ -1,0 +1,67 @@
+// Package analysis holds the closed-form predictions of the paper's §3.3
+// and §3.5 tree-property theorems. The experiment harness prints these
+// next to measured values, and the test suite cross-checks them against
+// exhaustively constructed trees.
+package analysis
+
+import (
+	"repro/internal/ident"
+)
+
+// BasicBranching predicts the branching factor of a node in a basic DAT
+// over an evenly spaced n-node ring (§3.3):
+//
+//	B(i, n) = log2(n) - ceil(log2(d/d0 + 1))
+//
+// where d is the clockwise identifier distance from node i to the root
+// and d0 the distance between adjacent nodes. The result is clamped at 0
+// (nodes in the far half of the ring are leaves).
+func BasicBranching(n int, d, d0 uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	if d0 == 0 {
+		d0 = 1
+	}
+	b := int(ident.CeilLog2(uint64(n))) - int(ident.CeilLog2(d/d0+1))
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// BasicMaxBranching predicts the maximum branching factor of a basic DAT
+// with evenly spaced identifiers: the root's log2(n) children.
+func BasicMaxBranching(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(ident.CeilLog2(uint64(n)))
+}
+
+// BalancedMaxBranching is the §3.5 theorem: a balanced DAT over evenly
+// spaced identifiers has branching factor at most 2.
+const BalancedMaxBranching = 2
+
+// HeightBound predicts the maximum tree height for both schemes over
+// evenly spaced identifiers: log2(n) (§3.3, §3.5).
+func HeightBound(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(ident.CeilLog2(uint64(n)))
+}
+
+// CentralizedRootLoad predicts the root's per-round message load under
+// the centralized scheme: every other node's value arrives as a separate
+// message, so n-1 (§5.3: 511 messages for 512 nodes).
+func CentralizedRootLoad(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n - 1
+}
+
+// FingerLimit re-exports the balanced scheme's g(x) so experiment tables
+// can annotate parent decisions. See ident.FingerLimit.
+func FingerLimit(x, d0 uint64) uint { return ident.FingerLimit(x, d0) }

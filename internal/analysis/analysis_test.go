@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/ident"
+)
+
+// TestBasicBranchingMatchesConstruction cross-checks the closed form
+// against exhaustively constructed basic DATs on evenly spaced rings.
+func TestBasicBranchingMatchesConstruction(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		s := ident.New(ident.CeilLog2(uint64(n)) + 3)
+		r, err := chord.NewRing(s, chord.EvenIDs(s, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := ident.ID(0)
+		tr := core.Build(r, root, core.Basic)
+		d0 := r.AvgGap()
+		for _, i := range r.IDs() {
+			d := s.Dist(i, root)
+			if got, want := tr.Branching(i), BasicBranching(n, d, d0); got != want {
+				t.Errorf("n=%d node=%v: measured %d, predicted %d", n, i, got, want)
+			}
+		}
+		if got, want := tr.MaxBranching(), BasicMaxBranching(n); got != want {
+			t.Errorf("n=%d: max branching measured %d, predicted %d", n, got, want)
+		}
+		if h := tr.Height(); h > HeightBound(n) {
+			t.Errorf("n=%d: height %d exceeds bound %d", n, h, HeightBound(n))
+		}
+	}
+}
+
+func TestBalancedMaxBranchingTheorem(t *testing.T) {
+	for _, n := range []int{16, 128, 512} {
+		s := ident.New(ident.CeilLog2(uint64(n)) + 4)
+		r, err := chord.NewRing(s, chord.EvenIDs(s, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := core.Build(r, s.HashString("k"), core.Balanced)
+		if tr.MaxBranching() > BalancedMaxBranching {
+			t.Errorf("n=%d: balanced branching %d > %d", n, tr.MaxBranching(), BalancedMaxBranching)
+		}
+		if tr.Height() > HeightBound(n) {
+			t.Errorf("n=%d: balanced height %d > %d", n, tr.Height(), HeightBound(n))
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if BasicBranching(1, 0, 1) != 0 || BasicBranching(0, 0, 0) != 0 {
+		t.Error("degenerate BasicBranching not 0")
+	}
+	if BasicBranching(16, 1<<20, 1) != 0 {
+		t.Error("far node should predict 0 children")
+	}
+	if BasicBranching(16, 0, 0) != 4 {
+		t.Error("d0=0 should behave as 1")
+	}
+	if BasicMaxBranching(1) != 0 || BasicMaxBranching(1024) != 10 {
+		t.Error("BasicMaxBranching wrong")
+	}
+	if HeightBound(1) != 0 || HeightBound(2) != 1 || HeightBound(8192) != 13 {
+		t.Error("HeightBound wrong")
+	}
+	if CentralizedRootLoad(512) != 511 || CentralizedRootLoad(0) != 0 {
+		t.Error("CentralizedRootLoad wrong")
+	}
+	if FingerLimit(8, 1) != 2 {
+		t.Error("FingerLimit re-export wrong")
+	}
+}

@@ -1,0 +1,60 @@
+// Package centralized implements the centralized aggregation baseline of
+// the paper's §5.3: every node sends its local value to the root monitor
+// directly, with intermediate Chord hops forwarding (never aggregating)
+// the message. The root processes one message per node, and nodes that
+// closely precede the root forward disproportionate traffic — the skew
+// that motivates DATs.
+package centralized
+
+import (
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/ident"
+)
+
+// Round simulates one centralized aggregation round on a ring snapshot.
+// Every node routes its value to successor(key) along greedy Chord finger
+// routes; the returned map counts messages received per node (each hop of
+// each route is one received message). The aggregate is what the root
+// computes after receiving all values.
+func Round(r *chord.Ring, key ident.ID, values map[ident.ID]float64) (core.Aggregate, map[ident.ID]uint64) {
+	root := r.SuccessorOf(key)
+	recv := make(map[ident.ID]uint64, r.N())
+	var agg core.Aggregate
+	if v, ok := values[root]; ok {
+		agg.AddSample(v) // the root's own value needs no message
+	}
+	for _, node := range r.IDs() {
+		if node == root {
+			continue
+		}
+		path := r.Route(node, key)
+		for _, hop := range path[1:] {
+			recv[hop]++
+		}
+		if v, ok := values[node]; ok {
+			agg.AddSample(v)
+		}
+	}
+	return agg, recv
+}
+
+// DirectRound simulates the degenerate variant in which every node sends
+// straight to the root in one hop (no overlay routing): the root receives
+// exactly n-1 messages and everyone else none. This is the classic
+// central-server monitor (R-GMA, CoMon) the paper's Fig. 8 plots as
+// "centralized".
+func DirectRound(r *chord.Ring, key ident.ID, values map[ident.ID]float64) (core.Aggregate, map[ident.ID]uint64) {
+	root := r.SuccessorOf(key)
+	recv := make(map[ident.ID]uint64, 1)
+	var agg core.Aggregate
+	for _, node := range r.IDs() {
+		if v, ok := values[node]; ok {
+			agg.AddSample(v)
+		}
+		if node != root {
+			recv[root]++
+		}
+	}
+	return agg, recv
+}

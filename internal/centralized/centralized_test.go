@@ -1,0 +1,129 @@
+package centralized
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+)
+
+func ringAndValues(t *testing.T, n int, seed int64) (*chord.Ring, map[ident.ID]float64, float64) {
+	t.Helper()
+	s := ident.New(20)
+	rng := rand.New(rand.NewSource(seed))
+	r, err := chord.NewRing(s, chord.RandomIDs(s, n, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make(map[ident.ID]float64, n)
+	sum := 0.0
+	for _, id := range r.IDs() {
+		v := rng.Float64() * 100
+		values[id] = v
+		sum += v
+	}
+	return r, values, sum
+}
+
+func TestDirectRoundRootLoad(t *testing.T) {
+	r, values, sum := ringAndValues(t, 512, 1)
+	key := r.Space().HashString("cpu")
+	agg, recv := DirectRound(r, key, values)
+	root := r.SuccessorOf(key)
+	if agg.Count != 512 || math.Abs(agg.Sum-sum) > 1e-6 {
+		t.Fatalf("aggregate = %v, want sum %v over 512", agg, sum)
+	}
+	// The paper's Fig. 8(a) anchor: the root processes n-1 = 511 messages.
+	if recv[root] != 511 {
+		t.Fatalf("root load = %d, want 511", recv[root])
+	}
+	if len(recv) != 1 {
+		t.Fatalf("non-root nodes received traffic: %v entries", len(recv))
+	}
+}
+
+func TestRoundForwardingSkew(t *testing.T) {
+	r, values, sum := ringAndValues(t, 256, 2)
+	key := r.Space().HashString("cpu")
+	agg, recv := Round(r, key, values)
+	root := r.SuccessorOf(key)
+	if agg.Count != 256 || math.Abs(agg.Sum-sum) > 1e-6 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+	// The root still receives one message per other node (final hops).
+	if recv[root] != 255 {
+		t.Fatalf("root load = %d, want 255", recv[root])
+	}
+	// Forwarding happens: total received messages exceed n-1 because
+	// multi-hop routes charge intermediate nodes too.
+	var total uint64
+	for _, c := range recv {
+		total += c
+	}
+	if total <= 255 {
+		t.Fatalf("total = %d, want > 255 (forwarding)", total)
+	}
+	// The nodes closely preceding the root carry the most forwarding
+	// load (§5.3): the most loaded non-root node must be within the last
+	// few predecessors of the root.
+	var maxNode ident.ID
+	var maxLoad uint64
+	for id, c := range recv {
+		if id != root && c > maxLoad {
+			maxNode, maxLoad = id, c
+		}
+	}
+	// Walk back at most 8 predecessors from the root looking for maxNode.
+	found := false
+	cur := root
+	for i := 0; i < 8; i++ {
+		cur = r.Pred(cur)
+		if cur == maxNode {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("most loaded forwarder %v (load %d) is not a near-predecessor of root %v",
+			maxNode, maxLoad, root)
+	}
+}
+
+func TestImbalanceGrowsLinearly(t *testing.T) {
+	// Fig. 8(b): the centralized imbalance factor grows ~linearly in n.
+	imb := func(n int) float64 {
+		r, values, _ := ringAndValues(t, n, int64(n))
+		key := r.Space().HashString("cpu")
+		_, recv := DirectRound(r, key, values)
+		loads := make([]uint64, 0, r.N())
+		for _, id := range r.IDs() {
+			loads = append(loads, recv[id])
+		}
+		return metrics.Analyze(loads).Imbalance
+	}
+	i100, i800 := imb(100), imb(800)
+	ratio := i800 / i100
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("imbalance scaling %v -> %v (ratio %.2f), want ~8x for 8x nodes", i100, i800, ratio)
+	}
+}
+
+func TestRoundMissingValues(t *testing.T) {
+	r, values, _ := ringAndValues(t, 32, 3)
+	key := r.Space().HashString("cpu")
+	// Drop half the values: counts must reflect only contributors.
+	kept := 0
+	for _, id := range r.IDs() {
+		if kept%2 == 0 {
+			delete(values, id)
+		}
+		kept++
+	}
+	agg, _ := Round(r, key, values)
+	if agg.Count != 16 {
+		t.Fatalf("count = %d, want 16", agg.Count)
+	}
+}

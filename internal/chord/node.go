@@ -1,0 +1,941 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a protocol node. The zero value gets sensible
+// defaults from withDefaults; experiments typically only set Space and
+// the maintenance intervals (short for simulated time, longer for UDP).
+type Config struct {
+	// Space is the identifier space. Required.
+	Space ident.Space
+	// SuccessorListLen is the replication factor of the successor list
+	// used to survive neighbor failures. Default 4.
+	SuccessorListLen int
+	// StabilizeEvery is the period of the successor stabilization loop
+	// (§4: "finger stabilization"). Default 300ms.
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the period of the finger repair loop. Default
+	// 500ms.
+	FixFingersEvery time.Duration
+	// FingersPerFix is how many finger entries each repair tick refreshes.
+	// Default 4.
+	FingersPerFix int
+	// PingEvery is the predecessor liveness check period. Default 1s.
+	PingEvery time.Duration
+	// MaxLookupHops bounds iterative lookups. Default 2*bits+8.
+	MaxLookupHops int
+	// LookupRetries is how many times a lookup restarts after hitting a
+	// dead node. Default 3.
+	LookupRetries int
+	// Seed seeds node-local randomness (maintenance jitter). The
+	// simulated clock applies its own engine-seeded jitter, so this only
+	// matters for real transports. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 4
+	}
+	if c.StabilizeEvery <= 0 {
+		c.StabilizeEvery = 300 * time.Millisecond
+	}
+	if c.FixFingersEvery <= 0 {
+		c.FixFingersEvery = 500 * time.Millisecond
+	}
+	if c.FingersPerFix <= 0 {
+		c.FingersPerFix = 4
+	}
+	if c.PingEvery <= 0 {
+		c.PingEvery = time.Second
+	}
+	if c.MaxLookupHops <= 0 {
+		c.MaxLookupHops = 2*int(c.Space.Bits()) + 8
+	}
+	if c.LookupRetries <= 0 {
+		c.LookupRetries = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Lookup and join errors.
+var (
+	ErrLookupFailed = errors.New("chord: lookup failed")
+	ErrNotRunning   = errors.New("chord: node not running")
+)
+
+// Node is a live Chord protocol node. It owns its transport endpoint's
+// inbound handler; upper layers (the DAT layer) register their message
+// types via Handle and their broadcast upcalls via OnBroadcast, mirroring
+// the paper's route/broadcast/upcall interface (§4).
+//
+// All exported methods are safe for concurrent use. Completion callbacks
+// run on transport goroutines (or inline on the simulator event loop) —
+// they must not block.
+type Node struct {
+	cfg   Config
+	space ident.Space
+	ep    transport.Endpoint
+	clock transport.Clock
+
+	mu       sync.Mutex
+	self     NodeRef
+	pred     NodeRef
+	succs    []NodeRef // non-empty while running; succs[0] is the successor
+	fingers  []NodeRef // indexed by j; zero entries until fixed
+	fofPred  map[transport.Addr]NodeRef
+	strikes  map[transport.Addr]int
+	nextFix  int
+	running  bool
+	stops    []func()
+	rng      *rand.Rand
+	handlers map[string]transport.Handler
+	upcalls  map[string]func(from NodeRef, payload []byte)
+	onPred   func(old, new NodeRef)
+
+	// JoinedAt records (clock time) when the node finished joining; used
+	// by experiments to measure convergence.
+	joinedAt time.Duration
+}
+
+// New creates a node bound to the endpoint with the given identifier.
+// The node installs itself as the endpoint's handler immediately but
+// stays passive until Create or Join.
+func New(ep transport.Endpoint, clock transport.Clock, id ident.ID, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	if cfg.Space.Bits() == 0 {
+		panic("chord: Config.Space is required")
+	}
+	n := &Node{
+		cfg:      cfg,
+		space:    cfg.Space,
+		ep:       ep,
+		clock:    clock,
+		self:     NodeRef{ID: id, Addr: ep.Addr()},
+		fingers:  make([]NodeRef, cfg.Space.Bits()),
+		fofPred:  make(map[transport.Addr]NodeRef),
+		strikes:  make(map[transport.Addr]int),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make(map[string]transport.Handler),
+		upcalls:  make(map[string]func(NodeRef, []byte)),
+	}
+	ep.Handle(n.dispatch)
+	return n
+}
+
+// Self returns this node's reference.
+func (n *Node) Self() NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.self
+}
+
+// Space returns the identifier space.
+func (n *Node) Space() ident.Space { return n.space }
+
+// Running reports whether the node participates in a ring.
+func (n *Node) Running() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running
+}
+
+// Successor returns the current successor (self when alone).
+func (n *Node) Successor() NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		return n.self
+	}
+	return n.succs[0]
+}
+
+// Predecessor returns the current predecessor (zero if unknown).
+func (n *Node) Predecessor() NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeRef, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// Fingers returns a copy of the finger table indexed by finger number j
+// (entry j is the last known successor(self + 2^j); zero entries have
+// not been resolved yet).
+func (n *Node) Fingers() []NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeRef, len(n.fingers))
+	copy(out, n.fingers)
+	return out
+}
+
+// FingerPredecessor returns the cached predecessor of a finger (the
+// fingers-of-fingers information of §4), if known.
+func (n *Node) FingerPredecessor(addr transport.Addr) (NodeRef, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.fofPred[addr]
+	return p, ok
+}
+
+// EstimatedGap estimates d0, the mean distance between adjacent nodes,
+// from the successor-list density. Falls back to the whole ring when the
+// node is alone. The balanced DAT parent rule consumes this.
+func (n *Node) EstimatedGap() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.estimatedGapLocked()
+}
+
+func (n *Node) estimatedGapLocked() uint64 {
+	last := NodeRef{}
+	count := 0
+	for _, s := range n.succs {
+		if s.Addr == n.self.Addr {
+			continue
+		}
+		last = s
+		count++
+	}
+	if count == 0 {
+		return n.space.Size()
+	}
+	g := n.space.Dist(n.self.ID, last.ID) / uint64(count)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// EstimatedNetworkSize estimates n from the gap estimate.
+func (n *Node) EstimatedNetworkSize() uint64 {
+	g := n.EstimatedGap()
+	size := n.space.Size() / g
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+// Handle registers an application-level handler for a message type.
+// Upper layers must register before traffic arrives.
+func (n *Node) Handle(typ string, h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[typ] = h
+}
+
+// OnBroadcast registers an upcall for application broadcasts of the
+// given payload type.
+func (n *Node) OnBroadcast(payloadType string, fn func(from NodeRef, payload []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.upcalls[payloadType] = fn
+}
+
+// OnPredecessorChange registers a hook invoked (outside the node's lock,
+// on the transport goroutine) whenever the predecessor pointer changes.
+// Storage layers use it to hand the arriving predecessor the part of the
+// key arc it now owns.
+func (n *Node) OnPredecessorChange(fn func(old, new NodeRef)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onPred = fn
+}
+
+// setPredLocked updates the predecessor and returns the hook invocation
+// to run after the lock is released (nil if unchanged or no hook).
+func (n *Node) setPredLocked(p NodeRef) func() {
+	if n.pred.Addr == p.Addr && n.pred.ID == p.ID {
+		return nil
+	}
+	old := n.pred
+	n.pred = p
+	if n.onPred == nil {
+		return nil
+	}
+	fn := n.onPred
+	return func() { fn(old, p) }
+}
+
+// Create bootstraps a new ring with this node as its only member and
+// starts the maintenance loops.
+func (n *Node) Create() {
+	n.mu.Lock()
+	n.pred = NodeRef{}
+	n.succs = []NodeRef{n.self}
+	n.running = true
+	n.joinedAt = n.clock.Now()
+	n.mu.Unlock()
+	n.startMaintenance()
+}
+
+// SeedState initializes the node's neighbor state directly from a known
+// ring snapshot and starts the maintenance loops. Large-scale experiments
+// use it to skip the O(n log n) protocol join phase when they only study
+// converged-ring behavior (as the paper's §5 measurements do);
+// stabilization keeps running and will repair the seeded state if it is
+// stale.
+func (n *Node) SeedState(pred NodeRef, succs, fingers []NodeRef) {
+	n.mu.Lock()
+	n.pred = pred
+	n.succs = append([]NodeRef(nil), succs...)
+	if len(n.succs) == 0 {
+		n.succs = []NodeRef{n.self}
+	}
+	if len(fingers) == int(n.space.Bits()) {
+		copy(n.fingers, fingers)
+	}
+	n.running = true
+	n.joinedAt = n.clock.Now()
+	n.mu.Unlock()
+	n.startMaintenance()
+}
+
+// Join joins the ring known to bootstrap: it looks up the successor of
+// this node's identifier and adopts it, then lets stabilization weave in
+// the rest. cb receives nil on success.
+func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
+	n.lookupVia(bootstrap, n.Self().ID, func(succ NodeRef, err error) {
+		if err != nil {
+			cb(fmt.Errorf("chord: join via %s: %w", bootstrap, err))
+			return
+		}
+		n.mu.Lock()
+		if succ.Addr == n.self.Addr {
+			// The ring already resolves our identifier to ourselves
+			// (stale state from a prior incarnation); treat as fresh ring.
+			n.succs = []NodeRef{n.self}
+		} else {
+			n.succs = []NodeRef{succ}
+		}
+		n.pred = NodeRef{}
+		n.running = true
+		n.joinedAt = n.clock.Now()
+		n.mu.Unlock()
+		n.startMaintenance()
+		// Kick stabilization immediately so the ring converges without
+		// waiting a full period.
+		n.stabilize()
+		cb(nil)
+	})
+}
+
+// JoinProbed performs the identifier-probing join (Adler et al., §4):
+// it routes a probe to the successor of a random identifier, asks it to
+// split the largest interval it can see among itself and its fingers,
+// adopts the returned identifier, and then joins normally. cb receives
+// the adopted identifier.
+func (n *Node) JoinProbed(bootstrap transport.Addr, cb func(ident.ID, error)) {
+	probe := n.space.Wrap(n.randUint64())
+	n.lookupVia(bootstrap, probe, func(owner NodeRef, err error) {
+		if err != nil {
+			cb(0, fmt.Errorf("chord: probing join: %w", err))
+			return
+		}
+		n.ep.Call(owner.Addr, MsgProbeSplit, ProbeSplitReq{}, func(payload any, err error) {
+			if err != nil {
+				cb(0, fmt.Errorf("chord: probe split at %s: %w", owner.Addr, err))
+				return
+			}
+			resp, ok := payload.(ProbeSplitResp)
+			if !ok {
+				cb(0, fmt.Errorf("chord: probe split: bad reply %T", payload))
+				return
+			}
+			n.mu.Lock()
+			n.self.ID = resp.AssignedID
+			n.mu.Unlock()
+			n.Join(bootstrap, func(err error) { cb(resp.AssignedID, err) })
+		})
+	})
+}
+
+func (n *Node) randUint64() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Uint64()
+}
+
+// startMaintenance launches the stabilize / fix-fingers / ping loops.
+func (n *Node) startMaintenance() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.stops) > 0 {
+		return // already running
+	}
+	jitter := func(d time.Duration) time.Duration { return d / 5 }
+	n.stops = append(n.stops,
+		n.clock.Every(n.cfg.StabilizeEvery, jitter(n.cfg.StabilizeEvery), n.stabilize),
+		n.clock.Every(n.cfg.FixFingersEvery, jitter(n.cfg.FixFingersEvery), n.fixFingers),
+		n.clock.Every(n.cfg.PingEvery, jitter(n.cfg.PingEvery), n.checkPredecessor),
+	)
+}
+
+// Stop halts the node. If graceful, it first tells its neighbors how to
+// link around it, modeling a clean departure; otherwise it simply goes
+// silent, modeling a crash. The endpoint itself is left open for the
+// owner to close.
+func (n *Node) Stop(graceful bool) {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	stops := n.stops
+	n.stops = nil
+	pred, succ := n.pred, NodeRef{}
+	if len(n.succs) > 0 {
+		succ = n.succs[0]
+	}
+	leave := LeaveReq{Departing: n.self, Predecessor: n.pred}
+	leave.Successors = append(leave.Successors, n.succs...)
+	selfAddr := n.self.Addr
+	n.mu.Unlock()
+
+	for _, stop := range stops {
+		stop()
+	}
+	if graceful {
+		if !succ.IsZero() && succ.Addr != selfAddr {
+			_ = n.ep.Send(succ.Addr, MsgLeave, leave)
+		}
+		if !pred.IsZero() && pred.Addr != selfAddr {
+			_ = n.ep.Send(pred.Addr, MsgLeave, leave)
+		}
+	}
+}
+
+// --- message dispatch ---
+
+func (n *Node) dispatch(req *transport.Request) {
+	switch req.Type {
+	case MsgStep:
+		n.handleStep(req)
+	case MsgGetState:
+		n.handleGetState(req)
+	case MsgNotify:
+		n.handleNotify(req)
+	case MsgPing:
+		req.Reply(PingResp{Self: n.Self()})
+	case MsgProbeSplit:
+		n.handleProbeSplit(req)
+	case MsgLeave:
+		n.handleLeave(req)
+	case MsgBroadcast:
+		n.handleBroadcast(req)
+	default:
+		n.mu.Lock()
+		h := n.handlers[req.Type]
+		n.mu.Unlock()
+		if h == nil {
+			req.ReplyError(fmt.Errorf("chord: no handler for %q", req.Type))
+			return
+		}
+		h(req)
+	}
+}
+
+// localStep computes one lookup step from this node's state: either the
+// final successor of key, or a strictly closer node to ask next.
+func (n *Node) localStep(key ident.ID) StepResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	succ := n.self
+	if len(n.succs) > 0 {
+		succ = n.succs[0]
+	}
+	if succ.Addr == n.self.Addr || n.space.InHalfOpen(key, n.self.ID, succ.ID) {
+		// Alone, or the key falls between us and our successor.
+		if succ.Addr == n.self.Addr {
+			return StepResp{Done: true, Next: n.self}
+		}
+		return StepResp{Done: true, Next: succ}
+	}
+	if best := n.closestPrecedingLocked(key); !best.IsZero() {
+		return StepResp{Next: best}
+	}
+	return StepResp{Next: succ}
+}
+
+// closestPrecedingLocked returns the known node in (self, key) closest
+// to key, searching fingers and the successor list. Zero if none.
+func (n *Node) closestPrecedingLocked(key ident.ID) NodeRef {
+	var best NodeRef
+	var bestRemaining uint64
+	consider := func(ref NodeRef) {
+		if ref.IsZero() || ref.Addr == n.self.Addr {
+			return
+		}
+		if !n.space.Between(ref.ID, n.self.ID, key) {
+			return
+		}
+		remaining := n.space.Dist(ref.ID, key)
+		if best.IsZero() || remaining < bestRemaining {
+			best, bestRemaining = ref, remaining
+		}
+	}
+	for _, f := range n.fingers {
+		consider(f)
+	}
+	for _, s := range n.succs {
+		consider(s)
+	}
+	return best
+}
+
+func (n *Node) handleStep(req *transport.Request) {
+	sr, ok := req.Payload.(StepReq)
+	if !ok {
+		req.ReplyError(fmt.Errorf("chord: bad step payload %T", req.Payload))
+		return
+	}
+	req.Reply(n.localStep(sr.Key))
+}
+
+func (n *Node) stateRespLocked() StateResp {
+	resp := StateResp{Self: n.self, Predecessor: n.pred}
+	resp.Successors = append(resp.Successors, n.succs...)
+	seen := map[transport.Addr]bool{}
+	for _, f := range n.fingers {
+		if !f.IsZero() && !seen[f.Addr] {
+			seen[f.Addr] = true
+			resp.Fingers = append(resp.Fingers, f)
+		}
+	}
+	return resp
+}
+
+func (n *Node) handleGetState(req *transport.Request) {
+	n.mu.Lock()
+	resp := n.stateRespLocked()
+	n.mu.Unlock()
+	req.Reply(resp)
+}
+
+func (n *Node) handleNotify(req *transport.Request) {
+	nr, ok := req.Payload.(NotifyReq)
+	if !ok || nr.Candidate.IsZero() {
+		req.Reply(AckResp{})
+		return
+	}
+	n.mu.Lock()
+	var fire func()
+	cand := nr.Candidate
+	if cand.Addr != n.self.Addr {
+		if n.pred.IsZero() || n.space.Between(cand.ID, n.pred.ID, n.self.ID) {
+			fire = n.setPredLocked(cand)
+		}
+		// A lone node learns its first peer through notify: adopt it as
+		// successor too so the two-node ring closes.
+		if len(n.succs) == 1 && n.succs[0].Addr == n.self.Addr {
+			n.succs = []NodeRef{cand}
+		}
+	}
+	n.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	req.Reply(AckResp{})
+}
+
+func (n *Node) handleLeave(req *transport.Request) {
+	lr, ok := req.Payload.(LeaveReq)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	var fire func()
+	if !n.pred.IsZero() && n.pred.Addr == lr.Departing.Addr {
+		repl := lr.Predecessor
+		if !repl.IsZero() && repl.Addr == n.self.Addr {
+			repl = NodeRef{}
+		}
+		fire = n.setPredLocked(repl)
+	}
+	if len(n.succs) > 0 && n.succs[0].Addr == lr.Departing.Addr {
+		// Splice in the departing node's successors, skipping it and us.
+		var repl []NodeRef
+		for _, s := range lr.Successors {
+			if s.Addr != lr.Departing.Addr && s.Addr != n.self.Addr {
+				repl = append(repl, s)
+			}
+		}
+		if len(repl) == 0 {
+			repl = []NodeRef{n.self}
+		}
+		n.succs = repl
+	}
+	n.removeDeadLocked(lr.Departing.Addr)
+	n.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// handleProbeSplit serves the identifier-probing join: it queries the
+// live predecessor of each candidate (itself, its fingers, its
+// successor) and replies with the midpoint of the largest interval.
+func (n *Node) handleProbeSplit(req *transport.Request) {
+	n.mu.Lock()
+	type cand struct {
+		ref  NodeRef
+		pred NodeRef // known locally only for self
+	}
+	cands := []cand{{ref: n.self, pred: n.pred}}
+	seen := map[transport.Addr]bool{n.self.Addr: true}
+	for _, f := range n.fingers {
+		if !f.IsZero() && !seen[f.Addr] {
+			seen[f.Addr] = true
+			cands = append(cands, cand{ref: f})
+		}
+	}
+	for _, s := range n.succs {
+		if !s.IsZero() && !seen[s.Addr] {
+			seen[s.Addr] = true
+			cands = append(cands, cand{ref: s})
+		}
+	}
+	space := n.space
+	self := n.self
+	n.mu.Unlock()
+
+	// Gather each candidate's predecessor; local state answers for self,
+	// remote GetState for the rest. The join-like barrier counts down as
+	// answers (or errors) arrive.
+	type gapInfo struct {
+		ref NodeRef
+		gap uint64
+	}
+	var gmu sync.Mutex
+	gaps := make([]gapInfo, 0, len(cands))
+	pending := len(cands)
+	finish := func() {
+		best := gapInfo{}
+		for _, g := range gaps {
+			if g.gap > best.gap || (g.gap == best.gap && g.ref.ID < best.ref.ID) {
+				best = g
+			}
+		}
+		if best.ref.IsZero() || best.gap < 2 {
+			// Degenerate ring; assign a random free-ish point.
+			req.Reply(ProbeSplitResp{AssignedID: space.Wrap(n.randUint64())})
+			return
+		}
+		mid := space.Sub(best.ref.ID, best.gap/2)
+		req.Reply(ProbeSplitResp{AssignedID: mid})
+	}
+	record := func(ref NodeRef, pred NodeRef, ok bool) {
+		gmu.Lock()
+		defer gmu.Unlock()
+		if ok && !pred.IsZero() && pred.Addr != ref.Addr {
+			gaps = append(gaps, gapInfo{ref: ref, gap: space.Dist(pred.ID, ref.ID)})
+		} else if ok && pred.IsZero() {
+			// Unknown predecessor: skip rather than guess.
+		}
+		pending--
+		if pending == 0 {
+			finish()
+		}
+	}
+	for _, c := range cands {
+		c := c
+		if c.ref.Addr == self.Addr {
+			record(c.ref, c.pred, true)
+			continue
+		}
+		n.ep.Call(c.ref.Addr, MsgGetState, GetStateReq{}, func(payload any, err error) {
+			if err != nil {
+				record(c.ref, NodeRef{}, false)
+				return
+			}
+			resp, ok := payload.(StateResp)
+			if !ok {
+				record(c.ref, NodeRef{}, false)
+				return
+			}
+			n.noteState(resp)
+			record(c.ref, resp.Predecessor, true)
+		})
+	}
+}
+
+// noteState caches fingers-of-fingers information gleaned from any
+// StateResp passing by.
+func (n *Node) noteState(resp StateResp) {
+	if resp.Self.IsZero() {
+		return
+	}
+	n.mu.Lock()
+	n.fofPred[resp.Self.Addr] = resp.Predecessor
+	n.mu.Unlock()
+}
+
+// --- lookups ---
+
+// Lookup resolves successor(key) iteratively from this node. cb runs
+// exactly once.
+func (n *Node) Lookup(key ident.ID, cb func(NodeRef, error)) {
+	if !n.Running() {
+		cb(NodeRef{}, ErrNotRunning)
+		return
+	}
+	n.lookupAttempt(key, cb, n.cfg.LookupRetries)
+}
+
+func (n *Node) lookupAttempt(key ident.ID, cb func(NodeRef, error), retries int) {
+	step := n.localStep(key)
+	if step.Done {
+		cb(step.Next, nil)
+		return
+	}
+	n.lookupLoop(step.Next, key, 0, retries, cb)
+}
+
+// lookupVia starts an iterative lookup at an arbitrary address (used
+// before this node is part of the ring).
+func (n *Node) lookupVia(start transport.Addr, key ident.ID, cb func(NodeRef, error)) {
+	n.lookupLoop(NodeRef{Addr: start}, key, 0, n.cfg.LookupRetries, cb)
+}
+
+func (n *Node) lookupLoop(at NodeRef, key ident.ID, hops, retries int, cb func(NodeRef, error)) {
+	if hops > n.cfg.MaxLookupHops {
+		cb(NodeRef{}, fmt.Errorf("%w: hop limit %d exceeded for key %v", ErrLookupFailed, n.cfg.MaxLookupHops, key))
+		return
+	}
+	n.ep.Call(at.Addr, MsgStep, StepReq{Key: key}, func(payload any, err error) {
+		if err != nil {
+			// Two-strike suspicion: one lost datagram must not evict a
+			// healthy finger (a single timeout on a lossy network is
+			// common); a second consecutive failure does.
+			n.suspect(at.Addr)
+			if retries > 0 && n.Running() {
+				n.lookupAttempt(key, cb, retries-1)
+				return
+			}
+			cb(NodeRef{}, fmt.Errorf("%w: %v unreachable: %v", ErrLookupFailed, at.Addr, err))
+			return
+		}
+		n.exonerate(at.Addr)
+		resp, ok := payload.(StepResp)
+		if !ok {
+			cb(NodeRef{}, fmt.Errorf("%w: bad step reply %T", ErrLookupFailed, payload))
+			return
+		}
+		if resp.Done {
+			cb(resp.Next, nil)
+			return
+		}
+		if resp.Next.IsZero() || resp.Next.Addr == at.Addr {
+			cb(NodeRef{}, fmt.Errorf("%w: no progress at %v for key %v", ErrLookupFailed, at, key))
+			return
+		}
+		n.lookupLoop(resp.Next, key, hops+1, retries, cb)
+	})
+}
+
+// --- maintenance ---
+
+// stabilize runs one round of successor stabilization: verify the
+// successor's predecessor, adopt a closer successor if one appeared,
+// refresh the successor list, and notify the successor about us.
+func (n *Node) stabilize() {
+	n.mu.Lock()
+	if !n.running || len(n.succs) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	succ := n.succs[0]
+	self := n.self
+	pred := n.pred
+	n.mu.Unlock()
+
+	if succ.Addr == self.Addr {
+		// Alone. If someone notified us, adopt them to close a 2-ring.
+		if !pred.IsZero() && pred.Addr != self.Addr {
+			n.mu.Lock()
+			n.succs = []NodeRef{pred}
+			n.mu.Unlock()
+		}
+		return
+	}
+
+	n.ep.Call(succ.Addr, MsgGetState, GetStateReq{}, func(payload any, err error) {
+		if err != nil {
+			// Two-strike suspicion: a single lost datagram must not evict
+			// a healthy successor.
+			n.suspect(succ.Addr)
+			return
+		}
+		n.exonerate(succ.Addr)
+		resp, ok := payload.(StateResp)
+		if !ok {
+			return
+		}
+		n.noteState(resp)
+		n.mu.Lock()
+		cur := n.succs
+		if len(cur) == 0 || cur[0].Addr != succ.Addr {
+			n.mu.Unlock()
+			return // successor changed underneath us; next round handles it
+		}
+		newSucc := succ
+		x := resp.Predecessor
+		if !x.IsZero() && x.Addr != n.self.Addr && n.space.Between(x.ID, n.self.ID, succ.ID) {
+			newSucc = x
+		}
+		// Rebuild the successor list: newSucc first, then the verified old
+		// successor and its successors as fallbacks. Keeping succ in the
+		// list is essential: x comes from succ's possibly stale predecessor
+		// pointer, and if x turns out dead the node must fall back to succ,
+		// not collapse to believing it is alone (a lone node declares
+		// itself root of every aggregation tree).
+		list := []NodeRef{newSucc}
+		appendRef := func(s NodeRef) {
+			if len(list) >= n.cfg.SuccessorListLen || s.IsZero() || s.Addr == n.self.Addr {
+				return
+			}
+			for _, have := range list {
+				if have.Addr == s.Addr {
+					return
+				}
+			}
+			list = append(list, s)
+		}
+		appendRef(succ)
+		for _, s := range resp.Successors {
+			appendRef(s)
+		}
+		n.succs = list
+		notifyTo := newSucc
+		selfRef := n.self
+		n.mu.Unlock()
+		_ = n.ep.Send(notifyTo.Addr, MsgNotify, NotifyReq{Candidate: selfRef})
+	})
+}
+
+// fixFingers refreshes the next FingersPerFix finger entries by looking
+// up their interval starts.
+func (n *Node) fixFingers() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	bits := int(n.space.Bits())
+	idxs := make([]int, 0, n.cfg.FingersPerFix)
+	for i := 0; i < n.cfg.FingersPerFix; i++ {
+		idxs = append(idxs, n.nextFix)
+		n.nextFix = (n.nextFix + 1) % bits
+	}
+	self := n.self
+	n.mu.Unlock()
+
+	for _, j := range idxs {
+		j := j
+		start := n.space.FingerStart(self.ID, uint(j))
+		n.Lookup(start, func(ref NodeRef, err error) {
+			if err != nil {
+				return // transient; a later round retries
+			}
+			n.mu.Lock()
+			if n.running {
+				n.fingers[j] = ref
+			}
+			n.mu.Unlock()
+		})
+	}
+}
+
+// checkPredecessor clears a dead predecessor so a live candidate can
+// replace it at the next notify.
+func (n *Node) checkPredecessor() {
+	n.mu.Lock()
+	pred := n.pred
+	running := n.running
+	n.mu.Unlock()
+	if !running || pred.IsZero() || pred.Addr == n.Self().Addr {
+		return
+	}
+	n.ep.Call(pred.Addr, MsgPing, PingReq{}, func(_ any, err error) {
+		if err == nil {
+			n.exonerate(pred.Addr)
+			return
+		}
+		// Two-strike suspicion (suspect clears the predecessor via
+		// removeDeadLocked once confirmed): one lost ping on a lossy
+		// network must not blank the predecessor, or this node may
+		// transiently believe it owns someone else's arc — and a false
+		// root silently swallows aggregation subtrees.
+		n.suspect(pred.Addr)
+	})
+}
+
+func (n *Node) removeDead(addr transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.removeDeadLocked(addr)
+}
+
+// suspect records a failed exchange with addr; the second consecutive
+// failure removes the node from the routing tables.
+func (n *Node) suspect(addr transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.strikes[addr]++
+	if n.strikes[addr] >= 2 {
+		delete(n.strikes, addr)
+		n.removeDeadLocked(addr)
+	}
+}
+
+// exonerate clears addr's failure strikes after a successful exchange.
+func (n *Node) exonerate(addr transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.strikes, addr)
+}
+
+func (n *Node) removeDeadLocked(addr transport.Addr) {
+	for j, f := range n.fingers {
+		if f.Addr == addr {
+			n.fingers[j] = NodeRef{}
+		}
+	}
+	if !n.pred.IsZero() && n.pred.Addr == addr {
+		n.pred = NodeRef{}
+	}
+	delete(n.fofPred, addr)
+	delete(n.strikes, addr)
+	var kept []NodeRef
+	for _, s := range n.succs {
+		if s.Addr != addr {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 && n.running {
+		kept = []NodeRef{n.self}
+	}
+	n.succs = kept
+}

@@ -1,0 +1,577 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// simCluster drives a set of protocol nodes over a simulated network.
+type simCluster struct {
+	t     *testing.T
+	eng   *sim.Engine
+	net   *transport.SimNetwork
+	space ident.Space
+	nodes []*Node
+}
+
+func newSimCluster(t *testing.T, seed int64, bits uint, simCfg transport.SimConfig) *simCluster {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	return &simCluster{
+		t:     t,
+		eng:   eng,
+		net:   transport.NewSimNetwork(eng, simCfg),
+		space: ident.New(bits),
+	}
+}
+
+func (c *simCluster) config() Config {
+	return Config{
+		Space:            c.space,
+		StabilizeEvery:   200 * time.Millisecond,
+		FixFingersEvery:  300 * time.Millisecond,
+		FingersPerFix:    8,
+		PingEvery:        500 * time.Millisecond,
+		SuccessorListLen: 4,
+	}
+}
+
+// addNode creates a protocol node with the given identifier.
+func (c *simCluster) addNode(id ident.ID) *Node {
+	ep := c.net.Endpoint(transport.Addr(fmt.Sprintf("sim/%d", len(c.nodes))))
+	n := New(ep, c.net.Clock(), id, c.config())
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// buildRing creates n nodes with the given ids; the first creates the
+// ring, the rest join at 50ms intervals. It then runs the simulation
+// until the ring converges (or fails the test).
+func (c *simCluster) buildRing(ids []ident.ID) {
+	c.t.Helper()
+	first := c.addNode(ids[0])
+	first.Create()
+	boot := first.Self().Addr
+	for i, id := range ids[1:] {
+		n := c.addNode(id)
+		delay := time.Duration(i+1) * 50 * time.Millisecond
+		c.eng.Schedule(delay, func() {
+			n.Join(boot, func(err error) {
+				if err != nil {
+					c.t.Errorf("join %v: %v", n.Self(), err)
+				}
+			})
+		})
+	}
+	c.awaitConvergence(120 * time.Second)
+}
+
+// awaitConvergence advances simulated time until successors,
+// predecessors and finger tables all match the ideal static ring.
+func (c *simCluster) awaitConvergence(limit time.Duration) {
+	c.t.Helper()
+	deadline := c.eng.Now() + sim.Time(limit)
+	for c.eng.Now() < deadline {
+		c.eng.RunFor(time.Second)
+		if c.converged() {
+			return
+		}
+	}
+	c.t.Fatalf("ring did not converge within %v of simulated time", limit)
+}
+
+// live returns the running nodes.
+func (c *simCluster) live() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Running() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// idealRing builds the Ring snapshot of the currently running nodes.
+func (c *simCluster) idealRing() *Ring {
+	var ids []ident.ID
+	for _, n := range c.live() {
+		ids = append(ids, n.Self().ID)
+	}
+	r, err := NewRing(c.space, ids)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return r
+}
+
+func (c *simCluster) converged() bool {
+	live := c.live()
+	if len(live) == 0 {
+		return false
+	}
+	ring := c.idealRing()
+	for _, n := range live {
+		self := n.Self().ID
+		if len(live) == 1 {
+			if n.Successor().Addr != n.Self().Addr {
+				return false
+			}
+			continue
+		}
+		if n.Successor().ID != ring.Succ(self) {
+			return false
+		}
+		if p := n.Predecessor(); p.IsZero() || p.ID != ring.Pred(self) {
+			return false
+		}
+		for j, f := range n.Fingers() {
+			if f.IsZero() || f.ID != ring.Finger(self, uint(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRingConvergence(t *testing.T) {
+	c := newSimCluster(t, 1, 12, transport.SimConfig{})
+	ids := EvenIDs(c.space, 16)
+	c.buildRing(ids)
+	// Converged (asserted inside buildRing). Check successor lists too.
+	ring := c.idealRing()
+	for _, n := range c.live() {
+		list := n.SuccessorList()
+		if len(list) < 2 {
+			t.Fatalf("node %v successor list too short: %v", n.Self(), list)
+		}
+		expect := n.Self().ID
+		for _, s := range list {
+			expect = ring.Succ(expect)
+			if s.ID != expect {
+				t.Fatalf("node %v successor list %v diverges from ring order", n.Self(), list)
+			}
+		}
+	}
+}
+
+func TestRingConvergenceRandomIDsWithLatencyJitter(t *testing.T) {
+	c := newSimCluster(t, 7, 16, transport.SimConfig{
+		Latency: sim.UniformLatency{Min: time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	rng := c.eng.Rand()
+	c.buildRing(RandomIDs(c.space, 24, rng))
+}
+
+func TestLookupCorrectness(t *testing.T) {
+	c := newSimCluster(t, 3, 14, transport.SimConfig{})
+	rng := c.eng.Rand()
+	c.buildRing(RandomIDs(c.space, 20, rng))
+	ring := c.idealRing()
+
+	checks := 0
+	for _, n := range c.live() {
+		for trial := 0; trial < 5; trial++ {
+			key := c.space.Wrap(rng.Uint64())
+			want := ring.SuccessorOf(key)
+			n.Lookup(key, func(got NodeRef, err error) {
+				checks++
+				if err != nil {
+					t.Errorf("lookup %v from %v: %v", key, n.Self(), err)
+					return
+				}
+				if got.ID != want {
+					t.Errorf("lookup %v from %v = %v, want %v", key, n.Self(), got.ID, want)
+				}
+			})
+		}
+	}
+	c.eng.RunFor(30 * time.Second)
+	if checks != len(c.live())*5 {
+		t.Fatalf("only %d lookups completed", checks)
+	}
+}
+
+func TestLookupNotRunning(t *testing.T) {
+	c := newSimCluster(t, 1, 8, transport.SimConfig{})
+	n := c.addNode(5)
+	called := false
+	n.Lookup(1, func(_ NodeRef, err error) {
+		called = true
+		if err == nil {
+			t.Error("lookup on stopped node succeeded")
+		}
+	})
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestProbingJoinSpreadsIdentifiers(t *testing.T) {
+	c := newSimCluster(t, 5, 20, transport.SimConfig{})
+	first := c.addNode(c.space.Wrap(12345))
+	first.Create()
+	boot := first.Self().Addr
+
+	const n = 24
+	joined := 0
+	// Join probed nodes sequentially: each starts after the previous
+	// finished plus a stabilization window, so probes see settled state.
+	var joinNext func(i int)
+	joinNext = func(i int) {
+		if i >= n {
+			return
+		}
+		node := c.addNode(0) // identifier assigned by the probe
+		node.JoinProbed(boot, func(id ident.ID, err error) {
+			if err != nil {
+				t.Errorf("probed join %d: %v", i, err)
+				return
+			}
+			joined++
+			c.eng.Schedule(2*time.Second, func() { joinNext(i + 1) })
+		})
+	}
+	c.eng.Schedule(time.Second, func() { joinNext(0) })
+	c.eng.RunFor(5 * time.Minute)
+	if joined != n {
+		t.Fatalf("only %d/%d probed joins completed", joined, n)
+	}
+	c.awaitConvergence(3 * time.Minute)
+
+	// Probe-local splitting yields power-of-two intervals; at this small
+	// n the max/min ratio is a constant but can reach a few powers of
+	// two. Random placement at n=25 typically exceeds 100.
+	ring := c.idealRing()
+	if ratio := ring.GapRatio(); ratio > 32 {
+		t.Errorf("probed protocol ring gap ratio %.1f, want small constant", ratio)
+	}
+}
+
+func TestGracefulLeaveHealsImmediately(t *testing.T) {
+	c := newSimCluster(t, 2, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 12))
+	victim := c.nodes[5]
+	c.eng.Schedule(time.Second, func() { victim.Stop(true) })
+	c.eng.RunFor(2 * time.Second)
+	c.awaitConvergence(2 * time.Minute)
+	for _, n := range c.live() {
+		if n.Successor().Addr == victim.Self().Addr {
+			t.Fatalf("node %v still points at departed %v", n.Self(), victim.Self())
+		}
+	}
+}
+
+func TestCrashFailureHealsViaStabilization(t *testing.T) {
+	c := newSimCluster(t, 9, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 12))
+	// Crash three nodes at once: no goodbye messages, endpoints die.
+	for _, i := range []int{2, 3, 9} {
+		victim := c.nodes[i]
+		c.eng.Schedule(time.Second, func() {
+			victim.Stop(false)
+			// Crash: endpoint stops answering.
+			victimEp := victim.ep
+			_ = victimEp.Close()
+		})
+	}
+	c.eng.RunFor(5 * time.Second)
+	c.awaitConvergence(5 * time.Minute)
+	if got := len(c.live()); got != 9 {
+		t.Fatalf("live nodes = %d, want 9", got)
+	}
+}
+
+func TestBroadcastReachesAllOnce(t *testing.T) {
+	c := newSimCluster(t, 4, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 16))
+
+	got := make(map[ident.ID]int)
+	for _, n := range c.live() {
+		n := n
+		n.OnBroadcast("test.payload", func(from NodeRef, payload []byte) {
+			got[n.Self().ID]++
+			if string(payload) != "hello" {
+				t.Errorf("payload = %q", payload)
+			}
+		})
+	}
+	origin := c.nodes[3]
+	c.eng.Schedule(time.Second, func() { origin.Broadcast("test.payload", []byte("hello")) })
+	c.eng.RunFor(10 * time.Second)
+
+	if len(got) != 16 {
+		t.Fatalf("broadcast reached %d/16 nodes", len(got))
+	}
+	for id, count := range got {
+		if count != 1 {
+			t.Errorf("node %v received broadcast %d times", id, count)
+		}
+	}
+}
+
+func TestBroadcastMessageCount(t *testing.T) {
+	c := newSimCluster(t, 4, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 32))
+	var bcastMsgs int
+	c.net.SetTap(transport.TapFunc(func(_, _ transport.Addr, typ string, _ bool) {
+		if typ == MsgBroadcast {
+			bcastMsgs++
+		}
+	}))
+	c.eng.Schedule(time.Second, func() { c.nodes[0].Broadcast("x", nil) })
+	c.eng.RunFor(10 * time.Second)
+	// Exactly one delivery per non-origin node over converged tables.
+	if bcastMsgs != 31 {
+		t.Fatalf("broadcast used %d messages, want 31 (n-1)", bcastMsgs)
+	}
+}
+
+func TestEstimatedGapAndSize(t *testing.T) {
+	c := newSimCluster(t, 6, 16, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 16))
+	trueGap := c.space.Size() / 16
+	for _, n := range c.live() {
+		g := n.EstimatedGap()
+		if g < trueGap/4 || g > trueGap*4 {
+			t.Errorf("node %v gap estimate %d far from true %d", n.Self(), g, trueGap)
+		}
+		sz := n.EstimatedNetworkSize()
+		if sz < 4 || sz > 64 {
+			t.Errorf("node %v size estimate %d far from 16", n.Self(), sz)
+		}
+	}
+	// A lone node estimates the whole ring as its gap.
+	lone := newSimCluster(t, 6, 16, transport.SimConfig{})
+	n := lone.addNode(1)
+	n.Create()
+	lone.eng.RunFor(time.Second)
+	if g := n.EstimatedGap(); g != lone.space.Size() {
+		t.Errorf("lone gap = %d, want ring size", g)
+	}
+}
+
+func TestTwoNodeRing(t *testing.T) {
+	c := newSimCluster(t, 8, 10, transport.SimConfig{})
+	a := c.addNode(10)
+	a.Create()
+	b := c.addNode(700)
+	c.eng.Schedule(100*time.Millisecond, func() {
+		b.Join(a.Self().Addr, func(err error) {
+			if err != nil {
+				t.Errorf("join: %v", err)
+			}
+		})
+	})
+	c.awaitConvergence(time.Minute)
+	if a.Successor().ID != 700 || b.Successor().ID != 10 {
+		t.Fatalf("two-node ring wrong: a.succ=%v b.succ=%v", a.Successor(), b.Successor())
+	}
+	if a.Predecessor().ID != 700 || b.Predecessor().ID != 10 {
+		t.Fatalf("two-node preds wrong: a.pred=%v b.pred=%v", a.Predecessor(), b.Predecessor())
+	}
+}
+
+func TestFingerPredecessorCache(t *testing.T) {
+	c := newSimCluster(t, 11, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 8))
+	// Stabilization fills the FOF cache for at least the successor.
+	n := c.nodes[0]
+	succ := n.Successor()
+	if _, ok := n.FingerPredecessor(succ.Addr); !ok {
+		t.Fatal("no fingers-of-fingers entry for the successor after stabilization")
+	}
+}
+
+func TestStopIdempotentAndNotRunning(t *testing.T) {
+	c := newSimCluster(t, 12, 10, transport.SimConfig{})
+	n := c.addNode(4)
+	n.Create()
+	c.eng.RunFor(time.Second)
+	if !n.Running() {
+		t.Fatal("node not running after Create")
+	}
+	n.Stop(true)
+	n.Stop(true)
+	if n.Running() {
+		t.Fatal("node running after Stop")
+	}
+	c.eng.RunFor(5 * time.Second) // maintenance loops must be quiet
+}
+
+// TestLeaveSplicesNeighbors: a graceful leave hands its predecessor its
+// successor list and its successor its predecessor, healing the ring
+// without waiting for timeouts.
+func TestLeaveSplicesNeighbors(t *testing.T) {
+	c := newSimCluster(t, 21, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 8))
+	ring := c.idealRing()
+	victim := c.nodes[3]
+	vid := victim.Self().ID
+	predID, succID := ring.Pred(vid), ring.Succ(vid)
+	var pred, succ *Node
+	for _, n := range c.nodes {
+		switch n.Self().ID {
+		case predID:
+			pred = n
+		case succID:
+			succ = n
+		}
+	}
+	c.eng.Schedule(time.Second, func() { victim.Stop(true) })
+	// A couple of message latencies later — well before any maintenance
+	// tick — the neighbors are already spliced.
+	c.eng.RunFor(time.Second + 50*time.Millisecond)
+	if got := pred.Successor().ID; got != succID {
+		t.Fatalf("predecessor's successor = %v, want %v immediately after leave", got, succID)
+	}
+	if got := succ.Predecessor(); got.IsZero() || got.ID != predID {
+		t.Fatalf("successor's predecessor = %v, want %v immediately after leave", got, predID)
+	}
+}
+
+// TestEstimatedNetworkSizeTracksN: the successor-list density estimate
+// is within a small factor of the true size across scales.
+func TestEstimatedNetworkSizeTracksN(t *testing.T) {
+	for _, n := range []int{8, 32, 64} {
+		c := newSimCluster(t, int64(n), 16, transport.SimConfig{})
+		c.buildRing(EvenIDs(c.space, n))
+		for _, nd := range c.live() {
+			est := nd.EstimatedNetworkSize()
+			if est < uint64(n)/4 || est > uint64(n)*4 {
+				t.Errorf("n=%d: node %v estimates %d", n, nd.Self().ID, est)
+			}
+		}
+	}
+}
+
+// TestDispatchUnknownTypeErrors: an unregistered message type yields an
+// error reply, not silence.
+func TestDispatchUnknownTypeErrors(t *testing.T) {
+	c := newSimCluster(t, 23, 10, transport.SimConfig{})
+	a := c.addNode(1)
+	b := c.addNode(500)
+	a.Create()
+	_ = b
+	gotErr := false
+	c.eng.Schedule(time.Second, func() {
+		ep := c.net.Endpoint("probe")
+		ep.Call(a.Self().Addr, "bogus.type", StepReq{}, func(_ any, err error) {
+			gotErr = err != nil
+		})
+	})
+	c.eng.RunFor(5 * time.Second)
+	if !gotErr {
+		t.Fatal("unknown type did not error")
+	}
+}
+
+// TestBroadcastBeforeConvergence: a freshly created lone node can
+// broadcast (self-delivery only) without panicking.
+func TestBroadcastBeforeConvergence(t *testing.T) {
+	c := newSimCluster(t, 29, 10, transport.SimConfig{})
+	n := c.addNode(7)
+	n.Create()
+	got := 0
+	n.OnBroadcast("t", func(NodeRef, []byte) { got++ })
+	c.eng.Schedule(time.Second, func() { n.Broadcast("t", []byte("x")) })
+	c.eng.RunFor(3 * time.Second)
+	if got != 1 {
+		t.Fatalf("self-delivery count = %d", got)
+	}
+}
+
+// TestSeedStateMatchesProtocolState: seeding from an ideal ring yields
+// the same observable state as protocol convergence.
+func TestSeedStateMatchesProtocolState(t *testing.T) {
+	c := newSimCluster(t, 31, 12, transport.SimConfig{})
+	ids := EvenIDs(c.space, 8)
+	ring, err := NewRing(c.space, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[ident.ID]NodeRef{}
+	var nodes []*Node
+	for _, id := range ids {
+		n := c.addNode(id)
+		byID[id] = n.Self()
+		nodes = append(nodes, n)
+	}
+	for i, n := range nodes {
+		self := ids[i]
+		var succs []NodeRef
+		cur := self
+		for k := 0; k < 3; k++ {
+			cur = ring.Succ(cur)
+			succs = append(succs, byID[cur])
+		}
+		fingers := make([]NodeRef, c.space.Bits())
+		for j := range fingers {
+			fingers[j] = byID[ring.Finger(self, uint(j))]
+		}
+		n.SeedState(byID[ring.Pred(self)], succs, fingers)
+	}
+	c.eng.RunFor(5 * time.Second)
+	if !c.converged() {
+		t.Fatal("seeded ring not converged")
+	}
+	// Lookups work right away.
+	done := 0
+	for _, n := range nodes {
+		key := c.space.Wrap(c.eng.Rand().Uint64())
+		want := ring.SuccessorOf(key)
+		n.Lookup(key, func(got NodeRef, err error) {
+			done++
+			if err != nil || got.ID != want {
+				t.Errorf("seeded lookup: got %v err %v want %v", got.ID, err, want)
+			}
+		})
+	}
+	c.eng.RunFor(10 * time.Second)
+	if done != len(nodes) {
+		t.Fatalf("%d lookups completed", done)
+	}
+}
+
+// TestConcurrentLookupsDuringChurn: lookups issued while nodes crash
+// either succeed with a live owner or fail cleanly — never hang.
+func TestConcurrentLookupsDuringChurn(t *testing.T) {
+	c := newSimCluster(t, 37, 14, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 24))
+	completed, failed := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		c.eng.Schedule(time.Duration(trial)*200*time.Millisecond, func() {
+			src := c.nodes[trial%len(c.nodes)]
+			if !src.Running() {
+				completed++
+				return
+			}
+			key := c.space.Wrap(c.eng.Rand().Uint64())
+			src.Lookup(key, func(_ NodeRef, err error) {
+				completed++
+				if err != nil {
+					failed++
+				}
+			})
+		})
+	}
+	// Crash a quarter of the ring mid-way through the lookup storm.
+	c.eng.Schedule(4*time.Second, func() {
+		for i := 0; i < 6; i++ {
+			c.nodes[i].Stop(false)
+			_ = c.nodes[i].ep.Close()
+		}
+	})
+	c.eng.RunFor(60 * time.Second)
+	if completed != 40 {
+		t.Fatalf("completed %d/40 lookups (hang?)", completed)
+	}
+	if failed > 20 {
+		t.Fatalf("%d/40 lookups failed, too fragile", failed)
+	}
+}

@@ -1,0 +1,341 @@
+// Package chord implements the Chord structured P2P overlay (Stoica et
+// al., SIGCOMM 2001) as required by the DAT algorithms of Cai & Hwang:
+// consistent hashing, finger tables, greedy finger routing, the
+// stabilization protocol, and the identifier-probing join of Adler et al.
+// used to even out node spacing (paper §3.5, §4).
+//
+// Two forms are provided:
+//
+//   - Ring: an immutable snapshot of a fully converged overlay, used for
+//     the paper's tree-property analyses at up to 8192+ nodes where
+//     running the full protocol would be wasteful;
+//   - Node: a live protocol node running over a transport.Endpoint
+//     (simulated, in-memory or UDP), used for the dynamic experiments.
+//
+// Both share the same routing definitions, so trees computed from a Ring
+// match trees the protocol builds once stabilized.
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Ring is an immutable snapshot of a converged Chord overlay: the sorted
+// set of member identifiers in a given identifier space. All routing
+// queries (successor, fingers, next hops) are answered from the snapshot
+// by binary search, in O(log n).
+type Ring struct {
+	space ident.Space
+	ids   []ident.ID // sorted ascending, distinct
+	index map[ident.ID]int
+}
+
+// NewRing builds a ring snapshot from member identifiers. The slice is
+// copied. It returns an error if ids is empty, contains duplicates, or
+// contains an identifier outside the space.
+func NewRing(space ident.Space, ids []ident.ID) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("chord: empty ring")
+	}
+	sorted := make([]ident.ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	index := make(map[ident.ID]int, len(sorted))
+	for i, id := range sorted {
+		if !space.Valid(id) {
+			return nil, fmt.Errorf("chord: identifier %v outside %d-bit space", id, space.Bits())
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("chord: duplicate identifier %v", id)
+		}
+		index[id] = i
+	}
+	return &Ring{space: space, ids: sorted, index: index}, nil
+}
+
+// Space returns the identifier space.
+func (r *Ring) Space() ident.Space { return r.space }
+
+// N returns the number of nodes.
+func (r *Ring) N() int { return len(r.ids) }
+
+// IDs returns the sorted member identifiers. The caller must not modify
+// the returned slice.
+func (r *Ring) IDs() []ident.ID { return r.ids }
+
+// Contains reports whether id is a member.
+func (r *Ring) Contains(id ident.ID) bool {
+	_, ok := r.index[id]
+	return ok
+}
+
+// SuccessorOf returns the first member whose identifier equals or follows
+// key in the circular space — the node responsible for key under
+// consistent hashing.
+func (r *Ring) SuccessorOf(key ident.ID) ident.ID {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	if i == len(r.ids) {
+		i = 0 // wrap: key is past the last member
+	}
+	return r.ids[i]
+}
+
+// PredecessorOf returns the last member strictly preceding key.
+func (r *Ring) PredecessorOf(key ident.ID) ident.ID {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	// ids[i-1] < key <= ids[i]; predecessor is ids[i-1] with wrap.
+	return r.ids[(i-1+len(r.ids))%len(r.ids)]
+}
+
+// Succ returns the member immediately following member node on the ring.
+// It panics if node is not a member (snapshot misuse is a programming
+// error).
+func (r *Ring) Succ(node ident.ID) ident.ID {
+	i, ok := r.index[node]
+	if !ok {
+		panic(fmt.Sprintf("chord: %v is not a ring member", node))
+	}
+	return r.ids[(i+1)%len(r.ids)]
+}
+
+// Pred returns the member immediately preceding member node.
+func (r *Ring) Pred(node ident.ID) ident.ID {
+	i, ok := r.index[node]
+	if !ok {
+		panic(fmt.Sprintf("chord: %v is not a ring member", node))
+	}
+	return r.ids[(i-1+len(r.ids))%len(r.ids)]
+}
+
+// Finger returns member node's j-th finger: the first member that
+// succeeds node by at least 2^j, for j in [0, bits). Finger 0 is the
+// immediate successor.
+func (r *Ring) Finger(node ident.ID, j uint) ident.ID {
+	return r.SuccessorOf(r.space.FingerStart(node, j))
+}
+
+// FingerTable returns all bits fingers of node. Adjacent entries may be
+// the same member when the ring is sparse.
+func (r *Ring) FingerTable(node ident.ID) []ident.ID {
+	ft := make([]ident.ID, r.space.Bits())
+	for j := range ft {
+		ft[j] = r.Finger(node, uint(j))
+	}
+	return ft
+}
+
+// NextHop returns the next node on the greedy Chord finger route from
+// node toward key, and reports done=true with the root itself when node
+// already is successor(key). This next hop is exactly the node's parent
+// in the basic DAT for rendezvous key (paper §3.2).
+//
+// Greedy rule: among fingers that lie in the clockwise interval
+// (node, key], take the one closest to key; if no finger lies there the
+// key falls between node and its successor, which is then the final
+// destination.
+func (r *Ring) NextHop(node, key ident.ID) (next ident.ID, done bool) {
+	root := r.SuccessorOf(key)
+	if node == root {
+		return node, true
+	}
+	best := ident.ID(0)
+	found := false
+	var bestDist uint64
+	for j := uint(0); j < r.space.Bits(); j++ {
+		f := r.Finger(node, j)
+		if f == node {
+			continue
+		}
+		if !r.space.InHalfOpen(f, node, key) {
+			continue
+		}
+		d := r.space.Dist(f, key) // forward distance remaining
+		if !found || d < bestDist {
+			best, bestDist, found = f, d, true
+		}
+	}
+	if !found {
+		// key in (node, succ(node)): deliver to the successor (the root).
+		return r.Succ(node), false
+	}
+	return best, false
+}
+
+// Route returns the full greedy finger route from node to successor(key),
+// inclusive of both endpoints.
+func (r *Ring) Route(from, key ident.ID) []ident.ID {
+	path := []ident.ID{from}
+	cur := from
+	for {
+		next, done := r.NextHop(cur, key)
+		if done {
+			return path
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > r.N()+1 {
+			panic(fmt.Sprintf("chord: routing loop toward key %v: %v", key, path))
+		}
+	}
+}
+
+// AvgGap returns d0, the average clockwise distance between adjacent
+// members: 2^bits / n (integer division, min 1). This is the paper's d0
+// used by the balanced routing scheme.
+func (r *Ring) AvgGap() uint64 {
+	g := r.space.Size() / uint64(len(r.ids))
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// Gaps returns the clockwise distance from each member (in sorted order)
+// to its successor. The sum of gaps equals the ring size. A lone node's
+// gap is the whole ring.
+func (r *Ring) Gaps() []uint64 {
+	gaps := make([]uint64, len(r.ids))
+	if len(r.ids) == 1 {
+		gaps[0] = r.space.Size()
+		return gaps
+	}
+	for i, id := range r.ids {
+		gaps[i] = r.space.Dist(id, r.Succ(id))
+	}
+	return gaps
+}
+
+// GapRatio returns max(gap)/min(gap), the spread of node intervals. For
+// random identifiers this is O(log n); identifier probing bounds it by a
+// constant (Adler et al., paper §3.5).
+func (r *Ring) GapRatio() float64 {
+	gaps := r.Gaps()
+	minG, maxG := gaps[0], gaps[0]
+	for _, g := range gaps {
+		if g < minG {
+			minG = g
+		}
+		if g > maxG {
+			maxG = g
+		}
+	}
+	if minG == 0 {
+		return 0
+	}
+	return float64(maxG) / float64(minG)
+}
+
+// --- identifier generation strategies (paper §3.5, §5.2) ---
+
+// EvenIDs returns n identifiers spaced exactly evenly around the space
+// (the idealized distribution under which the paper proves the balanced
+// DAT's ≤2 branching bound). n must be positive and at most the ring size.
+func EvenIDs(space ident.Space, n int) []ident.ID {
+	if n <= 0 || uint64(n) > space.Size() {
+		panic(fmt.Sprintf("chord: EvenIDs n=%d invalid for %d-bit space", n, space.Bits()))
+	}
+	ids := make([]ident.ID, n)
+	step := space.Size() / uint64(n)
+	for i := range ids {
+		ids[i] = ident.ID(uint64(i) * step)
+	}
+	return ids
+}
+
+// RandomIDs returns n distinct identifiers drawn uniformly at random —
+// the distribution produced by plain consistent hashing of node names.
+func RandomIDs(space ident.Space, n int, rng *rand.Rand) []ident.ID {
+	if n <= 0 || uint64(n) > space.Size() {
+		panic(fmt.Sprintf("chord: RandomIDs n=%d invalid for %d-bit space", n, space.Bits()))
+	}
+	seen := make(map[ident.ID]bool, n)
+	ids := make([]ident.ID, 0, n)
+	for len(ids) < n {
+		id := space.Wrap(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ProbedIDs returns n identifiers generated by the identifier-probing
+// join process (Adler et al.; paper §4): each joining node picks a random
+// point, finds its successor, probes that successor's O(log n) fingers
+// (and the successor itself) for the largest predecessor interval, and
+// takes the midpoint of the largest one. This keeps the max/min gap ratio
+// bounded by a constant instead of O(log n).
+func ProbedIDs(space ident.Space, n int, rng *rand.Rand) []ident.ID {
+	if n <= 0 || uint64(n) > space.Size() {
+		panic(fmt.Sprintf("chord: ProbedIDs n=%d invalid for %d-bit space", n, space.Bits()))
+	}
+	// Maintain the membership as a sorted slice, inserting in place so the
+	// whole generation is O(n * (log n fingers * log n search + n insert)).
+	sorted := []ident.ID{space.Wrap(rng.Uint64())}
+
+	succOf := func(key ident.ID) ident.ID {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= key })
+		if i == len(sorted) {
+			i = 0
+		}
+		return sorted[i]
+	}
+	predOf := func(member ident.ID) ident.ID {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= member })
+		return sorted[(i-1+len(sorted))%len(sorted)]
+	}
+	contains := func(id ident.ID) bool {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= id })
+		return i < len(sorted) && sorted[i] == id
+	}
+	insert := func(id ident.ID) {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= id })
+		sorted = append(sorted, 0)
+		copy(sorted[i+1:], sorted[i:])
+		sorted[i] = id
+	}
+
+	for len(sorted) < n {
+		if len(sorted) == 1 {
+			// Second node: split the whole ring in half.
+			insert(space.Add(sorted[0], space.Size()/2))
+			continue
+		}
+		probe := space.Wrap(rng.Uint64())
+		succ := succOf(probe)
+
+		// Candidate set: the successor and its distinct fingers.
+		cands := map[ident.ID]bool{succ: true}
+		for j := uint(0); j < space.Bits(); j++ {
+			cands[succOf(space.FingerStart(succ, j))] = true
+		}
+		// Pick the candidate owning the largest predecessor interval
+		// (pred(c), c]; split it at the midpoint. Ties break on identifier
+		// for determinism across map iteration orders.
+		var best ident.ID
+		var bestGap uint64
+		for c := range cands {
+			gap := space.Dist(predOf(c), c)
+			if gap > bestGap || (gap == bestGap && c < best) {
+				best, bestGap = c, gap
+			}
+		}
+		if bestGap < 2 {
+			// Space exhausted around every candidate; fall back to any
+			// free random point.
+			if id := space.Wrap(rng.Uint64()); !contains(id) {
+				insert(id)
+			}
+			continue
+		}
+		if mid := space.Midpoint(predOf(best), best); !contains(mid) {
+			insert(mid)
+		}
+	}
+	return sorted
+}

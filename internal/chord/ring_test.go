@@ -1,0 +1,376 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+)
+
+// fullRing returns the 16-node, 4-bit ring used by the paper's worked
+// examples (Fig. 2 and Fig. 5): every identifier is occupied.
+func fullRing(t *testing.T) *Ring {
+	t.Helper()
+	s := ident.New(4)
+	r, err := NewRing(s, EvenIDs(s, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	s := ident.New(4)
+	if _, err := NewRing(s, nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing(s, []ident.ID{1, 2, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := NewRing(s, []ident.ID{1, 99}); err == nil {
+		t.Error("out-of-space id accepted")
+	}
+	r, err := NewRing(s, []ident.ID{9, 3, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ident.ID{3, 9, 14}
+	for i, id := range r.IDs() {
+		if id != want[i] {
+			t.Fatalf("IDs = %v, want %v", r.IDs(), want)
+		}
+	}
+	if r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestSuccessorPredecessorOf(t *testing.T) {
+	s := ident.New(4)
+	r, err := NewRing(s, []ident.ID{3, 9, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key        ident.ID
+		succ, pred ident.ID
+	}{
+		{0, 3, 14}, {3, 3, 14}, {4, 9, 3}, {9, 9, 3},
+		{10, 14, 9}, {14, 14, 9}, {15, 3, 14},
+	}
+	for _, c := range cases {
+		if got := r.SuccessorOf(c.key); got != c.succ {
+			t.Errorf("SuccessorOf(%v) = %v, want %v", c.key, got, c.succ)
+		}
+		if got := r.PredecessorOf(c.key); got != c.pred {
+			t.Errorf("PredecessorOf(%v) = %v, want %v", c.key, got, c.pred)
+		}
+	}
+	if r.Succ(14) != 3 || r.Pred(3) != 14 {
+		t.Error("member Succ/Pred wrap wrong")
+	}
+	if !r.Contains(9) || r.Contains(10) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSuccPanicsOnNonMember(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Succ on non-member did not panic")
+		}
+	}()
+	s := ident.New(4)
+	r, _ := NewRing(s, []ident.ID{1, 5})
+	r.Succ(3)
+}
+
+func TestFingerTableFullRing(t *testing.T) {
+	r := fullRing(t)
+	// Node 8 in a full 4-bit ring: fingers at 8+1, 8+2, 8+4, 8+8.
+	want := []ident.ID{9, 10, 12, 0}
+	got := r.FingerTable(8)
+	for j, w := range want {
+		if got[j] != w {
+			t.Fatalf("FingerTable(8) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFingerSparseRing(t *testing.T) {
+	s := ident.New(4)
+	r, err := NewRing(s, []ident.ID{0, 5, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0: finger starts 1,2,4,8 -> successors 5,5,5,11.
+	want := []ident.ID{5, 5, 5, 11}
+	for j, w := range want {
+		if got := r.Finger(0, uint(j)); got != w {
+			t.Fatalf("Finger(0,%d) = %v, want %v", j, got, w)
+		}
+	}
+}
+
+// TestPaperFig2Route verifies the basic finger route of Fig. 2(b): the
+// route from N1 to the root N0 is N1 -> N9 -> N13 -> N15 -> N0.
+func TestPaperFig2Route(t *testing.T) {
+	r := fullRing(t)
+	got := r.Route(1, 0)
+	want := []ident.ID{1, 9, 13, 15, 0}
+	if len(got) != len(want) {
+		t.Fatalf("route = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("route = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPaperFig2NextHops verifies the basic-DAT parent assignments that
+// Fig. 2 calls out: N0's children are exactly N8, N12, N14, N15.
+func TestPaperFig2NextHops(t *testing.T) {
+	r := fullRing(t)
+	wantParentZero := map[ident.ID]bool{8: true, 12: true, 14: true, 15: true}
+	for _, v := range r.IDs() {
+		if v == 0 {
+			continue
+		}
+		next, done := r.NextHop(v, 0)
+		if done {
+			t.Fatalf("NextHop(%v, 0) claims done", v)
+		}
+		if (next == 0) != wantParentZero[v] {
+			t.Errorf("NextHop(%v, 0) = %v; want parent==0 to be %v", v, next, wantParentZero[v])
+		}
+	}
+	if _, done := r.NextHop(0, 0); !done {
+		t.Error("NextHop(root) not done")
+	}
+}
+
+func TestRouteTerminatesForAllPairs(t *testing.T) {
+	s := ident.New(10)
+	rng := rand.New(rand.NewSource(7))
+	r, err := NewRing(s, RandomIDs(s, 60, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for _, from := range r.IDs() {
+		for trial := 0; trial < 10; trial++ {
+			key := s.Wrap(rng.Uint64())
+			path := r.Route(from, key)
+			if last := path[len(path)-1]; last != r.SuccessorOf(key) {
+				t.Fatalf("Route(%v,%v) ends at %v, want %v", from, key, last, r.SuccessorOf(key))
+			}
+			if len(path) > maxLen {
+				maxLen = len(path)
+			}
+			// Monotone progress: remaining distance strictly decreases.
+			for i := 1; i < len(path); i++ {
+				if s.Dist(path[i], key) >= s.Dist(path[i-1], key) && path[i] != r.SuccessorOf(key) {
+					t.Fatalf("route not monotone: %v toward %v", path, key)
+				}
+			}
+		}
+	}
+	// O(log n) bound with slack: log2(60) ~= 6, allow 2x + endpoints.
+	if maxLen > 14 {
+		t.Fatalf("max route length %d exceeds O(log n) expectation", maxLen)
+	}
+}
+
+func TestAvgGap(t *testing.T) {
+	r := fullRing(t)
+	if got := r.AvgGap(); got != 1 {
+		t.Fatalf("AvgGap = %d, want 1", got)
+	}
+	s := ident.New(16)
+	r2, _ := NewRing(s, EvenIDs(s, 64))
+	if got := r2.AvgGap(); got != 1024 {
+		t.Fatalf("AvgGap = %d, want 1024", got)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	s := ident.New(4)
+	r, _ := NewRing(s, []ident.ID{2, 5, 13})
+	gaps := r.Gaps()
+	want := []uint64{3, 8, 5} // 2->5, 5->13, 13->2
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Fatalf("Gaps = %v, want %v", gaps, want)
+		}
+	}
+	var sum uint64
+	for _, g := range gaps {
+		sum += g
+	}
+	if sum != s.Size() {
+		t.Fatalf("gaps sum to %d, want %d", sum, s.Size())
+	}
+	lone, _ := NewRing(s, []ident.ID{7})
+	if g := lone.Gaps(); g[0] != s.Size() {
+		t.Fatalf("lone gap = %d, want ring size", g[0])
+	}
+}
+
+func TestEvenIDs(t *testing.T) {
+	s := ident.New(8)
+	ids := EvenIDs(s, 8)
+	for i, id := range ids {
+		if id != ident.ID(i*32) {
+			t.Fatalf("EvenIDs = %v", ids)
+		}
+	}
+	r, _ := NewRing(s, ids)
+	if ratio := r.GapRatio(); ratio != 1 {
+		t.Fatalf("even ring gap ratio = %v, want 1", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EvenIDs(0) did not panic")
+		}
+	}()
+	EvenIDs(s, 0)
+}
+
+func TestRandomIDsDistinct(t *testing.T) {
+	s := ident.New(20)
+	rng := rand.New(rand.NewSource(1))
+	ids := RandomIDs(s, 500, rng)
+	seen := map[ident.ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+		if !s.Valid(id) {
+			t.Fatalf("id %v outside space", id)
+		}
+	}
+}
+
+// TestProbedIDsBoundGapRatio verifies the Adler et al. property the paper
+// relies on: probing keeps max/min gap bounded by a small constant while
+// plain random placement degrades like O(log n).
+func TestProbedIDsBoundGapRatio(t *testing.T) {
+	s := ident.New(32)
+	for _, n := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		probed, err := NewRing(s, ProbedIDs(s, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		random, err := NewRing(s, RandomIDs(s, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, rr := probed.GapRatio(), random.GapRatio()
+		if pr > 8 {
+			t.Errorf("n=%d: probed gap ratio %.1f exceeds constant bound", n, pr)
+		}
+		if pr >= rr {
+			t.Errorf("n=%d: probing (%.1f) did not improve on random (%.1f)", n, pr, rr)
+		}
+	}
+}
+
+func TestProbedIDsDistinct(t *testing.T) {
+	s := ident.New(16)
+	rng := rand.New(rand.NewSource(5))
+	ids := ProbedIDs(s, 300, rng)
+	if len(ids) != 300 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	seen := map[ident.ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGapRatioRandomGrowth(t *testing.T) {
+	// Not a strict assertion of O(log n), just that random placement is
+	// clearly worse-balanced than probing at scale.
+	s := ident.New(40)
+	rng := rand.New(rand.NewSource(11))
+	r, _ := NewRing(s, RandomIDs(s, 2048, rng))
+	if r.GapRatio() < 8 {
+		t.Fatalf("random ring suspiciously balanced: ratio=%.1f", r.GapRatio())
+	}
+}
+
+// TestRingPropertiesQuick: for random rings and keys, SuccessorOf
+// matches a brute-force scan, routes terminate at the owner, and every
+// next hop is one of the sender's fingers.
+func TestRingPropertiesQuick(t *testing.T) {
+	s := ident.New(16)
+	f := func(seed int64, keyRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		ring, err := NewRing(s, RandomIDs(s, n, rng))
+		if err != nil {
+			return false
+		}
+		key := ident.ID(keyRaw)
+		// Brute-force successor: the member minimizing Dist(key, m).
+		best := ring.IDs()[0]
+		bestD := s.Dist(key, best)
+		for _, m := range ring.IDs() {
+			if d := s.Dist(key, m); d < bestD {
+				best, bestD = m, d
+			}
+		}
+		if ring.SuccessorOf(key) != best {
+			return false
+		}
+		// Route from a random member ends at the owner, and each hop is a
+		// finger of its predecessor hop (or the direct successor).
+		from := ring.IDs()[rng.Intn(n)]
+		path := ring.Route(from, key)
+		if path[len(path)-1] != best {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			hop := path[i]
+			legit := hop == ring.Succ(path[i-1])
+			for j := uint(0); j < s.Bits() && !legit; j++ {
+				if ring.Finger(path[i-1], j) == hop {
+					legit = true
+				}
+			}
+			if !legit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxBitsSpace: the 63-bit space works end to end (arithmetic,
+// hashing, ring construction, tree building).
+func TestMaxBitsSpace(t *testing.T) {
+	s := ident.New(63)
+	rng := rand.New(rand.NewSource(9))
+	ring, err := NewRing(s, RandomIDs(s, 64, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.HashString("cpu-usage")
+	path := ring.Route(ring.IDs()[0], key)
+	if path[len(path)-1] != ring.SuccessorOf(key) {
+		t.Fatal("63-bit route wrong")
+	}
+	if g := ring.AvgGap(); g == 0 {
+		t.Fatal("zero gap in 63-bit space")
+	}
+}

@@ -1,0 +1,136 @@
+package chord
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// NodeRef identifies a Chord peer: its ring identifier plus its transport
+// address. The zero NodeRef means "unknown".
+type NodeRef struct {
+	ID   ident.ID
+	Addr transport.Addr
+}
+
+// IsZero reports whether the reference is unset.
+func (r NodeRef) IsZero() bool { return r.Addr == "" }
+
+// String renders the reference for logs.
+func (r NodeRef) String() string {
+	if r.IsZero() {
+		return "<none>"
+	}
+	return fmt.Sprintf("%v@%s", r.ID, r.Addr)
+}
+
+// Chord message types. The "chord." prefix lets metrics taps separate
+// overlay maintenance traffic from aggregation traffic.
+const (
+	// MsgStep is the iterative lookup step: "what do you know about key
+	// k?" The reply either finishes the lookup or names a closer node.
+	MsgStep = "chord.step"
+	// MsgGetState asks a node for its predecessor and successor list
+	// (used by stabilization and as our fingers-of-fingers refresh).
+	MsgGetState = "chord.get_state"
+	// MsgNotify tells a node about a possible better predecessor.
+	MsgNotify = "chord.notify"
+	// MsgPing checks liveness.
+	MsgPing = "chord.ping"
+	// MsgProbeSplit implements the identifier-probing join: the receiver
+	// inspects the intervals of itself and its fingers and returns the
+	// midpoint of the largest one as the joiner's designated identifier.
+	MsgProbeSplit = "chord.probe_split"
+	// MsgLeave announces a graceful departure to the neighbors.
+	MsgLeave = "chord.leave"
+	// MsgBroadcast disseminates a payload to every node reachable through
+	// finger ranges (the paper's "broadcast" Chord routine, §4).
+	MsgBroadcast = "chord.broadcast"
+)
+
+// StepReq asks the receiver to advance a lookup for Key.
+type StepReq struct {
+	Key ident.ID
+}
+
+// StepResp carries the receiver's answer: if Done, Next is
+// successor(Key); otherwise Next is a strictly closer node to ask.
+type StepResp struct {
+	Done bool
+	Next NodeRef
+}
+
+// GetStateReq asks for the receiver's neighbor state.
+type GetStateReq struct{}
+
+// AckResp acknowledges a one-shot request with no data.
+type AckResp struct{}
+
+// StateResp is the receiver's neighbor state.
+type StateResp struct {
+	Self        NodeRef
+	Predecessor NodeRef
+	Successors  []NodeRef
+	// Fingers is the receiver's current finger table (distinct entries
+	// only). Carried so callers can maintain fingers-of-fingers (§4).
+	Fingers []NodeRef
+}
+
+// NotifyReq suggests Candidate as the receiver's predecessor.
+type NotifyReq struct {
+	Candidate NodeRef
+}
+
+// PingReq/PingResp check liveness.
+type PingReq struct{}
+
+// PingResp acknowledges a ping.
+type PingResp struct {
+	Self NodeRef
+}
+
+// ProbeSplitReq asks the receiver to designate an identifier for a
+// joining node by splitting the largest known interval.
+type ProbeSplitReq struct{}
+
+// ProbeSplitResp carries the designated identifier.
+type ProbeSplitResp struct {
+	AssignedID ident.ID
+}
+
+// LeaveReq tells a neighbor the sender is departing and who to link to
+// instead.
+type LeaveReq struct {
+	Departing   NodeRef
+	Predecessor NodeRef // the departing node's predecessor
+	Successors  []NodeRef
+}
+
+// BroadcastMsg floods a payload over finger ranges: the receiver handles
+// the payload, then re-forwards to each of its fingers that falls inside
+// (receiver, Limit).
+type BroadcastMsg struct {
+	Origin  NodeRef
+	Limit   ident.ID // exclusive upper bound of the receiver's range
+	Type    string   // application payload type, dispatched via upcall
+	Payload []byte   // application payload, opaque to Chord
+	Hops    int
+}
+
+func init() {
+	// Register every wire payload for the gob-encoded UDP transport.
+	gob.Register(StepReq{})
+	gob.Register(StepResp{})
+	gob.Register(GetStateReq{})
+	gob.Register(AckResp{})
+	gob.Register(StateResp{})
+	gob.Register(NotifyReq{})
+	gob.Register(PingReq{})
+	gob.Register(PingResp{})
+	gob.Register(ProbeSplitReq{})
+	gob.Register(ProbeSplitResp{})
+	gob.Register(LeaveReq{})
+	gob.Register(BroadcastMsg{})
+}

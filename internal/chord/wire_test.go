@@ -1,0 +1,34 @@
+package chord
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeRefHelpers(t *testing.T) {
+	var zero NodeRef
+	if !zero.IsZero() {
+		t.Error("zero ref not zero")
+	}
+	if zero.String() != "<none>" {
+		t.Errorf("zero String = %q", zero.String())
+	}
+	ref := NodeRef{ID: 255, Addr: "node/3"}
+	if ref.IsZero() {
+		t.Error("non-zero ref reported zero")
+	}
+	if s := ref.String(); !strings.Contains(s, "0xff") || !strings.Contains(s, "node/3") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMessageTypePrefixes(t *testing.T) {
+	// Metrics taps rely on the chord. prefix to separate maintenance
+	// traffic from aggregation traffic: keep every type namespaced.
+	for _, typ := range []string{MsgStep, MsgGetState, MsgNotify, MsgPing,
+		MsgProbeSplit, MsgLeave, MsgBroadcast} {
+		if !strings.HasPrefix(typ, "chord.") {
+			t.Errorf("message type %q not namespaced", typ)
+		}
+	}
+}

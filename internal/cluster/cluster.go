@@ -1,0 +1,458 @@
+// Package cluster assembles complete simulated deployments of the
+// Chord + DAT protocol stack: one sim.Engine, one SimNetwork, and n
+// protocol nodes with DAT layers. The experiment harness, the datsim
+// tool and the protocol-level tests all build on it.
+//
+// Two start-up modes are supported: protocol joins (every node runs the
+// real join + stabilization path — used by churn experiments) and warm
+// start (neighbor state seeded from the ideal ring and then maintained by
+// the live protocol — used by large-scale measurements of converged
+// rings, which is how the paper's §5 numbers are taken).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// IDStrategy selects how node identifiers are generated.
+type IDStrategy int
+
+// Identifier generation strategies (paper §5.2 compares random
+// placement against identifier probing).
+const (
+	// RandomIDs draws identifiers uniformly at random.
+	RandomIDs IDStrategy = iota
+	// ProbedIDs uses the identifier-probing distribution of Adler et al.
+	ProbedIDs
+	// EvenIDs spaces identifiers perfectly evenly (the theoretical ideal).
+	EvenIDs
+)
+
+// String names the strategy for experiment tables.
+func (s IDStrategy) String() string {
+	switch s {
+	case RandomIDs:
+		return "random"
+	case ProbedIDs:
+		return "probed"
+	case EvenIDs:
+		return "even"
+	default:
+		return fmt.Sprintf("IDStrategy(%d)", int(s))
+	}
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	// N is the number of nodes. Required.
+	N int
+	// Bits is the identifier space width. Default 32.
+	Bits uint
+	// Seed drives all randomness. Default 1.
+	Seed int64
+	// IDs selects the identifier strategy. Default RandomIDs.
+	IDs IDStrategy
+	// Scheme selects the DAT parent rule for the live nodes. Default
+	// BalancedLocal (what the prototype can compute locally).
+	Scheme core.Scheme
+	// Latency models one-way delay. Default constant 1ms.
+	Latency sim.LatencyModel
+	// ProtocolJoin runs the real join path for every node instead of
+	// warm-starting neighbor state from the ideal ring. Slower at scale;
+	// use for churn/convergence studies. Default false (warm start).
+	ProtocolJoin bool
+	// JoinSpacing is the interval between protocol joins when
+	// ProtocolJoin is set. Default 50ms.
+	JoinSpacing time.Duration
+	// StabilizeEvery / FixFingersEvery / PingEvery override the chord
+	// maintenance cadence. Long-duration monitoring runs should raise
+	// them so maintenance traffic does not dominate the event queue.
+	StabilizeEvery  time.Duration
+	FixFingersEvery time.Duration
+	PingEvery       time.Duration
+	// Local supplies node-local samples: it receives the node index, the
+	// current virtual time, and the rendezvous key. Nil means no node
+	// contributes values.
+	Local func(node int, now time.Duration, key ident.ID) (float64, bool)
+	// ChildTTLSlots, BatchDelay and HoldPerLevel pass through to the DAT
+	// layer (HoldPerLevel < 0 disables slot synchronization).
+	ChildTTLSlots int
+	BatchDelay    time.Duration
+	HoldPerLevel  time.Duration
+	// ShareResults passes through to the DAT layer (root broadcasts each
+	// completed slot result).
+	ShareResults bool
+	// SuccessorListLen passes through to the Chord layer. Default 4.
+	SuccessorListLen int
+	// DropProb injects message loss.
+	DropProb float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bits == 0 {
+		o.Bits = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Latency == nil {
+		o.Latency = sim.ConstantLatency(time.Millisecond)
+	}
+	if o.JoinSpacing <= 0 {
+		o.JoinSpacing = 50 * time.Millisecond
+	}
+	if o.StabilizeEvery <= 0 {
+		o.StabilizeEvery = 300 * time.Millisecond
+	}
+	if o.FixFingersEvery <= 0 {
+		o.FixFingersEvery = 500 * time.Millisecond
+	}
+	if o.PingEvery <= 0 {
+		o.PingEvery = time.Second
+	}
+	return o
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	Opts   Options
+	Engine *sim.Engine
+	Net    *transport.SimNetwork
+	Space  ident.Space
+	Chord  []*chord.Node
+	DAT    []*core.Node
+
+	eps []transport.Endpoint
+}
+
+// New builds a cluster and brings the ring to convergence. It returns an
+// error if the overlay fails to converge within a generous simulated-time
+// budget.
+func New(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("cluster: N must be positive")
+	}
+	eng := sim.NewEngine(opts.Seed)
+	net := transport.NewSimNetwork(eng, transport.SimConfig{
+		Latency:  opts.Latency,
+		DropProb: opts.DropProb,
+	})
+	space := ident.New(opts.Bits)
+
+	var ids []ident.ID
+	switch opts.IDs {
+	case EvenIDs:
+		ids = chord.EvenIDs(space, opts.N)
+	case ProbedIDs:
+		ids = chord.ProbedIDs(space, opts.N, eng.Rand())
+	default:
+		ids = chord.RandomIDs(space, opts.N, eng.Rand())
+	}
+
+	c := &Cluster{
+		Opts:   opts,
+		Engine: eng,
+		Net:    net,
+		Space:  space,
+	}
+	chordCfg := chord.Config{
+		Space:            space,
+		StabilizeEvery:   opts.StabilizeEvery,
+		FixFingersEvery:  opts.FixFingersEvery,
+		FingersPerFix:    8,
+		PingEvery:        opts.PingEvery,
+		SuccessorListLen: opts.SuccessorListLen,
+	}
+	for i := 0; i < opts.N; i++ {
+		ep := net.Endpoint(transport.Addr(fmt.Sprintf("node/%d", i)))
+		cn := chord.New(ep, net.Clock(), ids[i], chordCfg)
+		var local func(key ident.ID) (float64, bool)
+		if opts.Local != nil {
+			idx := i
+			clk := net.Clock()
+			local = func(key ident.ID) (float64, bool) { return opts.Local(idx, clk.Now(), key) }
+		}
+		dn := core.NewNode(cn, ep, net.Clock(), core.NodeConfig{
+			Scheme:        opts.Scheme,
+			Local:         local,
+			ChildTTLSlots: opts.ChildTTLSlots,
+			BatchDelay:    opts.BatchDelay,
+			HoldPerLevel:  opts.HoldPerLevel,
+			ShareResults:  opts.ShareResults,
+		})
+		c.eps = append(c.eps, ep)
+		c.Chord = append(c.Chord, cn)
+		c.DAT = append(c.DAT, dn)
+	}
+
+	if !opts.ProtocolJoin {
+		c.warmStart(ids)
+		// Let one maintenance round confirm the seeded state.
+		eng.RunFor(2 * opts.StabilizeEvery)
+	} else {
+		c.protocolJoin()
+		// Wait until every node has entered the ring before judging
+		// convergence, or a half-formed ring of early joiners would pass.
+		deadline := eng.Now() + sim.Time(10*time.Minute)
+		for !c.allRunning() {
+			if eng.Now() >= deadline {
+				return nil, fmt.Errorf("cluster: %d/%d nodes joined within budget", c.runningCount(), opts.N)
+			}
+			eng.RunFor(time.Second)
+		}
+	}
+	if err := c.AwaitConverged(10 * time.Minute); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) runningCount() int {
+	count := 0
+	for _, n := range c.Chord {
+		if n.Running() {
+			count++
+		}
+	}
+	return count
+}
+
+func (c *Cluster) allRunning() bool { return c.runningCount() == len(c.Chord) }
+
+// warmStart seeds every node's neighbor state from the ideal ring.
+func (c *Cluster) warmStart(ids []ident.ID) {
+	ring := mustRing(c.Space, ids)
+	byID := make(map[ident.ID]chord.NodeRef, len(ids))
+	for i, n := range c.Chord {
+		byID[ids[i]] = n.Self()
+		_ = n // refs collected below
+	}
+	listLen := c.Opts.SuccessorListLen
+	if listLen <= 0 {
+		listLen = 4
+	}
+	for i, n := range c.Chord {
+		self := ids[i]
+		pred := byID[ring.Pred(self)]
+		var succs []chord.NodeRef
+		cur := self
+		for k := 0; k < listLen && len(ids) > 1; k++ {
+			cur = ring.Succ(cur)
+			if cur == self {
+				break
+			}
+			succs = append(succs, byID[cur])
+		}
+		fingers := make([]chord.NodeRef, c.Space.Bits())
+		for j := range fingers {
+			fingers[j] = byID[ring.Finger(self, uint(j))]
+		}
+		if len(ids) == 1 {
+			pred = chord.NodeRef{}
+		}
+		n.SeedState(pred, succs, fingers)
+	}
+}
+
+// protocolJoin runs the real join path for every node.
+func (c *Cluster) protocolJoin() {
+	c.Chord[0].Create()
+	boot := c.Chord[0].Self().Addr
+	for i := 1; i < len(c.Chord); i++ {
+		n := c.Chord[i]
+		c.Engine.Schedule(time.Duration(i)*c.Opts.JoinSpacing, func() {
+			n.Join(boot, func(err error) {
+				if err != nil {
+					// Re-try once after a stabilization window; transient
+					// lookup failures happen while the ring is forming.
+					c.Engine.Schedule(time.Second, func() {
+						n.Join(boot, func(error) {})
+					})
+				}
+			})
+		})
+	}
+}
+
+// Ring returns the ideal snapshot of the currently running nodes.
+func (c *Cluster) Ring() *chord.Ring {
+	var ids []ident.ID
+	for _, n := range c.Chord {
+		if n.Running() {
+			ids = append(ids, n.Self().ID)
+		}
+	}
+	return mustRing(c.Space, ids)
+}
+
+func mustRing(space ident.Space, ids []ident.ID) *chord.Ring {
+	r, err := chord.NewRing(space, ids)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AwaitConverged advances simulated time until every running node's
+// successor, predecessor and finger table match the ideal ring.
+func (c *Cluster) AwaitConverged(limit time.Duration) error {
+	deadline := c.Engine.Now() + sim.Time(limit)
+	for {
+		if c.Converged() {
+			return nil
+		}
+		if c.Engine.Now() >= deadline {
+			return fmt.Errorf("cluster: no convergence within %v (now %v)", limit, c.Engine.Now())
+		}
+		c.Engine.RunFor(time.Second)
+	}
+}
+
+// Converged reports whether the live overlay matches the ideal ring.
+func (c *Cluster) Converged() bool {
+	var live []*chord.Node
+	for _, n := range c.Chord {
+		if n.Running() {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return false
+	}
+	ring := c.Ring()
+	for _, n := range live {
+		self := n.Self().ID
+		if len(live) == 1 {
+			if n.Successor().Addr != n.Self().Addr {
+				return false
+			}
+			continue
+		}
+		if n.Successor().ID != ring.Succ(self) {
+			return false
+		}
+		if p := n.Predecessor(); p.IsZero() || p.ID != ring.Pred(self) {
+			return false
+		}
+		for j, f := range n.Fingers() {
+			if f.IsZero() || f.ID != ring.Finger(self, uint(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunFor advances the simulation.
+func (c *Cluster) RunFor(d time.Duration) { c.Engine.RunFor(d) }
+
+// Endpoint returns node i's transport endpoint (shared by its Chord and
+// DAT layers; additional layers like MAAN send through it too).
+func (c *Cluster) Endpoint(i int) transport.Endpoint { return c.eps[i] }
+
+// Addrs returns every node's transport address, indexed like Chord/DAT.
+func (c *Cluster) Addrs() []transport.Addr {
+	out := make([]transport.Addr, len(c.eps))
+	for i, ep := range c.eps {
+		out[i] = ep.Addr()
+	}
+	return out
+}
+
+// AddNode creates a fresh node with the given identifier and joins it to
+// the ring through the protocol (never warm-started: joining nodes are
+// what churn experiments measure). It returns the new node's index.
+func (c *Cluster) AddNode(id ident.ID) int {
+	i := len(c.Chord)
+	ep := c.Net.Endpoint(transport.Addr(fmt.Sprintf("node/%d", i)))
+	chordCfg := chord.Config{
+		Space:            c.Space,
+		StabilizeEvery:   c.Opts.StabilizeEvery,
+		FixFingersEvery:  c.Opts.FixFingersEvery,
+		FingersPerFix:    8,
+		PingEvery:        c.Opts.PingEvery,
+		SuccessorListLen: c.Opts.SuccessorListLen,
+	}
+	cn := chord.New(ep, c.Net.Clock(), id, chordCfg)
+	var local func(key ident.ID) (float64, bool)
+	if c.Opts.Local != nil {
+		clk := c.Net.Clock()
+		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(i, clk.Now(), key) }
+	}
+	dn := core.NewNode(cn, ep, c.Net.Clock(), core.NodeConfig{
+		Scheme:        c.Opts.Scheme,
+		Local:         local,
+		ChildTTLSlots: c.Opts.ChildTTLSlots,
+		BatchDelay:    c.Opts.BatchDelay,
+	})
+	c.eps = append(c.eps, ep)
+	c.Chord = append(c.Chord, cn)
+	c.DAT = append(c.DAT, dn)
+
+	// Bootstrap through any live node, retrying a few times: a join can
+	// transiently fail while the ring digests other churn.
+	var boot transport.Addr
+	for j, n := range c.Chord[:i] {
+		if n.Running() {
+			boot = c.eps[j].Addr()
+			break
+		}
+	}
+	if boot != "" {
+		attempts := 0
+		var try func()
+		try = func() {
+			attempts++
+			cn.Join(boot, func(err error) {
+				if err != nil && attempts < 5 {
+					c.Engine.Schedule(time.Second, try)
+				}
+			})
+		}
+		try()
+	}
+	return i
+}
+
+// Crash fails node i without warning: maintenance stops and the endpoint
+// goes silent.
+func (c *Cluster) Crash(i int) {
+	c.Chord[i].Stop(false)
+	_ = c.eps[i].Close()
+}
+
+// Leave departs node i gracefully.
+func (c *Cluster) Leave(i int) {
+	c.Chord[i].Stop(true)
+	_ = c.eps[i].Close()
+}
+
+// StartContinuousAll starts continuous aggregation for key on every
+// running node and returns a function that reads the latest root result.
+func (c *Cluster) StartContinuousAll(key ident.ID, slot time.Duration) (latest func() (int64, core.Aggregate, bool), err error) {
+	for i, d := range c.DAT {
+		if !c.Chord[i].Running() {
+			continue
+		}
+		if err := d.StartContinuous(key, slot, nil); err != nil {
+			return nil, err
+		}
+	}
+	return func() (int64, core.Aggregate, bool) {
+		root := c.Ring().SuccessorOf(key)
+		for i, n := range c.Chord {
+			if n.Running() && n.Self().ID == root {
+				return c.DAT[i].LastResult(key)
+			}
+		}
+		return 0, core.Aggregate{}, false
+	}, nil
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(Options{N: -3}); err == nil {
+		t.Error("negative N accepted")
+	}
+}
+
+func TestIDStrategyString(t *testing.T) {
+	if RandomIDs.String() != "random" || ProbedIDs.String() != "probed" || EvenIDs.String() != "even" {
+		t.Error("strategy names wrong")
+	}
+	if IDStrategy(9).String() == "" {
+		t.Error("unknown strategy empty")
+	}
+}
+
+func TestWarmStartConvergesAtScale(t *testing.T) {
+	// The default warm start must converge essentially immediately even
+	// with slow maintenance cadences (regression: a protocol-join default
+	// here once cost large experiments their entire convergence budget).
+	start := time.Now()
+	c, err := New(Options{
+		N: 512, Seed: 1, IDs: ProbedIDs,
+		StabilizeEvery:  7500 * time.Millisecond,
+		FixFingersEvery: 15 * time.Second,
+		PingEvery:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("warm start took %v wall time", wall)
+	}
+	// Seeded rings still run maintenance: run a while and stay converged.
+	c.RunFor(2 * time.Minute)
+	if !c.Converged() {
+		t.Fatal("maintenance broke the seeded state")
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	c, err := New(Options{N: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Converged() {
+		t.Fatal("lone node not converged")
+	}
+	key := c.Space.HashString("x")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if _, agg, ok := latest(); !ok || agg.Count != 0 {
+		// No Local configured: count 0 but the root still reports.
+		if !ok {
+			t.Fatal("lone root produced nothing")
+		}
+	}
+}
+
+func TestEndpointAndAddrsIndexing(t *testing.T) {
+	c, err := New(Options{N: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := c.Addrs()
+	if len(addrs) != 5 {
+		t.Fatalf("addrs = %d", len(addrs))
+	}
+	for i := range addrs {
+		if c.Endpoint(i).Addr() != addrs[i] {
+			t.Fatalf("endpoint %d addr mismatch", i)
+		}
+	}
+}
+
+func TestProtocolJoinMatchesWarmRing(t *testing.T) {
+	warm, err := New(Options{N: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(Options{N: 10, Seed: 6, ProtocolJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, c := warm.Ring().IDs(), cold.Ring().IDs()
+	for i := range w {
+		if w[i] != c[i] {
+			t.Fatalf("rings differ at %d", i)
+		}
+	}
+}
+
+func TestAddNodeJoinsAndConverges(t *testing.T) {
+	c, err := New(Options{N: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id ident.ID = 12345
+	for c.Ring().Contains(id) {
+		id++
+	}
+	idx := c.AddNode(id)
+	if idx != 8 {
+		t.Fatalf("index = %d", idx)
+	}
+	c.RunFor(10 * time.Second)
+	if err := c.AwaitConverged(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Chord[idx].Running() {
+		t.Fatal("added node not running")
+	}
+	if !c.Ring().Contains(id) {
+		t.Fatal("added node missing from ring")
+	}
+}
+
+func TestCrashAndLeaveBookkeeping(t *testing.T) {
+	c, err := New(Options{N: 8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(1)
+	c.Leave(2)
+	if c.runningCount() != 6 {
+		t.Fatalf("running = %d", c.runningCount())
+	}
+	if c.Ring().N() != 6 {
+		t.Fatalf("ring size = %d", c.Ring().N())
+	}
+	c.RunFor(30 * time.Second)
+	if err := c.AwaitConverged(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalReceivesVirtualTime(t *testing.T) {
+	var seenNow time.Duration
+	c, err := New(Options{
+		N: 4, Seed: 9,
+		Local: func(node int, now time.Duration, key ident.ID) (float64, bool) {
+			if now > seenNow {
+				seenNow = now
+			}
+			return 1, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := c.Space.HashString("t")
+	if _, err := c.StartContinuousAll(key, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if seenNow < time.Second {
+		t.Fatalf("Local never saw advancing virtual time: %v", seenNow)
+	}
+}
+
+func TestSchemePropagatesToDAT(t *testing.T) {
+	c, err := New(Options{N: 4, Seed: 10, Scheme: core.Basic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.DAT {
+		if d.Scheme() != core.Basic {
+			t.Fatalf("scheme = %v", d.Scheme())
+		}
+	}
+}
+
+func TestDropProbOptionWired(t *testing.T) {
+	c, err := New(Options{N: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := metrics.NewMessageCounter(nil)
+	c.Net.SetTap(counter)
+	c.Net.SetDropProb(1.0)
+	c.RunFor(5 * time.Second)
+	if c.Net.Dropped() == 0 {
+		t.Fatal("no drops recorded at p=1")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Aggregate is the value carried up a DAT. It simultaneously maintains
+// the standard decomposable aggregate functions of the paper's monitoring
+// workloads (SUM, COUNT, AVG, MIN, MAX, and — via the sum of squares —
+// VARIANCE/STDDEV over CPU usage and similar metrics): all of them are
+// derivable from one merge-able summary, which is what travels on the
+// wire. The zero value is the identity element.
+type Aggregate struct {
+	Sum   float64
+	SumSq float64
+	Count uint64
+	Min   float64
+	Max   float64
+}
+
+// AddSample folds one local sample into the aggregate.
+func (a *Aggregate) AddSample(v float64) {
+	if a.Count == 0 {
+		a.Min, a.Max = v, v
+	} else {
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Sum += v
+	a.SumSq += v * v
+	a.Count++
+}
+
+// Merge folds another aggregate into this one. Merge is commutative and
+// associative with the zero Aggregate as identity — the algebraic
+// requirements for computing it over any tree shape.
+func (a *Aggregate) Merge(b Aggregate) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	a.Sum += b.Sum
+	a.SumSq += b.SumSq
+	a.Count += b.Count
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+}
+
+// Avg returns Sum/Count, or NaN for an empty aggregate.
+func (a Aggregate) Avg() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Variance returns the population variance of the samples, or NaN for an
+// empty aggregate. Clamped at zero against floating-point cancellation.
+func (a Aggregate) Variance() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	mean := a.Avg()
+	v := a.SumSq/float64(a.Count) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (a Aggregate) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// String renders the aggregate for experiment logs.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("{sum=%.4g count=%d min=%.4g max=%.4g}", a.Sum, a.Count, a.Min, a.Max)
+}
+
+// AggregateUp performs one complete aggregation round over the tree
+// snapshot: every node contributes values[node] (missing nodes contribute
+// nothing), values merge bottom-up, and the root's aggregate is returned.
+//
+// The second result is the per-node count of aggregation messages
+// received, the load metric of Fig. 8: each non-root node sends exactly
+// one value-update message to its parent, so a node receives one message
+// per child.
+func (t *Tree) AggregateUp(values map[ident.ID]float64) (Aggregate, map[ident.ID]uint64) {
+	recv := make(map[ident.ID]uint64, t.N())
+	// Process nodes deepest-first so each node's subtree aggregate is
+	// complete before it "sends" to its parent.
+	order := make([]ident.ID, 0, t.N())
+	depths := make(map[ident.ID]int, t.N())
+	for _, v := range t.ring.IDs() {
+		depths[v] = t.Depth(v)
+		order = append(order, v)
+	}
+	// Sort by decreasing depth, then by id for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		if depths[order[i]] != depths[order[j]] {
+			return depths[order[i]] > depths[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	partial := make(map[ident.ID]Aggregate, t.N())
+	for _, v := range order {
+		agg := partial[v]
+		if x, ok := values[v]; ok {
+			agg.AddSample(x)
+		}
+		p, ok := t.parent[v]
+		if !ok {
+			partial[v] = agg
+			continue // root keeps its aggregate
+		}
+		pa := partial[p]
+		pa.Merge(agg)
+		partial[p] = pa
+		recv[p]++
+		delete(partial, v)
+	}
+	return partial[t.Root], recv
+}

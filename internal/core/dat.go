@@ -1,0 +1,747 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// DAT message types. The "dat." prefix lets metrics taps isolate
+// aggregation traffic from Chord maintenance traffic.
+const (
+	// MsgUpdate carries a subtree aggregate from a child to its parent.
+	MsgUpdate = "dat.update"
+	// MsgDetach tells a former parent to drop the sender's cached
+	// subtree aggregate immediately (sent on parent switch, so the
+	// subtree is not double-counted through both parents until the TTL
+	// expires).
+	MsgDetach = "dat.detach"
+	// MsgQuery asks the root of a DAT for an on-demand aggregate.
+	MsgQuery = "dat.query"
+	// CollectType is the broadcast payload type that triggers an
+	// on-demand collection epoch.
+	CollectType = "dat.collect"
+	// ResultType is the broadcast payload type carrying a root's
+	// completed slot result down to every node (opt-in, see
+	// NodeConfig.ShareResults).
+	ResultType = "dat.result"
+)
+
+// DetachMsg asks the receiver to forget the sender as a child of the
+// given tree.
+type DetachMsg struct {
+	Key    ident.ID
+	Sender chord.NodeRef
+}
+
+// UpdateMsg is the child-to-parent aggregation message.
+type UpdateMsg struct {
+	Key    ident.ID
+	Epoch  int64 // continuous: slot index; on-demand: collection epoch
+	Agg    Aggregate
+	Nodes  uint64 // number of distinct contributors folded in (diagnostic)
+	Height int    // sender's subtree height (drives slot synchronization)
+	Slot   int64  // slot duration in nanoseconds (lets relay nodes enroll)
+	Sender chord.NodeRef
+	Demand bool // true for on-demand collection traffic
+}
+
+// QueryReq asks the receiving node (the DAT root) to run an on-demand
+// aggregation and reply with the result.
+type QueryReq struct {
+	Key    ident.ID
+	Window time.Duration // how long the root collects before answering
+}
+
+// QueryResp is the root's answer.
+type QueryResp struct {
+	Key   ident.ID
+	Epoch int64
+	Agg   Aggregate
+}
+
+// collectMsg is the broadcast payload starting an on-demand epoch.
+type collectMsg struct {
+	Key   ident.ID
+	Epoch int64
+	Root  chord.NodeRef
+}
+
+// resultMsg is the broadcast payload disseminating a completed slot
+// result.
+type resultMsg struct {
+	Key  ident.ID
+	Slot int64
+	Agg  Aggregate
+}
+
+func init() {
+	gob.Register(UpdateMsg{})
+	gob.Register(DetachMsg{})
+	gob.Register(QueryReq{})
+	gob.Register(QueryResp{})
+	gob.Register(collectMsg{})
+	gob.Register(resultMsg{})
+}
+
+// NodeConfig parameterizes a DAT node.
+type NodeConfig struct {
+	// Scheme selects parent selection: Basic or BalancedLocal. (The live
+	// protocol cannot use root-exact Balanced without a lookup per tree;
+	// BalancedLocal is Algorithm 1 as published.) Default BalancedLocal.
+	Scheme Scheme
+	// Local supplies this node's sample for a rendezvous key; return
+	// ok=false if this node monitors nothing under that key.
+	Local func(key ident.ID) (value float64, ok bool)
+	// BatchDelay is the on-demand flush debounce: a node sends its epoch
+	// bucket upward after this long without new contributions, so whole
+	// subtrees consolidate into single messages. Must exceed the typical
+	// one-way latency. Default 50ms.
+	BatchDelay time.Duration
+	// ChildTTLSlots is how many continuous slots a cached child aggregate
+	// survives without refresh before being dropped (handles churn and
+	// tree reshuffling). Default 3.
+	ChildTTLSlots int
+	// ShareResults makes the root broadcast each completed slot result
+	// over the ring (n-1 messages per slot), so every node's LastResult
+	// serves the freshest global value locally — the consumer-layer
+	// dissemination pattern of SOMO/Willow the paper cites. Off by
+	// default: it doubles per-slot traffic.
+	ShareResults bool
+	// HoldPerLevel is the paper's aggregation synchronization (§4): a
+	// node at subtree height h sends its slot update h*HoldPerLevel after
+	// the slot boundary, so children (lower h) report first and parents
+	// fold fresh slot-t values rather than last-slot caches. Must exceed
+	// the typical one-way latency. Default 10ms; negative disables the
+	// staggering entirely (ablation: parents then relay cached values one
+	// slot behind their children).
+	HoldPerLevel time.Duration
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Scheme == Balanced {
+		// Root-exact selection needs a lookup per tree; the protocol uses
+		// the local rule, which is what the paper's prototype runs.
+		c.Scheme = BalancedLocal
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 50 * time.Millisecond
+	}
+	if c.ChildTTLSlots <= 0 {
+		c.ChildTTLSlots = 3
+	}
+	if c.HoldPerLevel == 0 {
+		c.HoldPerLevel = 10 * time.Millisecond
+	} else if c.HoldPerLevel < 0 {
+		c.HoldPerLevel = 0 // synchronization disabled
+	}
+	return c
+}
+
+// ErrNoLocalValue is returned by on-demand queries that found nothing.
+var ErrNoLocalValue = errors.New("core: no values collected")
+
+// epochCounter disambiguates on-demand epochs started within the same
+// clock tick.
+var epochCounter atomic.Uint64
+
+// Node is the DAT layer of one process: it keeps the aggregation table
+// (one entry per active rendezvous key, §4 Fig. 6), computes its parent
+// per tree from the Chord node's live finger table, and implements both
+// continuous and on-demand aggregation modes.
+type Node struct {
+	ch    *chord.Node
+	ep    transport.Endpoint
+	clock transport.Clock
+	cfg   NodeConfig
+
+	mu   sync.Mutex
+	aggs map[ident.ID]*aggEntry
+}
+
+type childState struct {
+	agg    Aggregate
+	nodes  uint64
+	height int
+	seen   time.Duration // clock time of last refresh
+}
+
+type aggEntry struct {
+	key ident.ID
+
+	// Continuous mode.
+	slotDur    time.Duration
+	onResult   func(slot int64, agg Aggregate)
+	stop       func()
+	children   map[transport.Addr]childState
+	height     int            // subtree height: 0 for leaves, 1+max(child heights)
+	lastParent transport.Addr // previous slot's parent, to detach on switch
+	lastAgg    Aggregate
+	lastSlot   int64
+	haveLast   bool
+
+	// On-demand epochs in flight at this node.
+	epochs map[int64]*epochState
+}
+
+type epochState struct {
+	pending Aggregate
+	nodes   uint64
+	// cancelFlush is the pending debounced flush (nil when idle): each
+	// arriving contribution re-arms it, so a node flushes only after its
+	// inflow quiets down — leaves flush first, parents consolidate whole
+	// subtrees into one upward message.
+	cancelFlush func()
+	// root-side collection
+	isRoot bool
+	reply  func(QueryResp)
+}
+
+// NewNode attaches a DAT layer to a Chord node. It registers the DAT
+// message handlers and the collect broadcast upcall on the Chord node.
+func NewNode(ch *chord.Node, ep transport.Endpoint, clock transport.Clock, cfg NodeConfig) *Node {
+	n := &Node{
+		ch:    ch,
+		ep:    ep,
+		clock: clock,
+		cfg:   cfg.withDefaults(),
+		aggs:  make(map[ident.ID]*aggEntry),
+	}
+	ch.Handle(MsgUpdate, n.handleUpdate)
+	ch.Handle(MsgDetach, n.handleDetach)
+	ch.Handle(MsgQuery, n.handleQuery)
+	ch.OnBroadcast(CollectType, n.handleCollect)
+	ch.OnBroadcast(ResultType, n.handleResultBroadcast)
+	return n
+}
+
+// Chord returns the underlying overlay node.
+func (n *Node) Chord() *chord.Node { return n.ch }
+
+// Scheme returns the parent-selection scheme in use.
+func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
+
+// ParentFor computes this node's current DAT parent for a rendezvous key
+// from live overlay state. isRoot is true when this node believes it is
+// successor(key). ok is false when the node cannot yet decide (e.g. its
+// predecessor is unknown right after joining): callers should skip this
+// round and retry after stabilization.
+func (n *Node) ParentFor(key ident.ID) (parent chord.NodeRef, isRoot, ok bool) {
+	self := n.ch.Self()
+	succ := n.ch.Successor()
+	pred := n.ch.Predecessor()
+	space := n.ch.Space()
+
+	if succ.Addr == self.Addr {
+		return self, true, true // alone: we are every tree's root
+	}
+	if pred.IsZero() {
+		// Without a predecessor we cannot rule out being the root, and
+		// guessing wrong would loop aggregates around the ring.
+		return chord.NodeRef{}, false, false
+	}
+	if space.InHalfOpen(key, pred.ID, self.ID) {
+		return self, true, true
+	}
+	if space.InHalfOpen(key, self.ID, succ.ID) {
+		return succ, false, true // the successor is the root
+	}
+
+	fingers := n.ch.Fingers()
+	maxJ := uint(len(fingers) - 1)
+	if n.cfg.Scheme == BalancedLocal || n.cfg.Scheme == Balanced {
+		x := space.Dist(self.ID, key)
+		g := ident.FingerLimit(x, n.ch.EstimatedGap())
+		if g < maxJ {
+			maxJ = g
+		}
+	}
+	var best chord.NodeRef
+	var bestRemaining uint64
+	for j := uint(0); j <= maxJ; j++ {
+		f := fingers[j]
+		if f.IsZero() || f.Addr == self.Addr {
+			continue
+		}
+		if !space.InHalfOpen(f.ID, self.ID, key) {
+			continue
+		}
+		remaining := space.Dist(f.ID, key)
+		if best.IsZero() || remaining < bestRemaining {
+			best, bestRemaining = f, remaining
+		}
+	}
+	if best.IsZero() {
+		// Fingers not resolved yet; the successor always makes progress.
+		best = succ
+	}
+	return best, false, true
+}
+
+// --- continuous mode ---
+
+// StartContinuous begins continuous aggregation for key with the given
+// slot duration. Every ring member participates by calling this with the
+// same key and slot duration; whichever node currently owns the key acts
+// as root and receives onResult once per slot (onResult may be nil on
+// non-root nodes — it fires only if this node is the root). Returns an
+// error if the key is already active.
+//
+// Slot synchronization (§4): sends are staggered by subtree height —
+// leaves report right after the slot boundary, a node of height h waits
+// h*HoldPerLevel so its children's slot-t values arrive before it sends
+// its own. The root therefore surfaces slot t's data within
+// O(height * HoldPerLevel) of the boundary, not with an O(height)-slot
+// lag.
+func (n *Node) StartContinuous(key ident.ID, slot time.Duration, onResult func(slot int64, agg Aggregate)) error {
+	if slot <= 0 {
+		return fmt.Errorf("core: non-positive slot duration %v", slot)
+	}
+	n.mu.Lock()
+	if _, exists := n.aggs[key]; exists {
+		n.mu.Unlock()
+		return fmt.Errorf("core: aggregate %v already active", key)
+	}
+	e := &aggEntry{
+		key:      key,
+		slotDur:  slot,
+		onResult: onResult,
+		children: make(map[transport.Addr]childState),
+		epochs:   make(map[int64]*epochState),
+	}
+	n.aggs[key] = e
+	n.mu.Unlock()
+	n.scheduleTick(e)
+	return nil
+}
+
+// scheduleTick arms the next continuous send: at the next slot boundary
+// plus the height-proportional hold.
+func (n *Node) scheduleTick(e *aggEntry) {
+	n.mu.Lock()
+	if n.aggs[e.key] != e { // stopped
+		n.mu.Unlock()
+		return
+	}
+	now := n.clock.Now()
+	nextBoundary := (now/e.slotDur + 1) * e.slotDur
+	hold := time.Duration(e.height) * n.cfg.HoldPerLevel
+	delay := nextBoundary + hold - now
+	e.stop = n.clock.AfterFunc(delay, func() {
+		n.tickContinuous(e.key)
+		n.scheduleTick(e)
+	})
+	n.mu.Unlock()
+}
+
+// StopContinuous removes the aggregation table entry for key.
+func (n *Node) StopContinuous(key ident.ID) {
+	n.mu.Lock()
+	e := n.aggs[key]
+	delete(n.aggs, key)
+	n.mu.Unlock()
+	if e != nil && e.stop != nil {
+		e.stop()
+	}
+}
+
+// LastResult returns the most recent root-computed aggregate for key, if
+// this node has acted as the key's root.
+func (n *Node) LastResult(key ident.ID) (slot int64, agg Aggregate, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.aggs[key]
+	if e == nil || !e.haveLast {
+		return 0, Aggregate{}, false
+	}
+	return e.lastSlot, e.lastAgg, true
+}
+
+// tickContinuous runs once per slot (at boundary + height*hold): fold the
+// local sample with the child subtree aggregates received this slot and
+// push the result to the parent (or surface it if this node is the root).
+func (n *Node) tickContinuous(key ident.ID) {
+	n.mu.Lock()
+	e := n.aggs[key]
+	if e == nil {
+		n.mu.Unlock()
+		return
+	}
+	now := n.clock.Now()
+	slot := int64(now / e.slotDur) // the boundary we are reporting for
+	ttl := time.Duration(n.cfg.ChildTTLSlots) * e.slotDur
+
+	var agg Aggregate
+	var nodes uint64
+	if n.cfg.Local != nil {
+		if v, ok := n.cfg.Local(key); ok {
+			agg.AddSample(v)
+			nodes++
+		}
+	}
+	height := 0
+	for addr, cs := range e.children {
+		if now-cs.seen > ttl {
+			delete(e.children, addr) // stale child: departed or re-parented
+			continue
+		}
+		agg.Merge(cs.agg)
+		nodes += cs.nodes
+		if cs.height+1 > height {
+			height = cs.height + 1
+		}
+	}
+	e.height = height
+	n.mu.Unlock()
+
+	parent, isRoot, ok := n.ParentFor(key)
+	if !ok {
+		return // overlay not settled; try next slot
+	}
+	self := n.ch.Self()
+
+	// On a parent switch, detach from the former parent so the subtree is
+	// not double-counted through two paths until the cache TTL expires.
+	n.mu.Lock()
+	oldParent := e.lastParent
+	if isRoot {
+		e.lastParent = ""
+	} else {
+		e.lastParent = parent.Addr
+	}
+	n.mu.Unlock()
+	if oldParent != "" && (isRoot || oldParent != parent.Addr) {
+		_ = n.ep.Send(oldParent, MsgDetach, DetachMsg{Key: key, Sender: self})
+	}
+
+	if isRoot {
+		n.mu.Lock()
+		e.lastAgg, e.lastSlot, e.haveLast = agg, slot, true
+		cb := e.onResult
+		n.mu.Unlock()
+		if cb != nil {
+			cb(slot, agg)
+		}
+		if n.cfg.ShareResults {
+			if payload, err := encodeResult(resultMsg{Key: key, Slot: slot, Agg: agg}); err == nil {
+				n.ch.Broadcast(ResultType, payload)
+			}
+		}
+		return
+	}
+	_ = n.ep.Send(parent.Addr, MsgUpdate, UpdateMsg{
+		Key: key, Epoch: slot, Agg: agg, Nodes: nodes, Height: height,
+		Slot: int64(e.slotDur), Sender: self,
+	})
+}
+
+// handleDetach drops a former child's cached aggregate.
+func (n *Node) handleDetach(req *transport.Request) {
+	dm, ok := req.Payload.(DetachMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	if e := n.aggs[dm.Key]; e != nil {
+		delete(e.children, req.From)
+	}
+	n.mu.Unlock()
+}
+
+// handleUpdate stores a child's subtree aggregate (continuous) or folds
+// an on-demand contribution into the epoch bucket.
+func (n *Node) handleUpdate(req *transport.Request) {
+	um, ok := req.Payload.(UpdateMsg)
+	if !ok {
+		return
+	}
+	if um.Demand {
+		n.foldDemand(um)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.aggs[um.Key]
+	if e == nil || e.slotDur == 0 {
+		// A node that never initialized this aggregate locally (e.g. it
+		// joined the ring later) learns about it from the first child
+		// update and enrolls: it must relay the subtree upward, or the
+		// subtree would silently vanish from the global view. The slot
+		// duration rides along in the update.
+		if um.Slot <= 0 {
+			return
+		}
+		if e == nil {
+			e = &aggEntry{
+				key:      um.Key,
+				children: make(map[transport.Addr]childState),
+				epochs:   make(map[int64]*epochState),
+			}
+			n.aggs[um.Key] = e
+		}
+		e.slotDur = time.Duration(um.Slot)
+		n.mu.Unlock()
+		n.scheduleTick(e)
+		n.mu.Lock()
+	}
+	// Guard against transient 2-cycles during churn: if the sender is
+	// currently our parent, adopting it as a child would double-count the
+	// whole subtree.
+	if parent, isRoot, okp := n.parentForLocked(um.Key); okp && !isRoot && parent.Addr == req.From {
+		return
+	}
+	e.children[req.From] = childState{agg: um.Agg, nodes: um.Nodes, height: um.Height, seen: n.clock.Now()}
+}
+
+// parentForLocked mirrors ParentFor but assumes n.mu is held; it only
+// consults the chord node, which has its own lock, so this is safe.
+func (n *Node) parentForLocked(key ident.ID) (chord.NodeRef, bool, bool) {
+	n.mu.Unlock()
+	defer n.mu.Lock()
+	return n.ParentFor(key)
+}
+
+// --- on-demand mode ---
+
+// Query resolves the root of key's DAT and asks it for an on-demand
+// aggregate collected over the given window. Any node may call it. cb
+// runs exactly once.
+func (n *Node) Query(key ident.ID, window time.Duration, cb func(QueryResp, error)) {
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	n.ch.Lookup(key, func(root chord.NodeRef, err error) {
+		if err != nil {
+			cb(QueryResp{}, fmt.Errorf("core: query root lookup: %w", err))
+			return
+		}
+		n.ep.Call(root.Addr, MsgQuery, QueryReq{Key: key, Window: window}, func(payload any, err error) {
+			if err != nil {
+				cb(QueryResp{}, fmt.Errorf("core: query to root %v: %w", root, err))
+				return
+			}
+			resp, ok := payload.(QueryResp)
+			if !ok {
+				cb(QueryResp{}, fmt.Errorf("core: bad query reply %T", payload))
+				return
+			}
+			cb(resp, nil)
+		})
+	})
+}
+
+// handleQuery runs at the root: start a collection epoch, broadcast the
+// collect request down the ring, gather updates for the window, reply.
+func (n *Node) handleQuery(req *transport.Request) {
+	qr, ok := req.Payload.(QueryReq)
+	if !ok {
+		req.ReplyError(fmt.Errorf("core: bad query payload %T", req.Payload))
+		return
+	}
+	// Epoch ids must be unique even for queries landing at the same
+	// (virtual) instant, so combine the clock with a process-wide counter.
+	epoch := int64(n.clock.Now())<<16 | int64(epochCounter.Add(1)&0xffff)
+	self := n.ch.Self()
+
+	e := n.entry(qr.Key)
+	n.mu.Lock()
+	es := &epochState{isRoot: true}
+	if n.cfg.Local != nil {
+		if v, okv := n.cfg.Local(qr.Key); okv {
+			es.pending.AddSample(v)
+			es.nodes++
+		}
+	}
+	e.epochs[epoch] = es
+	n.mu.Unlock()
+
+	payload, err := encodeCollect(collectMsg{Key: qr.Key, Epoch: epoch, Root: self})
+	if err != nil {
+		req.ReplyError(err)
+		return
+	}
+	n.ch.Broadcast(CollectType, payload)
+
+	n.clock.AfterFunc(qr.Window, func() {
+		n.mu.Lock()
+		es := e.epochs[epoch]
+		delete(e.epochs, epoch)
+		n.mu.Unlock()
+		if es == nil {
+			req.ReplyError(ErrNoLocalValue)
+			return
+		}
+		if es.pending.Count == 0 {
+			req.ReplyError(ErrNoLocalValue)
+			return
+		}
+		req.Reply(QueryResp{Key: qr.Key, Epoch: epoch, Agg: es.pending})
+	})
+}
+
+// handleCollect runs on every node when a collect broadcast arrives:
+// contribute the local sample into the epoch bucket and schedule a flush
+// toward the parent.
+func (n *Node) handleCollect(from chord.NodeRef, payload []byte) {
+	cm, err := decodeCollect(payload)
+	if err != nil {
+		return
+	}
+	if cm.Root.Addr == n.ch.Self().Addr {
+		return // the root already contributed locally in handleQuery
+	}
+	e := n.entry(cm.Key)
+	n.mu.Lock()
+	es := e.epochs[cm.Epoch]
+	if es == nil {
+		es = &epochState{}
+		e.epochs[cm.Epoch] = es
+	}
+	if n.cfg.Local != nil {
+		if v, ok := n.cfg.Local(cm.Key); ok {
+			es.pending.AddSample(v)
+			es.nodes++
+		}
+	}
+	n.armFlushLocked(es, cm.Key, cm.Epoch)
+	n.mu.Unlock()
+}
+
+// armFlushLocked (re-)schedules the debounced flush for an epoch bucket.
+// Callers hold n.mu.
+func (n *Node) armFlushLocked(es *epochState, key ident.ID, epoch int64) {
+	if es.isRoot {
+		return
+	}
+	if es.cancelFlush != nil {
+		es.cancelFlush()
+	}
+	es.cancelFlush = n.clock.AfterFunc(n.cfg.BatchDelay, func() { n.flushDemand(key, epoch) })
+}
+
+// foldDemand accumulates an on-demand child update and (re-)arms the
+// flush timer.
+func (n *Node) foldDemand(um UpdateMsg) {
+	e := n.entry(um.Key)
+	n.mu.Lock()
+	es := e.epochs[um.Epoch]
+	if es == nil {
+		es = &epochState{}
+		e.epochs[um.Epoch] = es
+	}
+	es.pending.Merge(um.Agg)
+	es.nodes += um.Nodes
+	n.armFlushLocked(es, um.Key, um.Epoch)
+	n.mu.Unlock()
+}
+
+// flushDemand pushes the accumulated epoch bucket one level up the DAT.
+func (n *Node) flushDemand(key ident.ID, epoch int64) {
+	e := n.entry(key)
+	n.mu.Lock()
+	es := e.epochs[epoch]
+	if es == nil || es.isRoot {
+		n.mu.Unlock()
+		return
+	}
+	agg, nodes := es.pending, es.nodes
+	es.pending, es.nodes = Aggregate{}, 0
+	es.cancelFlush = nil
+	n.mu.Unlock()
+	if agg.Count == 0 {
+		return
+	}
+	parent, isRoot, ok := n.ParentFor(key)
+	if !ok || isRoot {
+		// isRoot should not happen for a non-root epoch holder unless the
+		// ring churned; fold back into the bucket as root-side state.
+		n.mu.Lock()
+		if es2 := e.epochs[epoch]; es2 != nil {
+			es2.pending.Merge(agg)
+			es2.nodes += nodes
+		}
+		n.mu.Unlock()
+		return
+	}
+	self := n.ch.Self()
+	_ = n.ep.Send(parent.Addr, MsgUpdate, UpdateMsg{
+		Key: key, Epoch: epoch, Agg: agg, Nodes: nodes, Sender: self, Demand: true,
+	})
+}
+
+// entry returns (creating if needed) the aggregation table entry for key.
+// Entries created implicitly (by on-demand traffic) have no continuous
+// ticker.
+func (n *Node) entry(key ident.ID) *aggEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.aggs[key]
+	if e == nil {
+		e = &aggEntry{
+			key:      key,
+			children: make(map[transport.Addr]childState),
+			epochs:   make(map[int64]*epochState),
+		}
+		n.aggs[key] = e
+	}
+	return e
+}
+
+// ActiveKeys returns the rendezvous keys present in the aggregation
+// table (diagnostic).
+func (n *Node) ActiveKeys() []ident.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	keys := make([]ident.ID, 0, len(n.aggs))
+	for k := range n.aggs {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// handleResultBroadcast caches a disseminated slot result so local
+// consumers read it from LastResult.
+func (n *Node) handleResultBroadcast(from chord.NodeRef, payload []byte) {
+	var rm resultMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rm); err != nil {
+		return
+	}
+	e := n.entry(rm.Key)
+	n.mu.Lock()
+	if !e.haveLast || rm.Slot >= e.lastSlot {
+		e.lastAgg, e.lastSlot, e.haveLast = rm.Agg, rm.Slot, true
+	}
+	n.mu.Unlock()
+}
+
+func encodeResult(rm resultMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rm); err != nil {
+		return nil, fmt.Errorf("core: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeCollect(cm collectMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cm); err != nil {
+		return nil, fmt.Errorf("core: encode collect: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCollect(b []byte) (collectMsg, error) {
+	var cm collectMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cm); err != nil {
+		return cm, fmt.Errorf("core: decode collect: %w", err)
+	}
+	return cm, nil
+}

@@ -1,0 +1,529 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// localByIndex gives node i the sample float64(i) for every key.
+func localByIndex(i int, _ time.Duration, _ ident.ID) (float64, bool) { return float64(i), true }
+
+func newCluster(t *testing.T, opts cluster.Options) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestContinuousAggregationConverges(t *testing.T) {
+	const n = 32
+	c := newCluster(t, cluster.Options{N: n, Seed: 3, Local: localByIndex})
+	key := c.Space.HashString("cpu-usage")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(20 * time.Second)
+
+	slot, agg, ok := latest()
+	if !ok {
+		t.Fatal("root produced no result")
+	}
+	if agg.Count != n {
+		t.Fatalf("count = %d, want %d", agg.Count, n)
+	}
+	wantSum := float64(n*(n-1)) / 2
+	if math.Abs(agg.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", agg.Sum, wantSum)
+	}
+	if agg.Min != 0 || agg.Max != n-1 {
+		t.Fatalf("min/max = %v/%v", agg.Min, agg.Max)
+	}
+	if slot <= 0 {
+		t.Fatalf("slot = %d", slot)
+	}
+}
+
+// TestLiveParentsMatchSnapshot: once the overlay converges, every live
+// node's locally computed parent equals the snapshot construction with
+// the same scheme — the live protocol and the analytical builder agree.
+func TestLiveParentsMatchSnapshot(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.Basic, core.BalancedLocal} {
+		c := newCluster(t, cluster.Options{
+			N: 24, Seed: 5, IDs: cluster.EvenIDs, Scheme: scheme,
+		})
+		key := c.Space.HashString("mem")
+		ring := c.Ring()
+		tree := core.Build(ring, key, scheme)
+		for i, d := range c.DAT {
+			self := c.Chord[i].Self()
+			parent, isRoot, ok := d.ParentFor(key)
+			if !ok {
+				t.Fatalf("%v: node %v undecided after convergence", scheme, self)
+			}
+			if isRoot {
+				if tree.Root != self.ID {
+					t.Errorf("%v: node %v claims root, snapshot says %v", scheme, self.ID, tree.Root)
+				}
+				continue
+			}
+			want, _ := tree.Parent(self.ID)
+			if parent.ID != want {
+				t.Errorf("%v: live parent(%v) = %v, snapshot %v", scheme, self.ID, parent.ID, want)
+			}
+		}
+	}
+}
+
+// TestContinuousMessageLoad verifies the Fig. 8 accounting on the live
+// protocol: per slot, aggregation traffic is one dat.update per non-root
+// node, and per-node received counts track the tree's branching factors.
+func TestContinuousMessageLoad(t *testing.T) {
+	const n = 24
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 7, IDs: cluster.EvenIDs, Scheme: core.BalancedLocal,
+		Local: localByIndex,
+	})
+	key := c.Space.HashString("cpu")
+	if _, err := c.StartContinuousAll(key, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second) // warm-up: caches fill
+
+	counter := metrics.NewMessageCounter(metrics.TypePrefixFilter("dat."))
+	c.Net.SetTap(counter)
+	const slots = 10
+	c.RunFor(slots * time.Second)
+	c.Net.SetTap(nil)
+
+	total := counter.Total()
+	want := uint64(slots * (n - 1))
+	// Jitter shifts a send across the measurement boundary at both ends.
+	if total < want-n || total > want+n {
+		t.Fatalf("dat.update total = %d, want ~%d", total, want)
+	}
+
+	tree := core.Build(c.Ring(), key, core.BalancedLocal)
+	addrs := c.Addrs()
+	for i, nd := range c.Chord {
+		perSlot := float64(counter.ReceivedBy(addrs[i])) / slots
+		kids := float64(tree.Branching(nd.Self().ID))
+		if math.Abs(perSlot-kids) > 1.0 {
+			t.Errorf("node %v receives %.1f msg/slot, has %v children", nd.Self().ID, perSlot, kids)
+		}
+	}
+}
+
+func TestOnDemandQuery(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{N: n, Seed: 11, Local: localByIndex})
+	key := c.Space.HashString("disk")
+
+	var resp core.QueryResp
+	var qerr error
+	done := false
+	c.DAT[4].Query(key, time.Second, func(r core.QueryResp, err error) {
+		resp, qerr, done = r, err, true
+	})
+	c.RunFor(5 * time.Second)
+	if !done {
+		t.Fatal("query never completed")
+	}
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if resp.Agg.Count != n {
+		t.Fatalf("on-demand count = %d, want %d", resp.Agg.Count, n)
+	}
+	wantSum := float64(n*(n-1)) / 2
+	if math.Abs(resp.Agg.Sum-wantSum) > 1e-9 {
+		t.Fatalf("on-demand sum = %v, want %v", resp.Agg.Sum, wantSum)
+	}
+}
+
+func TestOnDemandQueryFromEveryNode(t *testing.T) {
+	const n = 12
+	c := newCluster(t, cluster.Options{N: n, Seed: 13, Local: localByIndex})
+	key := c.Space.HashString("net")
+	completed := 0
+	for i := range c.DAT {
+		i := i
+		c.Engine.Schedule(time.Duration(i)*3*time.Second, func() {
+			c.DAT[i].Query(key, time.Second, func(r core.QueryResp, err error) {
+				if err != nil {
+					t.Errorf("query from node %d: %v", i, err)
+					return
+				}
+				if r.Agg.Count != n {
+					t.Errorf("query from node %d: count %d", i, r.Agg.Count)
+				}
+				completed++
+			})
+		})
+	}
+	c.RunFor(time.Duration(n+2) * 3 * time.Second)
+	if completed != n {
+		t.Fatalf("completed %d/%d queries", completed, n)
+	}
+}
+
+// TestChurnContinuousRecovers: crashed nodes drop out of the aggregate
+// within the child TTL; the survivors' values remain correct.
+func TestChurnContinuousRecovers(t *testing.T) {
+	const n = 32
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 17, Local: localByIndex, ChildTTLSlots: 3,
+	})
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(20 * time.Second)
+	if _, agg, ok := latest(); !ok || agg.Count != n {
+		t.Fatalf("pre-churn aggregate incomplete: %v", agg)
+	}
+
+	// Crash four mid-ring nodes (avoid the root so the result stream
+	// stays observable at the same place).
+	ring := c.Ring()
+	root := ring.SuccessorOf(key)
+	crashed := 0
+	for i := 0; i < len(c.Chord) && crashed < 4; i++ {
+		if c.Chord[i].Self().ID == root {
+			continue
+		}
+		c.Crash(i)
+		crashed++
+	}
+	// Let stabilization heal the ring and TTLs expire stale children.
+	c.RunFor(60 * time.Second)
+
+	_, agg, ok := latest()
+	if !ok {
+		t.Fatal("no result after churn")
+	}
+	if agg.Count != n-4 {
+		t.Fatalf("post-churn count = %d, want %d", agg.Count, n-4)
+	}
+}
+
+// TestContinuousUnderMessageLoss: with 5% drops injected after the
+// overlay converges, the aggregate stays close to complete (caches
+// tolerate lost refreshes for TTL slots).
+func TestContinuousUnderMessageLoss(t *testing.T) {
+	const n = 24
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 23, Local: localByIndex, ChildTTLSlots: 4,
+	})
+	c.Net.SetDropProb(0.05)
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * time.Second)
+	_, agg, ok := latest()
+	if !ok {
+		t.Fatal("no result under loss")
+	}
+	if agg.Count < n-4 || agg.Count > n {
+		t.Fatalf("lossy count = %d, want within [%d, %d]", agg.Count, n-4, n)
+	}
+}
+
+func TestStartContinuousValidation(t *testing.T) {
+	c := newCluster(t, cluster.Options{N: 4, Seed: 29, Local: localByIndex})
+	key := c.Space.HashString("x")
+	d := c.DAT[0]
+	if err := d.StartContinuous(key, 0, nil); err == nil {
+		t.Error("zero slot accepted")
+	}
+	if err := d.StartContinuous(key, time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartContinuous(key, time.Second, nil); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	d.StopContinuous(key)
+	if err := d.StartContinuous(key, time.Second, nil); err != nil {
+		t.Errorf("restart after stop: %v", err)
+	}
+	if got := len(d.ActiveKeys()); got != 1 {
+		t.Errorf("active keys = %d", got)
+	}
+}
+
+// TestMultipleSimultaneousTrees: several keys aggregate concurrently with
+// roots spread by consistent hashing, each with correct results.
+func TestMultipleSimultaneousTrees(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{N: n, Seed: 31, Local: localByIndex})
+	keys := []ident.ID{
+		c.Space.HashString("cpu-usage"),
+		c.Space.HashString("memory-free"),
+		c.Space.HashString("disk-io"),
+		c.Space.HashString("net-rx"),
+	}
+	var latests []func() (int64, core.Aggregate, bool)
+	for _, k := range keys {
+		l, err := c.StartContinuousAll(k, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latests = append(latests, l)
+	}
+	c.RunFor(20 * time.Second)
+	roots := map[ident.ID]bool{}
+	ring := c.Ring()
+	for i, l := range latests {
+		_, agg, ok := l()
+		if !ok || agg.Count != n {
+			t.Fatalf("tree %d incomplete: %v (ok=%v)", i, agg, ok)
+		}
+		roots[ring.SuccessorOf(keys[i])] = true
+	}
+	if len(roots) < 2 {
+		t.Errorf("consistent hashing put all %d trees on %d root(s)", len(keys), len(roots))
+	}
+}
+
+// TestRootFailover: when the root of a continuous aggregate crashes, the
+// key's new successor takes over as root and produces results.
+func TestRootFailover(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{N: n, Seed: 37, Local: localByIndex, ChildTTLSlots: 3})
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(15 * time.Second)
+
+	oldRoot := c.Ring().SuccessorOf(key)
+	for i := range c.Chord {
+		if c.Chord[i].Self().ID == oldRoot {
+			c.Crash(i)
+			break
+		}
+	}
+	c.RunFor(60 * time.Second)
+	newRoot := c.Ring().SuccessorOf(key)
+	if newRoot == oldRoot {
+		t.Fatal("root did not change")
+	}
+	_, agg, ok := latest()
+	if !ok {
+		t.Fatal("new root produced no result")
+	}
+	if agg.Count != n-1 {
+		t.Fatalf("failover count = %d, want %d", agg.Count, n-1)
+	}
+}
+
+// TestWarmVsProtocolJoinAgree: the same options produce the same
+// converged ring whether seeded or joined via protocol.
+func TestWarmVsProtocolJoinAgree(t *testing.T) {
+	warm := newCluster(t, cluster.Options{N: 12, Seed: 41})
+	cold := newCluster(t, cluster.Options{N: 12, Seed: 41, ProtocolJoin: true})
+	w, cd := warm.Ring().IDs(), cold.Ring().IDs()
+	if len(w) != len(cd) {
+		t.Fatalf("sizes differ: %d vs %d", len(w), len(cd))
+	}
+	for i := range w {
+		if w[i] != cd[i] {
+			t.Fatalf("rings differ at %d: %v vs %v", i, w[i], cd[i])
+		}
+	}
+	if !warm.Converged() || !cold.Converged() {
+		t.Fatal("clusters not converged")
+	}
+}
+
+var _ transport.Addr // keep transport import if assertions above change
+
+// TestRelayAutoEnrollment: a node that never registered the aggregate
+// but sits on other nodes' paths to the root enrolls from the first
+// child update it receives, relays the subtree AND contributes its own
+// sample — late joiners must not black-hole subtrees.
+func TestRelayAutoEnrollment(t *testing.T) {
+	const n = 24
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 43, IDs: cluster.EvenIDs, Local: localByIndex,
+	})
+	key := c.Space.HashString("cpu")
+	// Pick an interior (non-root, has children) node to leave out.
+	tree := core.Build(c.Ring(), key, core.BalancedLocal)
+	skip := -1
+	for i, nd := range c.Chord {
+		id := nd.Self().ID
+		if id != tree.Root && tree.Branching(id) > 0 {
+			skip = i
+			break
+		}
+	}
+	if skip < 0 {
+		t.Fatal("no interior node found")
+	}
+	for i, d := range c.DAT {
+		if i == skip {
+			continue
+		}
+		if err := d.StartContinuous(key, time.Second, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(20 * time.Second)
+	root := tree.Root
+	var agg core.Aggregate
+	found := false
+	for i, nd := range c.Chord {
+		if nd.Self().ID == root {
+			_, agg, found = c.DAT[i].LastResult(key)
+		}
+	}
+	if !found {
+		t.Fatal("no root result")
+	}
+	// All n nodes report: the skipped interior node auto-enrolled.
+	if agg.Count != n {
+		t.Fatalf("count = %d, want %d (auto-enrolled relay contributes)", agg.Count, n)
+	}
+}
+
+// TestDetachOnReparent: when a child switches parents, the old parent
+// must drop its cached subtree immediately (no double counting).
+func TestDetachOnReparent(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 47, Local: localByIndex, ChildTTLSlots: 100, // huge TTL: only detach can clear
+	})
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(15 * time.Second)
+	if _, agg, ok := latest(); !ok || agg.Count != n {
+		t.Fatalf("baseline incomplete: %v", agg)
+	}
+	// Crash two non-root nodes: survivors re-parent around them. With a
+	// 100-slot TTL, only the detach path prevents stale double counts.
+	root := c.Ring().SuccessorOf(key)
+	crashed := 0
+	for i := 0; i < len(c.Chord) && crashed < 2; i++ {
+		if c.Chord[i].Self().ID == root {
+			continue
+		}
+		c.Crash(i)
+		crashed++
+	}
+	c.RunFor(60 * time.Second)
+	_, agg, ok := latest()
+	if !ok {
+		t.Fatal("no result after reparenting")
+	}
+	// No node may be counted twice; crashed nodes' samples persist only
+	// in caches with a huge TTL, so the count stays in [n-2, n].
+	if agg.Count < n-2 || agg.Count > n {
+		t.Fatalf("count = %d, want within [%d, %d] (no double counting)", agg.Count, n-2, n)
+	}
+}
+
+// TestVarianceThroughLiveTree: StdDev of node indices computed through
+// the live protocol matches the direct computation.
+func TestVarianceThroughLiveTree(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{N: n, Seed: 53, Local: localByIndex})
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(15 * time.Second)
+	_, agg, ok := latest()
+	if !ok || agg.Count != n {
+		t.Fatalf("aggregate incomplete: %v", agg)
+	}
+	var direct core.Aggregate
+	for i := 0; i < n; i++ {
+		direct.AddSample(float64(i))
+	}
+	if math.Abs(agg.Variance()-direct.Variance()) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", agg.Variance(), direct.Variance())
+	}
+}
+
+// TestOnDemandQueryFailsCleanlyUnderHeavyLoss: with the network dropping
+// everything, Query must return an error (not hang, not fabricate data).
+func TestOnDemandQueryFailsCleanlyUnderHeavyLoss(t *testing.T) {
+	const n = 8
+	c := newCluster(t, cluster.Options{N: n, Seed: 59, Local: localByIndex})
+	c.Net.SetDropProb(1.0)
+	done := false
+	var qerr error
+	c.DAT[2].Query(c.Space.HashString("cpu"), time.Second, func(_ core.QueryResp, err error) {
+		done, qerr = true, err
+	})
+	c.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("query hung under total loss")
+	}
+	if qerr == nil {
+		t.Fatal("query fabricated a result under total loss")
+	}
+}
+
+// TestHoldPerLevelDisabled: with synchronization ablated the aggregate
+// still converges on a static signal (only dynamics are smeared).
+func TestHoldPerLevelDisabled(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 61, Local: localByIndex, HoldPerLevel: -1,
+	})
+	key := c.Space.HashString("cpu")
+	latest, err := c.StartContinuousAll(key, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * time.Second)
+	_, agg, ok := latest()
+	if !ok || agg.Count != n {
+		t.Fatalf("unsynchronized aggregate incomplete: ok=%v %v", ok, agg)
+	}
+	if agg.Sum != float64(n*(n-1))/2 {
+		t.Fatalf("sum = %v", agg.Sum)
+	}
+}
+
+// TestResultDissemination: with ShareResults every node — not just the
+// root — serves the freshest global aggregate from LastResult.
+func TestResultDissemination(t *testing.T) {
+	const n = 16
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 67, Local: localByIndex, ShareResults: true,
+	})
+	key := c.Space.HashString("cpu")
+	if _, err := c.StartContinuousAll(key, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(20 * time.Second)
+	covered := 0
+	for _, d := range c.DAT {
+		if _, agg, ok := d.LastResult(key); ok && agg.Count == n {
+			covered++
+		}
+	}
+	if covered != n {
+		t.Fatalf("only %d/%d nodes hold the disseminated result", covered, n)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format: one node per ring
+// member labeled with its identifier, edges child -> parent, the root
+// double-circled. Useful for inspecting small DATs
+// (`dot -Tsvg tree.dot`).
+func (t *Tree) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n  node [shape=circle, fontsize=10];\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %q [shape=doublecircle];\n", t.Root.String()); err != nil {
+		return err
+	}
+	for _, v := range t.ring.IDs() {
+		p, ok := t.parent[v]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q;\n", v.String(), p.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// RenderASCII writes an indented top-down rendering of the tree, one
+// node per line, children indented under their parents. maxNodes bounds
+// the output for large trees (0 means unlimited); truncation is marked.
+func (t *Tree) RenderASCII(w io.Writer, maxNodes int) error {
+	printed := 0
+	truncated := false
+	var rec func(v ident.ID, prefix string, last, isRoot bool) error
+	rec = func(v ident.ID, prefix string, last, isRoot bool) error {
+		if maxNodes > 0 && printed >= maxNodes {
+			truncated = true
+			return nil
+		}
+		connector := "|- "
+		childPrefix := prefix + "|  "
+		if last {
+			connector = "`- "
+			childPrefix = prefix + "   "
+		}
+		if isRoot {
+			connector = ""
+			childPrefix = ""
+		}
+		label := v.String()
+		if v == t.Root {
+			label += " (root)"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s\n", prefix, connector, label); err != nil {
+			return err
+		}
+		printed++
+		kids := t.Children(v)
+		ordered := make([]ident.ID, len(kids))
+		copy(ordered, kids)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for i, c := range ordered {
+			if err := rec(c, childPrefix, i == len(ordered)-1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root, "", true, true); err != nil {
+		return err
+	}
+	if truncated {
+		if _, err := fmt.Fprintf(w, "... (%d of %d nodes shown)\n", printed, t.N()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+)
+
+func TestWriteDOT(t *testing.T) {
+	s := ident.New(4)
+	r, err := chord.NewRing(s, chord.EvenIDs(s, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(r, 0, Balanced)
+	var b strings.Builder
+	if err := tr.WriteDOT(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT document:\n%s", out)
+	}
+	if !strings.Contains(out, "doublecircle") {
+		t.Error("root not marked")
+	}
+	// n-1 edges.
+	if got := strings.Count(out, "->"); got != 7 {
+		t.Errorf("edges = %d, want 7", got)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := ident.New(4)
+	r, err := chord.NewRing(s, chord.EvenIDs(s, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(r, 0, Balanced)
+	var b strings.Builder
+	if err := tr.RenderASCII(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("rendered %d lines, want 8:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "(root)") {
+		t.Errorf("first line is not the root: %q", lines[0])
+	}
+	// Children are indented with connectors.
+	indented := 0
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "|- ") || strings.Contains(l, "`- ") {
+			indented++
+		}
+	}
+	if indented != 7 {
+		t.Errorf("connectors on %d lines, want 7:\n%s", indented, out)
+	}
+}
+
+func TestRenderASCIITruncation(t *testing.T) {
+	s := ident.New(8)
+	r, err := chord.NewRing(s, chord.EvenIDs(s, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(r, 0, Balanced)
+	var b strings.Builder
+	if err := tr.RenderASCII(&b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "10 of 64 nodes shown") {
+		t.Fatalf("no truncation marker:\n%s", b.String())
+	}
+}
+
+func TestAggregateVariance(t *testing.T) {
+	var a Aggregate
+	if !isNaN(a.Variance()) {
+		t.Error("empty variance not NaN")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.AddSample(v)
+	}
+	// Classic example: mean 5, variance 4, stddev 2.
+	if a.Avg() != 5 {
+		t.Fatalf("avg = %v", a.Avg())
+	}
+	if v := a.Variance(); v < 3.999 || v > 4.001 {
+		t.Fatalf("variance = %v, want 4", v)
+	}
+	if sd := a.StdDev(); sd < 1.999 || sd > 2.001 {
+		t.Fatalf("stddev = %v, want 2", sd)
+	}
+	// Variance is merge-stable: splitting the samples across two
+	// aggregates and merging gives the same result.
+	var x, y Aggregate
+	for _, v := range []float64{2, 4, 4, 4} {
+		x.AddSample(v)
+	}
+	for _, v := range []float64{5, 5, 7, 9} {
+		y.AddSample(v)
+	}
+	x.Merge(y)
+	if v := x.Variance(); v < 3.999 || v > 4.001 {
+		t.Fatalf("merged variance = %v, want 4", v)
+	}
+	// Constant samples: variance exactly 0 (clamped against FP noise).
+	var c Aggregate
+	for i := 0; i < 100; i++ {
+		c.AddSample(1e9 + 0.1)
+	}
+	if v := c.Variance(); v < 0 {
+		t.Fatalf("negative variance %v", v)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }

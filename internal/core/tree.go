@@ -1,0 +1,327 @@
+// Package core implements the paper's primary contribution: distributed
+// aggregation trees (DAT) built implicitly from Chord routing paths
+// (Cai & Hwang, IPDPS 2007, §3).
+//
+// Two construction schemes are provided:
+//
+//   - Basic: a node's parent is its next hop under ordinary greedy Chord
+//     finger routing toward the rendezvous key (§3.2). Height O(log n),
+//     but branching is skewed toward nodes near the root: the root of an
+//     evenly spaced n-node DAT has log2(n) children.
+//   - Balanced: a node only considers fingers within 2^g(x) of itself,
+//     where x is its clockwise distance to the rendezvous key and
+//     g(x) = ceil(log2((x + 2*d0)/3)) is the finger limiting function
+//     (§3.4, Algorithm 1). With evenly spaced identifiers this yields
+//     branching factor <= 2 and height <= log2(n).
+//
+// The package offers both a snapshot view (Tree, computed from a
+// chord.Ring, used for the paper's large-scale tree-property analyses)
+// and a live protocol node (Node, in dat.go) that runs the same parent
+// selection over a real or simulated transport.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+)
+
+// Scheme selects the DAT construction algorithm.
+type Scheme int
+
+// Available construction schemes.
+const (
+	// Basic builds the DAT from ordinary Chord greedy finger routes.
+	Basic Scheme = iota
+	// Balanced builds the DAT with the finger limiting function g(x),
+	// measuring x to the ROOT. This is the variant the paper's §3.5
+	// theorem analyzes: branching <= 2 on evenly spaced rings. Knowing
+	// the root requires one lookup per tree.
+	Balanced
+	// BalancedLocal is Algorithm 1 exactly as written: x is measured to
+	// the rendezvous KEY, which every node can compute with no lookup at
+	// all. The price is a slightly looser bound near the root — max
+	// branching ~4 instead of 2, matching the constant the paper actually
+	// measures in Fig. 7(a). The live protocol node uses this rule.
+	BalancedLocal
+)
+
+// String returns the scheme name used in experiment output.
+func (s Scheme) String() string {
+	switch s {
+	case Basic:
+		return "basic"
+	case Balanced:
+		return "balanced"
+	case BalancedLocal:
+		return "balanced-local"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParentOnRing computes node's DAT parent toward rendezvous key on a
+// converged ring snapshot. It returns isRoot=true (and the node itself)
+// when node is successor(key), the DAT root. d0 is the average gap
+// between adjacent nodes used by the balanced scheme's finger limiting
+// function; pass 0 to use ring.AvgGap().
+//
+// Both schemes guarantee strict progress: the parent is clockwise-closer
+// to the key than the node, so parent chains are loop-free and reach the
+// root in at most O(log n) steps (§3.3, §3.5).
+func ParentOnRing(r *chord.Ring, node, key ident.ID, scheme Scheme, d0 uint64) (parent ident.ID, isRoot bool) {
+	root := r.SuccessorOf(key)
+	if node == root {
+		return node, true
+	}
+	if scheme == Basic {
+		next, _ := r.NextHop(node, key)
+		return next, false
+	}
+
+	if d0 == 0 {
+		d0 = r.AvgGap()
+	}
+	space := r.Space()
+	// Balanced measures x to the ROOT (§3.4's "clockwise distance x
+	// between i and the root r"): when the key falls strictly between the
+	// root's predecessor and the root, measuring to the key would
+	// under-size the finger limit of nodes just below the root and push
+	// their traffic one hop short. BalancedLocal measures to the KEY —
+	// what a live node can compute without a lookup (Algorithm 1 as
+	// written) at the cost of a slightly looser branching constant.
+	target := root
+	if scheme == BalancedLocal {
+		// Fully key-based, exactly what a live node computes: it knows k
+		// but not successor(k).
+		target = key
+	}
+	x := space.Dist(node, target)
+	g := ident.FingerLimit(x, d0)
+	maxJ := space.Bits() - 1
+	if g < maxJ {
+		maxJ = g
+	}
+
+	// Among fingers with index j <= g (offset 2^j <= 2^g), take the one
+	// closest to the target while still inside (node, target].
+	best := ident.ID(0)
+	found := false
+	var bestDist uint64
+	for j := uint(0); j <= maxJ; j++ {
+		f := r.Finger(node, j)
+		if f == node || !space.InHalfOpen(f, node, target) {
+			continue
+		}
+		d := space.Dist(f, target)
+		if !found || d < bestDist {
+			best, bestDist, found = f, d, true
+		}
+	}
+	if !found {
+		// No finger lies in (node, target]: for Balanced this cannot
+		// happen with n >= 2 (finger 0 is always admissible); for
+		// BalancedLocal it means key in (node, successor), so the
+		// successor is the root and the final hop.
+		return r.Succ(node), false
+	}
+	return best, false
+}
+
+// Tree is a DAT computed for a ring snapshot: the parent/child relation
+// of every member toward one rendezvous key.
+type Tree struct {
+	Scheme Scheme
+	Key    ident.ID
+	Root   ident.ID
+
+	ring     *chord.Ring
+	parent   map[ident.ID]ident.ID   // every member except the root
+	children map[ident.ID][]ident.ID // sorted child lists
+}
+
+// Build constructs the DAT for the given rendezvous key over a converged
+// ring snapshot. The root is successor(key) (consistent hashing root
+// selection, §3.2); applications may designate a specific node as root by
+// passing that node's identifier as the key.
+func Build(r *chord.Ring, key ident.ID, scheme Scheme) *Tree {
+	d0 := r.AvgGap()
+	t := &Tree{
+		Scheme:   scheme,
+		Key:      key,
+		Root:     r.SuccessorOf(key),
+		ring:     r,
+		parent:   make(map[ident.ID]ident.ID, r.N()),
+		children: make(map[ident.ID][]ident.ID),
+	}
+	for _, v := range r.IDs() {
+		p, isRoot := ParentOnRing(r, v, key, scheme, d0)
+		if isRoot {
+			continue
+		}
+		t.parent[v] = p
+		t.children[p] = append(t.children[p], v)
+	}
+	for _, c := range t.children {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	return t
+}
+
+// Ring returns the snapshot the tree was built on.
+func (t *Tree) Ring() *chord.Ring { return t.ring }
+
+// N returns the number of nodes in the tree.
+func (t *Tree) N() int { return t.ring.N() }
+
+// Parent returns node's parent. ok is false for the root.
+func (t *Tree) Parent(node ident.ID) (p ident.ID, ok bool) {
+	p, ok = t.parent[node]
+	return p, ok
+}
+
+// Children returns node's children (sorted). The caller must not modify
+// the returned slice.
+func (t *Tree) Children(node ident.ID) []ident.ID { return t.children[node] }
+
+// Depth returns the number of edges from node to the root.
+func (t *Tree) Depth(node ident.ID) int {
+	d := 0
+	for {
+		p, ok := t.parent[node]
+		if !ok {
+			return d
+		}
+		node = p
+		d++
+		if d > t.N() {
+			panic(fmt.Sprintf("core: parent cycle at %v", node))
+		}
+	}
+}
+
+// Height returns the maximum depth over all nodes — the paper's tree
+// height metric (§3.3): the longest path an aggregation value travels.
+func (t *Tree) Height() int {
+	depth := make(map[ident.ID]int, t.N())
+	var resolve func(v ident.ID) int
+	resolve = func(v ident.ID) int {
+		if d, ok := depth[v]; ok {
+			return d
+		}
+		p, ok := t.parent[v]
+		if !ok {
+			depth[v] = 0
+			return 0
+		}
+		depth[v] = -1 // cycle guard
+		d := resolve(p)
+		if d < 0 {
+			panic(fmt.Sprintf("core: parent cycle through %v", v))
+		}
+		depth[v] = d + 1
+		return d + 1
+	}
+	h := 0
+	for _, v := range t.ring.IDs() {
+		if d := resolve(v); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Branching returns the number of children of node — the paper's per-node
+// aggregation load indicator (§3.3).
+func (t *Tree) Branching(node ident.ID) int { return len(t.children[node]) }
+
+// MaxBranching returns the largest branching factor in the tree
+// (Fig. 7a's metric).
+func (t *Tree) MaxBranching() int {
+	max := 0
+	for _, c := range t.children {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// AvgBranching returns the mean branching factor over interior (non-leaf)
+// nodes (Fig. 7b's metric): (n-1) edges divided by the number of nodes
+// that have at least one child.
+func (t *Tree) AvgBranching() float64 {
+	if len(t.children) == 0 {
+		return 0
+	}
+	return float64(t.N()-1) / float64(len(t.children))
+}
+
+// BranchingHistogram returns branching factor -> node count, including
+// leaves at key 0.
+func (t *Tree) BranchingHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, v := range t.ring.IDs() {
+		h[len(t.children[v])]++
+	}
+	return h
+}
+
+// Validate checks the structural invariants every DAT must satisfy:
+// exactly one root (successor(key)); every other node has exactly one
+// parent; parent links are loop-free and all reach the root; and the
+// parent/children relations are duals. It returns the first violation.
+func (t *Tree) Validate() error {
+	if t.Root != t.ring.SuccessorOf(t.Key) {
+		return fmt.Errorf("core: root %v is not successor(%v)", t.Root, t.Key)
+	}
+	if _, hasParent := t.parent[t.Root]; hasParent {
+		return fmt.Errorf("core: root %v has a parent", t.Root)
+	}
+	reached := 0
+	for _, v := range t.ring.IDs() {
+		if v == t.Root {
+			reached++
+			continue
+		}
+		p, ok := t.parent[v]
+		if !ok {
+			return fmt.Errorf("core: non-root node %v has no parent", v)
+		}
+		if !t.ring.Contains(p) {
+			return fmt.Errorf("core: node %v has non-member parent %v", v, p)
+		}
+		// Walk to the root with a step bound as the cycle guard.
+		cur, steps := v, 0
+		for cur != t.Root {
+			next, ok := t.parent[cur]
+			if !ok {
+				return fmt.Errorf("core: chain from %v dead-ends at %v", v, cur)
+			}
+			cur = next
+			if steps++; steps > t.N() {
+				return fmt.Errorf("core: parent cycle on chain from %v", v)
+			}
+		}
+		reached++
+		// Duality: v must appear in parent's child list.
+		kids := t.children[p]
+		i := sort.Search(len(kids), func(i int) bool { return kids[i] >= v })
+		if i == len(kids) || kids[i] != v {
+			return fmt.Errorf("core: %v missing from children(%v)", v, p)
+		}
+	}
+	if reached != t.N() {
+		return fmt.Errorf("core: only %d/%d nodes reach the root", reached, t.N())
+	}
+	edges := 0
+	for _, c := range t.children {
+		edges += len(c)
+	}
+	if edges != t.N()-1 {
+		return fmt.Errorf("core: %d edges for %d nodes", edges, t.N())
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+)
+
+func fullRing16(t *testing.T) *chord.Ring {
+	t.Helper()
+	s := ident.New(4)
+	r, err := chord.NewRing(s, chord.EvenIDs(s, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestBasicDATPaperFig2 reconstructs Fig. 2(b): the basic DAT rooted at
+// N0 over the full 16-node, 4-bit ring. The root's children are N8, N12,
+// N14, N15, and the path from N1 is N1 -> N9 -> N13 -> N15 -> N0.
+func TestBasicDATPaperFig2(t *testing.T) {
+	r := fullRing16(t)
+	tr := Build(r, 0, Basic)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 0 {
+		t.Fatalf("root = %v, want 0", tr.Root)
+	}
+	kids := tr.Children(0)
+	want := []ident.ID{8, 12, 14, 15}
+	if len(kids) != len(want) {
+		t.Fatalf("root children = %v, want %v", kids, want)
+	}
+	for i, w := range want {
+		if kids[i] != w {
+			t.Fatalf("root children = %v, want %v", kids, want)
+		}
+	}
+	// Path from N1.
+	wantPath := []ident.ID{9, 13, 15, 0}
+	v := ident.ID(1)
+	for _, w := range wantPath {
+		p, ok := tr.Parent(v)
+		if !ok || p != w {
+			t.Fatalf("parent chain from 1 diverges at %v: got %v want %v", v, p, w)
+		}
+		v = p
+	}
+	if tr.MaxBranching() != 4 {
+		t.Fatalf("basic max branching = %d, want 4 = log2(16)", tr.MaxBranching())
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("basic height = %d, want 4", tr.Height())
+	}
+}
+
+// TestBalancedDATPaperFig5 reconstructs Fig. 5(b): the balanced DAT over
+// the same ring has maximum branching factor 2, height log2(16) = 4, and
+// the specific parent assignments derived from g(x).
+func TestBalancedDATPaperFig5(t *testing.T) {
+	r := fullRing16(t)
+	tr := Build(r, 0, Balanced)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantParent := map[ident.ID]ident.ID{
+		15: 0, 14: 0,
+		13: 15, 11: 15,
+		12: 14, 10: 14,
+		9: 13, 5: 13,
+		8: 12, 4: 12,
+		7: 11, 3: 11,
+		6: 10, 2: 10,
+		1: 9,
+	}
+	for v, want := range wantParent {
+		got, ok := tr.Parent(v)
+		if !ok || got != want {
+			t.Errorf("balanced parent(%v) = %v, want %v", v, got, want)
+		}
+	}
+	if tr.MaxBranching() != 2 {
+		t.Fatalf("balanced max branching = %d, want 2", tr.MaxBranching())
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("balanced height = %d, want 4", tr.Height())
+	}
+	// N8's balanced parent is N12 (it may not use its 2^3 finger N0):
+	// the paper's §3.4 worked example.
+	if p, _ := tr.Parent(8); p != 12 {
+		t.Fatalf("parent(8) = %v, want 12 (finger limited to 2^2)", p)
+	}
+}
+
+// TestBalancedBranchingBoundEvenRings checks the §3.5 theorem: on evenly
+// spaced rings the balanced DAT has branching factor at most 2 and height
+// at most log2(n), for every power-of-two size and several roots.
+func TestBalancedBranchingBoundEvenRings(t *testing.T) {
+	for _, bits := range []uint{4, 6, 8, 10} {
+		s := ident.New(bits + 4) // sparse even ring: gap 16
+		n := 1 << bits
+		r, err := chord.NewRing(s, chord.EvenIDs(s, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []ident.ID{0, 1, ident.ID(s.Size() / 3), ident.ID(s.Size() - 1)} {
+			tr := Build(r, key, Balanced)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("bits=%d key=%v: %v", bits, key, err)
+			}
+			if mb := tr.MaxBranching(); mb > 2 {
+				t.Errorf("bits=%d key=%v: balanced max branching %d > 2", bits, key, mb)
+			}
+			if h := tr.Height(); h > int(bits) {
+				t.Errorf("bits=%d key=%v: balanced height %d > log2(n)=%d", bits, key, h, bits)
+			}
+		}
+	}
+}
+
+// TestBasicBranchingFormula checks §3.3: on an evenly spaced ring with
+// n = 2^b nodes, B(i, n) = log2(n) - ceil(log2(d/d0 + 1)) where d is the
+// clockwise distance from i to the root.
+func TestBasicBranchingFormula(t *testing.T) {
+	for _, cfg := range []struct{ spaceBits, n uint }{{4, 16}, {6, 64}, {10, 64}} {
+		s := ident.New(cfg.spaceBits)
+		n := int(1) << ident.CeilLog2(uint64(cfg.n))
+		r, err := chord.NewRing(s, chord.EvenIDs(s, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := ident.ID(0)
+		tr := Build(r, root, Basic)
+		d0 := r.AvgGap()
+		logn := ident.CeilLog2(uint64(n))
+		for _, i := range r.IDs() {
+			d := s.Dist(i, root)
+			want := int(logn) - int(ident.CeilLog2(d/d0+1))
+			if want < 0 {
+				want = 0
+			}
+			if got := tr.Branching(i); got != want {
+				t.Errorf("space=%d n=%d: B(%v) = %d, want %d (d=%d)",
+					cfg.spaceBits, n, i, got, want, d)
+			}
+		}
+		// Root has the maximal branching factor log2(n).
+		if got := tr.Branching(root); got != int(logn) {
+			t.Errorf("root branching = %d, want %d", got, logn)
+		}
+	}
+}
+
+// TestBasicHeightLogBound: the basic DAT height equals the longest finger
+// route, O(log n).
+func TestBasicHeightLogBound(t *testing.T) {
+	s := ident.New(24)
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, 128, 1024} {
+		r, err := chord.NewRing(s, chord.RandomIDs(s, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := Build(r, s.HashString("cpu"), Basic)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		bound := 2 * int(ident.CeilLog2(uint64(n))) // generous slack for random rings
+		if h := tr.Height(); h > bound {
+			t.Errorf("n=%d basic height %d > %d", n, h, bound)
+		}
+	}
+}
+
+// TestTreeInvariantsProperty: for random rings, random keys and both
+// schemes, every constructed DAT satisfies Validate.
+func TestTreeInvariantsProperty(t *testing.T) {
+	s := ident.New(16)
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, keyRaw uint64, balanced bool) bool {
+		localRng := rand.New(rand.NewSource(seed))
+		n := 2 + localRng.Intn(120)
+		r, err := chord.NewRing(s, chord.RandomIDs(s, n, localRng))
+		if err != nil {
+			return false
+		}
+		scheme := Basic
+		if balanced {
+			scheme = Balanced
+		}
+		tr := Build(r, s.Wrap(keyRaw), scheme)
+		return tr.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRootDesignation: using a member's own identifier as the rendezvous
+// key designates that member as the root (§3.2).
+func TestRootDesignation(t *testing.T) {
+	s := ident.New(12)
+	rng := rand.New(rand.NewSource(5))
+	r, err := chord.NewRing(s, chord.RandomIDs(s, 50, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.IDs()[17]
+	for _, scheme := range []Scheme{Basic, Balanced} {
+		tr := Build(r, want, scheme)
+		if tr.Root != want {
+			t.Errorf("%v: root = %v, want designated %v", scheme, tr.Root, want)
+		}
+	}
+}
+
+func TestParentOnRingRootAndProgress(t *testing.T) {
+	s := ident.New(10)
+	rng := rand.New(rand.NewSource(2))
+	r, err := chord.NewRing(s, chord.RandomIDs(s, 40, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.Wrap(rng.Uint64())
+	root := r.SuccessorOf(key)
+	for _, scheme := range []Scheme{Basic, Balanced} {
+		if p, isRoot := ParentOnRing(r, root, key, scheme, 0); !isRoot || p != root {
+			t.Errorf("%v: root not detected", scheme)
+		}
+		for _, v := range r.IDs() {
+			if v == root {
+				continue
+			}
+			p, isRoot := ParentOnRing(r, v, key, scheme, 0)
+			if isRoot {
+				t.Fatalf("%v: non-root %v reported as root", scheme, v)
+			}
+			// Strict progress toward the root (the root itself is the
+			// terminal case).
+			if p != root && s.Dist(p, root) >= s.Dist(v, root) {
+				t.Fatalf("%v: parent %v of %v not closer to root %v", scheme, p, v, root)
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Basic.String() != "basic" || Balanced.String() != "balanced" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme empty")
+	}
+}
+
+func TestBranchingStatsAndHistogram(t *testing.T) {
+	r := fullRing16(t)
+	tr := Build(r, 0, Balanced)
+	h := tr.BranchingHistogram()
+	total := 0
+	edges := 0
+	for b, c := range h {
+		total += c
+		edges += b * c
+	}
+	if total != 16 {
+		t.Fatalf("histogram covers %d nodes", total)
+	}
+	if edges != 15 {
+		t.Fatalf("histogram counts %d edges, want 15", edges)
+	}
+	// Balanced tree on 16 even nodes: interior nodes have 2 children
+	// except one chain end; avg branching = 15 / #interior.
+	if got := tr.AvgBranching(); got < 1.5 || got > 2.0 {
+		t.Fatalf("avg branching = %.2f, want within [1.5, 2.0]", got)
+	}
+}
+
+// --- Aggregate ---
+
+func TestAggregateAddAndMerge(t *testing.T) {
+	var a Aggregate
+	if !math.IsNaN(a.Avg()) {
+		t.Error("empty aggregate Avg should be NaN")
+	}
+	for _, v := range []float64{4, -2, 10} {
+		a.AddSample(v)
+	}
+	if a.Sum != 12 || a.Count != 3 || a.Min != -2 || a.Max != 10 {
+		t.Fatalf("aggregate = %v", a)
+	}
+	if a.Avg() != 4 {
+		t.Fatalf("avg = %v", a.Avg())
+	}
+
+	var b Aggregate
+	b.AddSample(100)
+	a.Merge(b)
+	if a.Sum != 112 || a.Count != 4 || a.Max != 100 || a.Min != -2 {
+		t.Fatalf("after merge: %v", a)
+	}
+	// Merging the zero aggregate is the identity.
+	before := a
+	a.Merge(Aggregate{})
+	if a != before {
+		t.Fatal("merge with identity changed the value")
+	}
+	var c Aggregate
+	c.Merge(before)
+	if c != before {
+		t.Fatal("identity.Merge(x) != x")
+	}
+	if before.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestAggregateMergeProperties: commutative, associative (testing/quick).
+// Inputs are small integers so that Sum addition is exact; with arbitrary
+// float64 values IEEE addition itself is not associative, which is a
+// property of floating point, not of Merge.
+func TestAggregateMergeProperties(t *testing.T) {
+	mk := func(vals []int16) Aggregate {
+		var a Aggregate
+		for _, v := range vals {
+			a.AddSample(float64(v))
+		}
+		return a
+	}
+	f := func(x, y, z []int16) bool {
+		a, b, c := mk(x), mk(y), mk(z)
+		ab := a
+		ab.Merge(b)
+		ba := b
+		ba.Merge(a)
+		if ab != ba {
+			return false
+		}
+		abc1 := ab
+		abc1.Merge(c)
+		bc := b
+		bc.Merge(c)
+		abc2 := a
+		abc2.Merge(bc)
+		return abc1 == abc2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregateUpMatchesDirect: aggregation over any DAT equals direct
+// aggregation over all values, and message counts equal child counts.
+func TestAggregateUpMatchesDirect(t *testing.T) {
+	s := ident.New(16)
+	rng := rand.New(rand.NewSource(8))
+	r, err := chord.NewRing(s, chord.RandomIDs(s, 200, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make(map[ident.ID]float64)
+	var direct Aggregate
+	for _, id := range r.IDs() {
+		v := rng.Float64() * 100
+		values[id] = v
+		direct.AddSample(v)
+	}
+	for _, scheme := range []Scheme{Basic, Balanced} {
+		tr := Build(r, s.HashString("cpu-usage"), scheme)
+		got, recv := tr.AggregateUp(values)
+		if got.Count != direct.Count || math.Abs(got.Sum-direct.Sum) > 1e-6 ||
+			got.Min != direct.Min || got.Max != direct.Max {
+			t.Fatalf("%v: aggregate %v != direct %v", scheme, got, direct)
+		}
+		var totalMsgs uint64
+		for id, m := range recv {
+			if int(m) != tr.Branching(id) {
+				t.Fatalf("%v: node %v received %d msgs, has %d children", scheme, id, m, tr.Branching(id))
+			}
+			totalMsgs += m
+		}
+		if totalMsgs != uint64(r.N()-1) {
+			t.Fatalf("%v: total messages %d, want n-1=%d", scheme, totalMsgs, r.N()-1)
+		}
+	}
+}
+
+// TestAggregateUpPartialValues: nodes without samples contribute nothing
+// but still forward their children's aggregates.
+func TestAggregateUpPartialValues(t *testing.T) {
+	r := fullRing16(t)
+	tr := Build(r, 0, Balanced)
+	values := map[ident.ID]float64{1: 5, 2: 7} // deep leaves only
+	got, _ := tr.AggregateUp(values)
+	if got.Count != 2 || got.Sum != 12 || got.Min != 5 || got.Max != 7 {
+		t.Fatalf("partial aggregate = %v", got)
+	}
+}
+
+// TestBalancedLocalSmallConstant: the protocol-faithful rule stays a
+// small constant (the paper's measured ~4) on even rings at every size.
+func TestBalancedLocalSmallConstant(t *testing.T) {
+	for _, n := range []int{32, 128, 512, 2048} {
+		s := ident.New(ident.CeilLog2(uint64(n)) + 4)
+		r, err := chord.NewRing(s, chord.EvenIDs(s, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []ident.ID{0, s.HashString("cpu"), ident.ID(s.Size() - 1)} {
+			tr := Build(r, key, BalancedLocal)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if mb := tr.MaxBranching(); mb > 4 {
+				t.Errorf("n=%d key=%v: balanced-local max branching %d > 4", n, key, mb)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyncAblationShowsBenefit: the staggered variant must be strictly
+// more accurate than the unsynchronized one.
+func TestSyncAblationShowsBenefit(t *testing.T) {
+	tab, err := SyncAblation(AblationConfig{N: 48, Slots: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	syncCorr := cell(t, tab, 0, "correlation")
+	ablCorr := cell(t, tab, 1, "correlation")
+	syncErr := cell(t, tab, 0, "mean_abs_err_pct")
+	ablErr := cell(t, tab, 1, "mean_abs_err_pct")
+	if syncCorr < 0.99 {
+		t.Errorf("staggered correlation = %v, want ~1", syncCorr)
+	}
+	if syncErr > 0.5 {
+		t.Errorf("staggered error = %v%%, want ~0", syncErr)
+	}
+	if ablErr <= syncErr {
+		t.Errorf("ablated error (%v%%) not worse than staggered (%v%%)", ablErr, syncErr)
+	}
+	if ablCorr >= syncCorr {
+		t.Errorf("ablated correlation (%v) not worse than staggered (%v)", ablCorr, syncCorr)
+	}
+}
+
+// TestSuccessorListAblationHeals: with the default list length the ring
+// must heal a 20% correlated crash within the budget.
+func TestSuccessorListAblationHeals(t *testing.T) {
+	tab, err := SuccessorListAblation(AblationConfig{N: 48, ListLens: []int{1, 4}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row for list length 4 must heal.
+	healedCol := -1
+	for i, c := range tab.Columns {
+		if c == "converged" {
+			healedCol = i
+		}
+	}
+	if healedCol < 0 {
+		t.Fatal("no converged column")
+	}
+	if tab.Rows[1][healedCol] != "true" {
+		t.Errorf("list_len=4 did not heal: %v", tab.Rows[1])
+	}
+}
+
+// TestMultiTreeLoadBalances: the summed load's imbalance factor must
+// shrink as tree count grows, and root roles must spread.
+func TestMultiTreeLoadBalances(t *testing.T) {
+	tab, err := MultiTreeLoad(MultiTreeConfig{N: 256, Trees: []int{1, 16, 128}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tab, 0, "imbalance")
+	last := cell(t, tab, len(tab.Rows)-1, "imbalance")
+	if last >= first {
+		t.Errorf("imbalance did not fall with more trees: %v -> %v", first, last)
+	}
+	if last > 2.5 {
+		t.Errorf("128-tree imbalance = %v, want near 1", last)
+	}
+	if roots := cell(t, tab, len(tab.Rows)-1, "distinct_roots"); roots < 60 {
+		t.Errorf("only %v distinct roots for 128 trees on 256 nodes", roots)
+	}
+}
+
+// TestMessageOverheadFlatForDAT: DAT per-node overhead stays ~1 while
+// the overlay-routed centralized scheme grows with log n.
+func TestMessageOverheadFlatForDAT(t *testing.T) {
+	tab := MessageOverhead(LoadBalanceConfig{Sizes: []int{100, 1000}, Seed: 5, Probing: true})
+	for r := range tab.Rows {
+		for _, col := range []string{"basic", "balanced", "balanced-local"} {
+			if v := cell(t, tab, r, col); v < 0.98 || v > 1.0 {
+				t.Errorf("row %d %s overhead %v, want ~1", r, col, v)
+			}
+		}
+	}
+	r0 := cell(t, tab, 0, "centralized-routed")
+	r1 := cell(t, tab, 1, "centralized-routed")
+	if r1 <= r0 {
+		t.Errorf("routed overhead did not grow: %v -> %v", r0, r1)
+	}
+}
+
+// TestWideAreaHoldMatters: a hold below the WAN latency degrades
+// accuracy; a hold above it restores the exact behavior.
+func TestWideAreaHoldMatters(t *testing.T) {
+	tab, err := WideArea(WideAreaConfig{
+		N: 48, Slots: 30, Seed: 3,
+		Holds: []time.Duration{10 * time.Millisecond, 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cell(t, tab, 0, "correlation")
+	large := cell(t, tab, 1, "correlation")
+	if large < 0.99 {
+		t.Errorf("large-hold correlation = %v, want ~1", large)
+	}
+	if small >= large {
+		t.Errorf("small hold (%v) not worse than large (%v)", small, large)
+	}
+	if e := cell(t, tab, 1, "mean_abs_err_pct"); e > 2 {
+		t.Errorf("large-hold error = %v%%, want small", e)
+	}
+}
+
+// TestOnDemandCostShape: full coverage and totals within the 3(n-1)
+// bound.
+func TestOnDemandCostShape(t *testing.T) {
+	tab, err := OnDemandCost(OnDemandConfig{Sizes: []int{32, 96}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		n := cell(t, tab, r, "n")
+		if got := cell(t, tab, r, "covered"); got != n {
+			t.Errorf("row %d: covered %v of %v", r, got, n)
+		}
+		total := cell(t, tab, r, "total_msgs")
+		bound := cell(t, tab, r, "bound(3(n-1))")
+		if total > bound {
+			t.Errorf("row %d: %v messages exceed bound %v", r, total, bound)
+		}
+		if total < 2*(n-1) {
+			t.Errorf("row %d: %v messages suspiciously few", r, total)
+		}
+	}
+}

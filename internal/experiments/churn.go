@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/explicittree"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+)
+
+// ChurnConfig parameterizes the node arrival/departure overhead
+// experiment (the paper's §1/§5 claim: DAT pays no per-tree membership
+// maintenance, only Chord stabilization, while explicit trees pay repair
+// messages linear in the number of trees).
+type ChurnConfig struct {
+	// N is the initial ring size. Default 64.
+	N int
+	// Events is the number of churn events (alternating join/leave).
+	// Default 40.
+	Events int
+	// TreeCounts is the sweep over concurrent aggregation trees.
+	// Default 1, 4, 16, 64.
+	TreeCounts []int
+	// EventGap is the virtual time between churn events. Default 2s.
+	EventGap time.Duration
+	// Seed, Bits as elsewhere.
+	Seed int64
+	Bits uint
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.N == 0 {
+		c.N = 64
+	}
+	if c.Events == 0 {
+		c.Events = 40
+	}
+	if len(c.TreeCounts) == 0 {
+		c.TreeCounts = []int{1, 4, 16, 64}
+	}
+	if c.EventGap <= 0 {
+		c.EventGap = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Bits == 0 {
+		c.Bits = 32
+	}
+	return c
+}
+
+// ChurnOverhead measures membership maintenance cost under churn for the
+// DAT scheme (implicit trees: overlay stabilization only, independent of
+// the number of trees) versus explicit-membership trees (repair messages
+// per tree per event). One live protocol run provides the DAT numbers;
+// the explicit baseline replays the same membership events against a
+// Forest of T trees.
+func ChurnOverhead(cfg ChurnConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+
+	c, err := cluster.New(cluster.Options{
+		N:    cfg.N,
+		Seed: cfg.Seed,
+		Bits: cfg.Bits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	counter := metrics.NewMessageCounter(metrics.TypePrefixFilter("chord."))
+	c.Net.SetTap(counter)
+
+	window := time.Duration(cfg.Events) * cfg.EventGap
+
+	// Phase 1: idle baseline — steady-state stabilization traffic.
+	counter.Reset()
+	c.RunFor(window)
+	baseline := counter.Total()
+
+	// Phase 2: churn — alternate joins and graceful leaves, replaying the
+	// same membership sequence into the explicit-tree baseline.
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	initial := c.Ring().IDs()
+	forestEvents := make([]func(f *explicittree.Forest), 0, cfg.Events)
+
+	counter.Reset()
+	liveIdx := make([]int, 0, len(c.Chord))
+	for i := range c.Chord {
+		liveIdx = append(liveIdx, i)
+	}
+	joins, leaves := 0, 0
+	for e := 0; e < cfg.Events; e++ {
+		if e%2 == 0 {
+			id := ident.ID(0)
+			for {
+				id = c.Space.Wrap(rng.Uint64())
+				if !c.Ring().Contains(id) {
+					break
+				}
+			}
+			idx := c.AddNode(id)
+			liveIdx = append(liveIdx, idx)
+			joins++
+			forestEvents = append(forestEvents, func(f *explicittree.Forest) { f.Join(id) })
+		} else if len(liveIdx) > 2 {
+			pick := rng.Intn(len(liveIdx))
+			idx := liveIdx[pick]
+			victim := c.Chord[idx].Self().ID
+			c.Leave(idx)
+			liveIdx = append(liveIdx[:pick], liveIdx[pick+1:]...)
+			leaves++
+			forestEvents = append(forestEvents, func(f *explicittree.Forest) { f.Leave(victim) })
+		}
+		c.RunFor(cfg.EventGap)
+	}
+	churn := counter.Total()
+	c.Net.SetTap(nil)
+
+	extra := int64(churn) - int64(baseline)
+	if extra < 0 {
+		extra = 0
+	}
+
+	t := &Table{
+		ID:    "churn",
+		Title: "Membership maintenance under churn: implicit DAT vs explicit trees",
+		Columns: []string{"trees", "dat_overlay_msgs", "dat_msgs_per_event",
+			"explicit_tree_msgs", "explicit_msgs_per_event"},
+	}
+	events := float64(joins + leaves)
+	for _, trees := range cfg.TreeCounts {
+		forest := explicittree.NewForest(trees, initial)
+		for _, ev := range forestEvents {
+			ev(forest)
+		}
+		t.Add(trees,
+			extra,
+			float64(extra)/events,
+			forest.Messages(),
+			float64(forest.Messages())/events)
+	}
+	t.Note(fmt.Sprintf("%d joins + %d leaves over %v; idle baseline %d chord msgs subtracted",
+		joins, leaves, window, baseline))
+	t.Note("DAT column is constant in the number of trees (implicit membership); explicit column grows linearly")
+	return t, nil
+}

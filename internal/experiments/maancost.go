@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/maan"
+)
+
+// MAANConfig parameterizes the §2.2 query-cost reproduction.
+type MAANConfig struct {
+	// Sizes is the network-size sweep. Default 64..4096.
+	Sizes []int
+	// Selectivities are the queried range fractions. Default 0.01, 0.05,
+	// 0.1, 0.25.
+	Selectivities []float64
+	// Resources registered per run. Default 512.
+	Resources int
+	// Bits, Seed as elsewhere.
+	Bits uint
+	Seed int64
+}
+
+func (c MAANConfig) withDefaults() MAANConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{64, 256, 1024, 4096}
+	}
+	if len(c.Selectivities) == 0 {
+		c.Selectivities = []float64{0.01, 0.05, 0.1, 0.25}
+	}
+	if c.Resources == 0 {
+		c.Resources = 512
+	}
+	if c.Bits == 0 {
+		c.Bits = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// MAANQueryCost reproduces the MAAN complexity claims (§2.2): range
+// query cost O(log n + k) where k is the number of nodes on the queried
+// arc, and registration cost O(m log n) for m attributes.
+func MAANQueryCost(cfg MAANConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	space := ident.New(cfg.Bits)
+	schema, err := maan.NewSchema(space,
+		maan.Attribute{Name: "cpu-usage", Min: 0, Max: 100},
+		maan.Attribute{Name: "memory-size", Min: 0, Max: 4096},
+		maan.Attribute{Name: "cpu-speed", Min: 0, Max: 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "maan",
+		Title: "MAAN range query cost: hops vs network size and selectivity (predicted log2(n) + s*n)",
+		Columns: func() []string {
+			cols := []string{"n", "register_hops_per_attr"}
+			for _, s := range cfg.Selectivities {
+				cols = append(cols, fmt.Sprintf("hops@s=%.2f", s), fmt.Sprintf("pred@s=%.2f", s))
+			}
+			return cols
+		}(),
+	}
+
+	for _, n := range cfg.Sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		ring, err := chord.NewRing(space, chord.RandomIDs(space, n, rng))
+		if err != nil {
+			return nil, err
+		}
+		x := maan.NewIndex(schema, ring)
+		var regHops int
+		for i := 0; i < cfg.Resources; i++ {
+			res := maan.Resource{
+				Name: fmt.Sprintf("host%05d", i),
+				Values: map[string]float64{
+					"cpu-usage":   rng.Float64() * 100,
+					"memory-size": rng.Float64() * 4096,
+					"cpu-speed":   rng.Float64() * 5,
+				},
+			}
+			h, err := x.Register(ring.IDs()[rng.Intn(n)], res)
+			if err != nil {
+				return nil, err
+			}
+			regHops += h
+		}
+
+		row := []any{n, float64(regHops) / float64(cfg.Resources*3)}
+		for _, sel := range cfg.Selectivities {
+			const trials = 20
+			total := 0
+			for trial := 0; trial < trials; trial++ {
+				lo := rng.Float64() * (1 - sel) * 100
+				p := maan.Predicate{Attr: "cpu-usage", Lo: lo, Hi: lo + sel*100}
+				_, hops, err := x.RangeQuery(ring.IDs()[rng.Intn(n)], p)
+				if err != nil {
+					return nil, err
+				}
+				total += hops
+			}
+			predicted := float64(ident.CeilLog2(uint64(n))) + sel*float64(n)
+			row = append(row, float64(total)/trials, predicted)
+		}
+		t.Add(row...)
+	}
+	t.Note("k = s*n nodes on the queried arc; measured hops track log2(n) + k (§2.2)")
+	t.Note("registration: one O(log n) route per attribute (3 attributes per resource)")
+	return t, nil
+}

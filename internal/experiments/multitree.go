@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+)
+
+// MultiTreeConfig parameterizes the §3.2 multi-tree experiment: with T
+// concurrent aggregation trees whose rendezvous keys are attribute-name
+// hashes, consistent hashing should spread the root role (and thus the
+// per-node aggregation load summed over all trees) evenly.
+type MultiTreeConfig struct {
+	// N is the ring size. Default 512.
+	N int
+	// Trees is the sweep over concurrent tree counts. Default 1, 8, 64,
+	// 256.
+	Trees []int
+	// Bits, Seed as elsewhere.
+	Bits uint
+	Seed int64
+}
+
+func (c MultiTreeConfig) withDefaults() MultiTreeConfig {
+	if c.N == 0 {
+		c.N = 512
+	}
+	if len(c.Trees) == 0 {
+		c.Trees = []int{1, 8, 64, 256}
+	}
+	if c.Bits == 0 {
+		c.Bits = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// MultiTreeLoad builds T balanced DATs over one ring (one per monitored
+// attribute) and reports how the total aggregation load — messages
+// received per node per round, summed over all trees — distributes as T
+// grows. The paper's §3.2 claim: consistent-hashing root selection
+// builds multiple DATs "in a load-balanced fashion", so the summed
+// load's imbalance factor should fall toward 1 as trees multiply (no
+// node is the root of more than a fair share of trees).
+func MultiTreeLoad(cfg MultiTreeConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	space := ident.New(cfg.Bits)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ring, err := chord.NewRing(space, chord.ProbedIDs(space, cfg.N, rng))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "multitree",
+		Title: fmt.Sprintf("Multi-tree load balance: %d nodes, T concurrent balanced DATs (§3.2)", cfg.N),
+		Columns: []string{"trees", "distinct_roots", "max_roots_per_node",
+			"total_load_max", "total_load_mean", "imbalance"},
+	}
+	maxTrees := 0
+	for _, T := range cfg.Trees {
+		if T > maxTrees {
+			maxTrees = T
+		}
+	}
+	// Pre-build the largest tree set; prefixes serve the smaller T.
+	trees := make([]*core.Tree, maxTrees)
+	for i := range trees {
+		key := space.HashString(fmt.Sprintf("attribute-%04d", i))
+		trees[i] = core.Build(ring, key, core.Balanced)
+	}
+
+	for _, T := range cfg.Trees {
+		load := make(map[ident.ID]uint64, ring.N())
+		rootsPerNode := make(map[ident.ID]int)
+		for _, tr := range trees[:T] {
+			rootsPerNode[tr.Root]++
+			for _, v := range ring.IDs() {
+				load[v] += uint64(tr.Branching(v))
+			}
+		}
+		loads := make([]uint64, 0, ring.N())
+		for _, v := range ring.IDs() {
+			loads = append(loads, load[v])
+		}
+		stats := metrics.Analyze(loads)
+		maxRoots := 0
+		for _, c := range rootsPerNode {
+			if c > maxRoots {
+				maxRoots = c
+			}
+		}
+		t.Add(T, len(rootsPerNode), maxRoots, stats.Max, stats.Mean, stats.Imbalance)
+	}
+	t.Note("load = aggregation messages received per node per round, summed over all trees")
+	t.Note("imbalance should fall toward 1 as trees multiply: root roles spread by consistent hashing")
+	return t, nil
+}

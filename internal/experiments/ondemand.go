@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/metrics"
+)
+
+// OnDemandConfig parameterizes the on-demand aggregation cost study: one
+// Query triggers a collect broadcast down the ring and a batched
+// aggregation back up the DAT (§2.3/§4's on-demand mode).
+type OnDemandConfig struct {
+	// Sizes is the network-size sweep. Default 32, 64, 128, 256.
+	Sizes []int
+	// Window is the root's collection window. Default 1s.
+	Window time.Duration
+	// Seed as elsewhere.
+	Seed int64
+}
+
+func (c OnDemandConfig) withDefaults() OnDemandConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{32, 64, 128, 256}
+	}
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OnDemandCost measures one live on-demand aggregation per network size:
+// completeness (nodes covered), total messages (broadcast down + updates
+// up), and the most loaded node. Totals are bounded by ~3(n-1): n-1
+// broadcast deliveries plus at most two batched updates per node (one
+// for its own sample, one consolidating child arrivals — the broadcast
+// reaches all tree levels nearly simultaneously, so a node cannot wait
+// for children it does not know it has).
+func OnDemandCost(cfg OnDemandConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "ondemand",
+		Title: "On-demand aggregation cost: one query over a live overlay",
+		Columns: []string{"n", "covered", "total_msgs", "bound(3(n-1))",
+			"max_node_msgs", "latency"},
+	}
+	for _, n := range cfg.Sizes {
+		c, err := cluster.New(cluster.Options{
+			N:    n,
+			Seed: cfg.Seed,
+			IDs:  cluster.ProbedIDs,
+			Local: func(node int, _ time.Duration, _ ident.ID) (float64, bool) {
+				return float64(node), true
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		counter := metrics.NewMessageCounter(func(typ string) bool {
+			return !strings.HasSuffix(typ, ":reply") &&
+				(strings.HasPrefix(typ, "dat.") || typ == "chord.broadcast")
+		})
+		c.Net.SetTap(counter)
+
+		key := c.Space.HashString("cpu-usage")
+		var agg core.Aggregate
+		done := false
+		start := c.Engine.Now()
+		var finish = start
+		c.DAT[n/2].Query(key, cfg.Window, func(r core.QueryResp, err error) {
+			if err == nil {
+				agg = r.Agg
+			}
+			finish = c.Engine.Now()
+			done = true
+		})
+		c.RunFor(cfg.Window + 10*time.Second)
+		c.Net.SetTap(nil)
+		if !done {
+			return nil, fmt.Errorf("ondemand: query at n=%d never completed", n)
+		}
+		loads := counter.Loads(c.Addrs())
+		stats := metrics.Analyze(loads)
+		t.Add(n, agg.Count, stats.Total, 3*(n-1), stats.Max,
+			time.Duration(finish-start).Round(time.Millisecond).String())
+	}
+	t.Note("messages = collect broadcast deliveries + batched dat updates + the query itself")
+	t.Note("each node sends at most two updates: its own sample, then one consolidating late child")
+	t.Note("subtree arrivals (the broadcast reaches all levels at once, so depth order is unknowable)")
+	t.Note("latency is dominated by the fixed collection window at the root")
+	return t, nil
+}

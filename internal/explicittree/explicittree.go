@@ -1,0 +1,219 @@
+// Package explicittree implements the explicit-membership aggregation
+// tree that the paper argues against (§2.3, citing Li et al.): a tree
+// whose parent/child links are maintained by protocol messages rather
+// than derived from Chord's routing state. Its purpose here is to
+// quantify the membership maintenance cost that the DAT scheme avoids —
+// cost that grows linearly with the number of concurrent trees and with
+// churn, while DAT pays only Chord stabilization regardless of how many
+// trees exist.
+//
+// The tree keeps the complete-binary-tree ("heap") shape under churn:
+// joins attach at the next free slot, and a departure moves the last
+// node into the vacated slot. Each membership change is charged the
+// messages a distributed implementation would need to repair the links.
+package explicittree
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+)
+
+// Tree is one explicit aggregation tree. The zero value is an empty tree
+// ready for use.
+type Tree struct {
+	nodes []ident.ID // heap ordering: children of i at 2i+1, 2i+2
+	pos   map[ident.ID]int
+	msgs  uint64
+}
+
+// New builds a tree over the given members. The bulk build is free of
+// maintenance messages (it models initial construction, which both
+// schemes must do); only subsequent churn is charged.
+func New(ids []ident.ID) *Tree {
+	t := &Tree{pos: make(map[ident.ID]int, len(ids))}
+	for _, id := range ids {
+		if _, dup := t.pos[id]; dup {
+			panic(fmt.Sprintf("explicittree: duplicate member %v", id))
+		}
+		t.pos[id] = len(t.nodes)
+		t.nodes = append(t.nodes, id)
+	}
+	return t
+}
+
+// Size returns the number of members.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Messages returns the cumulative membership maintenance messages
+// charged to this tree.
+func (t *Tree) Messages() uint64 { return t.msgs }
+
+// Contains reports membership.
+func (t *Tree) Contains(id ident.ID) bool {
+	_, ok := t.pos[id]
+	return ok
+}
+
+// Root returns the root member. ok is false for an empty tree.
+func (t *Tree) Root() (id ident.ID, ok bool) {
+	if len(t.nodes) == 0 {
+		return 0, false
+	}
+	return t.nodes[0], true
+}
+
+// Parent returns id's parent; ok is false for the root or a non-member.
+func (t *Tree) Parent(id ident.ID) (parent ident.ID, ok bool) {
+	i, member := t.pos[id]
+	if !member || i == 0 {
+		return 0, false
+	}
+	return t.nodes[(i-1)/2], true
+}
+
+// Children returns id's children (0, 1 or 2).
+func (t *Tree) Children(id ident.ID) []ident.ID {
+	i, member := t.pos[id]
+	if !member {
+		return nil
+	}
+	var kids []ident.ID
+	for _, c := range []int{2*i + 1, 2*i + 2} {
+		if c < len(t.nodes) {
+			kids = append(kids, t.nodes[c])
+		}
+	}
+	return kids
+}
+
+// Join adds a member at the next free slot and returns the membership
+// messages charged: the joining node contacts its parent and receives an
+// acknowledgement (2 messages; the very first node is free).
+func (t *Tree) Join(id ident.ID) uint64 {
+	if _, dup := t.pos[id]; dup {
+		panic(fmt.Sprintf("explicittree: %v already a member", id))
+	}
+	t.pos[id] = len(t.nodes)
+	t.nodes = append(t.nodes, id)
+	var cost uint64
+	if len(t.nodes) > 1 {
+		cost = 2 // join request to parent + ack
+	}
+	t.msgs += cost
+	return cost
+}
+
+// Leave removes a member, moving the last node into the vacated slot to
+// keep the tree complete, and returns the messages charged:
+//
+//   - the departing node (or a failure detector) notifies its parent: 1
+//   - if another node must be relocated: it leaves its old parent (1),
+//     attaches to its new parent (1), and re-adopts each child of the
+//     vacated slot (1 per child).
+//
+// Leaving a non-member panics: the churn driver tracks membership.
+func (t *Tree) Leave(id ident.ID) uint64 {
+	i, member := t.pos[id]
+	if !member {
+		panic(fmt.Sprintf("explicittree: %v is not a member", id))
+	}
+	var cost uint64
+	if i > 0 {
+		cost++ // tell the old parent
+	}
+	last := len(t.nodes) - 1
+	mover := t.nodes[last]
+	t.nodes = t.nodes[:last]
+	delete(t.pos, id)
+	if i != last {
+		// Relocate the last node into the hole.
+		t.nodes[i] = mover
+		t.pos[mover] = i
+		if last > 0 {
+			cost++ // mover detaches from its old parent
+		}
+		if i > 0 {
+			cost++ // mover attaches to its new parent
+		}
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(t.nodes) {
+				cost++ // each orphaned child learns its new parent
+			}
+		}
+	}
+	t.msgs += cost
+	return cost
+}
+
+// Validate checks structural invariants: position map consistency and
+// that every non-root's parent/child links are mutual.
+func (t *Tree) Validate() error {
+	if len(t.nodes) != len(t.pos) {
+		return fmt.Errorf("explicittree: %d nodes vs %d positions", len(t.nodes), len(t.pos))
+	}
+	for i, id := range t.nodes {
+		if t.pos[id] != i {
+			return fmt.Errorf("explicittree: member %v at %d indexed at %d", id, i, t.pos[id])
+		}
+		if i == 0 {
+			continue
+		}
+		p := t.nodes[(i-1)/2]
+		kids := t.Children(p)
+		found := false
+		for _, k := range kids {
+			if k == id {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("explicittree: %v missing from children of %v", id, p)
+		}
+	}
+	return nil
+}
+
+// Forest is a set of explicit trees over the same membership — the
+// paper's multi-tree scenario where each monitored attribute has its own
+// aggregation tree and maintenance cost multiplies.
+type Forest struct {
+	Trees []*Tree
+}
+
+// NewForest builds count trees over the same initial membership.
+func NewForest(count int, ids []ident.ID) *Forest {
+	f := &Forest{}
+	for i := 0; i < count; i++ {
+		f.Trees = append(f.Trees, New(ids))
+	}
+	return f
+}
+
+// Join adds the member to every tree and returns the total messages.
+func (f *Forest) Join(id ident.ID) uint64 {
+	var total uint64
+	for _, t := range f.Trees {
+		total += t.Join(id)
+	}
+	return total
+}
+
+// Leave removes the member from every tree and returns the total
+// messages.
+func (f *Forest) Leave(id ident.ID) uint64 {
+	var total uint64
+	for _, t := range f.Trees {
+		total += t.Leave(id)
+	}
+	return total
+}
+
+// Messages returns the cumulative maintenance messages across all trees.
+func (f *Forest) Messages() uint64 {
+	var total uint64
+	for _, t := range f.Trees {
+		total += t.Messages()
+	}
+	return total
+}

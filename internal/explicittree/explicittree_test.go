@@ -1,0 +1,201 @@
+package explicittree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func ids(n int) []ident.ID {
+	out := make([]ident.ID, n)
+	for i := range out {
+		out[i] = ident.ID(i + 1)
+	}
+	return out
+}
+
+func TestNewAndShape(t *testing.T) {
+	tr := New(ids(7))
+	if tr.Size() != 7 || tr.Messages() != 0 {
+		t.Fatalf("size=%d msgs=%d", tr.Size(), tr.Messages())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root, ok := tr.Root()
+	if !ok || root != 1 {
+		t.Fatalf("root = %v", root)
+	}
+	// Complete binary tree of 7: root has children 2,3; node 2 has 4,5.
+	kids := tr.Children(1)
+	if len(kids) != 2 || kids[0] != 2 || kids[1] != 3 {
+		t.Fatalf("children(1) = %v", kids)
+	}
+	if p, ok := tr.Parent(5); !ok || p != 2 {
+		t.Fatalf("parent(5) = %v", p)
+	}
+	if _, ok := tr.Parent(1); ok {
+		t.Fatal("root has a parent")
+	}
+	if _, ok := tr.Parent(99); ok {
+		t.Fatal("non-member has a parent")
+	}
+	if tr.Children(99) != nil {
+		t.Fatal("non-member has children")
+	}
+	if !tr.Contains(4) || tr.Contains(99) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if _, ok := tr.Root(); ok {
+		t.Fatal("empty tree has root")
+	}
+	if cost := tr.Join(1); cost != 0 {
+		t.Fatalf("first join cost = %d, want 0", cost)
+	}
+	if cost := tr.Join(2); cost != 2 {
+		t.Fatalf("second join cost = %d, want 2", cost)
+	}
+	if tr.Messages() != 2 {
+		t.Fatalf("messages = %d", tr.Messages())
+	}
+}
+
+func TestLeaveLastNode(t *testing.T) {
+	tr := New(ids(4))
+	cost := tr.Leave(4) // last slot: only the parent is told
+	if cost != 1 {
+		t.Fatalf("leave-last cost = %d, want 1", cost)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 3 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestLeaveInteriorRelocates(t *testing.T) {
+	tr := New(ids(7))
+	// Node 2 (slot 1, children 4,5) leaves; node 7 (last) moves in.
+	cost := tr.Leave(2)
+	// 1 (old parent of 2) + 1 (7 detaches) + 1 (7 attaches) + 2 children.
+	if cost != 5 {
+		t.Fatalf("interior leave cost = %d, want 5", cost)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := tr.Parent(4); !ok || p != 7 {
+		t.Fatalf("parent(4) = %v, want 7 (the relocated node)", p)
+	}
+	if tr.Contains(2) {
+		t.Fatal("departed node still a member")
+	}
+}
+
+func TestLeaveRoot(t *testing.T) {
+	tr := New(ids(3))
+	cost := tr.Leave(1)
+	// Root has no parent to tell: mover detaches (1), becomes root (no
+	// attach), re-adopts remaining child (1).
+	if cost != 2 {
+		t.Fatalf("root leave cost = %d, want 2", cost)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	if root != 3 {
+		t.Fatalf("new root = %v, want relocated 3", root)
+	}
+}
+
+func TestJoinDuplicatePanics(t *testing.T) {
+	tr := New(ids(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate join did not panic")
+		}
+	}()
+	tr.Join(2)
+}
+
+func TestLeaveNonMemberPanics(t *testing.T) {
+	tr := New(ids(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("leave non-member did not panic")
+		}
+	}()
+	tr.Leave(42)
+}
+
+// TestChurnInvariant: arbitrary interleaving of joins and leaves keeps
+// the tree valid, and maintenance messages accumulate monotonically.
+func TestChurnInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(ids(32))
+	members := map[ident.ID]bool{}
+	for _, id := range ids(32) {
+		members[id] = true
+	}
+	next := ident.ID(1000)
+	var last uint64
+	for step := 0; step < 500; step++ {
+		if len(members) > 1 && rng.Intn(2) == 0 {
+			// Leave a random member.
+			var victim ident.ID
+			k := rng.Intn(len(members))
+			for id := range members {
+				if k == 0 {
+					victim = id
+					break
+				}
+				k--
+			}
+			tr.Leave(victim)
+			delete(members, victim)
+		} else {
+			next++
+			tr.Join(next)
+			members[next] = true
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if tr.Messages() < last {
+			t.Fatalf("messages decreased at step %d", step)
+		}
+		last = tr.Messages()
+		if tr.Size() != len(members) {
+			t.Fatalf("size %d != membership %d", tr.Size(), len(members))
+		}
+	}
+	if last == 0 {
+		t.Fatal("churn generated no maintenance messages")
+	}
+}
+
+// TestForestCostScalesWithTreeCount: the paper's core argument — explicit
+// membership maintenance grows linearly with the number of trees.
+func TestForestCostScalesWithTreeCount(t *testing.T) {
+	churn := func(trees int) uint64 {
+		f := NewForest(trees, ids(64))
+		next := ident.ID(1000)
+		for i := 0; i < 50; i++ {
+			next++
+			f.Join(next)
+			f.Leave(ident.ID(i + 1))
+		}
+		return f.Messages()
+	}
+	one, ten := churn(1), churn(10)
+	if ten != 10*one {
+		t.Fatalf("forest cost: 1 tree %d msgs, 10 trees %d msgs; want exactly 10x", one, ten)
+	}
+}

@@ -1,0 +1,257 @@
+// Package gma implements the Grid Monitoring Architecture layers of
+// P-GMA (paper §2.1): sensors that observe resource status, producers
+// that expose sensor readings to the overlay (feeding both the MAAN
+// indexing layer and the DAT aggregation layer), and consumers that
+// issue monitoring queries.
+package gma
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/maan"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Sensor observes one resource attribute. Implementations must be safe
+// for concurrent use.
+type Sensor interface {
+	// Sample returns the current reading. ok=false means the reading is
+	// temporarily unavailable.
+	Sample(now time.Duration) (value float64, ok bool)
+}
+
+// SensorFunc adapts a function to the Sensor interface.
+type SensorFunc func(now time.Duration) (float64, bool)
+
+// Sample implements Sensor.
+func (f SensorFunc) Sample(now time.Duration) (float64, bool) { return f(now) }
+
+// ConstSensor always reports the same value (static attributes such as
+// cpu-speed or memory-size).
+func ConstSensor(v float64) Sensor {
+	return SensorFunc(func(time.Duration) (float64, bool) { return v, true })
+}
+
+// TraceSensor replays a series against the monitoring clock: the reading
+// at clock time t is the series value at t (clamped at the ends).
+func TraceSensor(s *trace.Series) Sensor {
+	return SensorFunc(func(now time.Duration) (float64, bool) { return s.At(now), true })
+}
+
+// ProcCPUSensor reads the real CPU utilization from /proc/stat (Linux).
+// Readings are percent busy since the previous sample; the first sample
+// and any read failure report ok=false. This is the paper's "scripts
+// that collect the system status from the /proc file system".
+type ProcCPUSensor struct {
+	mu        sync.Mutex
+	prevBusy  uint64
+	prevTotal uint64
+	primed    bool
+	path      string // overridable for tests
+}
+
+// NewProcCPUSensor creates a sensor reading /proc/stat.
+func NewProcCPUSensor() *ProcCPUSensor { return &ProcCPUSensor{path: "/proc/stat"} }
+
+// NewProcCPUSensorAt creates a sensor reading an alternate stat file
+// (used by tests).
+func NewProcCPUSensorAt(path string) *ProcCPUSensor { return &ProcCPUSensor{path: path} }
+
+// Sample implements Sensor.
+func (p *ProcCPUSensor) Sample(time.Duration) (float64, bool) {
+	busy, total, err := readProcStat(p.path)
+	if err != nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func() { p.prevBusy, p.prevTotal, p.primed = busy, total, true }()
+	if !p.primed || total <= p.prevTotal {
+		return 0, false
+	}
+	dBusy := float64(busy - p.prevBusy)
+	dTotal := float64(total - p.prevTotal)
+	if dTotal <= 0 {
+		return 0, false
+	}
+	pct := 100 * dBusy / dTotal
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	return pct, true
+}
+
+// readProcStat parses the aggregate "cpu" line: busy and total jiffies.
+func readProcStat(path string) (busy, total uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "cpu ") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		var vals []uint64
+		for _, fstr := range fields {
+			v, err := strconv.ParseUint(fstr, 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("gma: parse %q: %w", fstr, err)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 4 {
+			return 0, 0, fmt.Errorf("gma: short cpu line %q", line)
+		}
+		for _, v := range vals {
+			total += v
+		}
+		idle := vals[3] // idle
+		if len(vals) > 4 {
+			idle += vals[4] // iowait
+		}
+		return total - idle, total, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	return 0, 0, fmt.Errorf("gma: no cpu line in %s", path)
+}
+
+// Producer binds named attribute sensors to the overlay: it answers the
+// DAT layer's local-value requests (by rendezvous key) and registers the
+// host's attribute values in MAAN.
+type Producer struct {
+	name  string
+	space ident.Space
+	clock transport.Clock
+
+	mu      sync.Mutex
+	sensors map[string]Sensor   // by attribute name
+	labels  map[string]string   // static string attributes (os, arch, site)
+	byKey   map[ident.ID]string // rendezvous key -> attribute name
+}
+
+// NewProducer creates a producer for one host.
+func NewProducer(name string, space ident.Space, clock transport.Clock) *Producer {
+	return &Producer{
+		name:    name,
+		space:   space,
+		clock:   clock,
+		sensors: make(map[string]Sensor),
+		labels:  make(map[string]string),
+		byKey:   make(map[ident.ID]string),
+	}
+}
+
+// Name returns the producer's host name.
+func (p *Producer) Name() string { return p.name }
+
+// AddSensor binds a sensor to an attribute name. The attribute's
+// rendezvous key is the hash of its name, matching how consumers address
+// aggregates.
+func (p *Producer) AddSensor(attr string, s Sensor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sensors[attr] = s
+	p.byKey[p.space.HashString(attr)] = attr
+}
+
+// SetLabel binds a static string attribute (e.g. os-name, site) that is
+// announced to the MAAN directory for exact-match discovery.
+func (p *Producer) SetLabel(attr, value string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.labels[attr] = value
+}
+
+// Attributes returns the currently bound attribute names.
+func (p *Producer) Attributes() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.sensors))
+	for a := range p.sensors {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Local is the DAT layer's local-value source: it resolves the rendezvous
+// key back to an attribute and samples its sensor.
+func (p *Producer) Local(key ident.ID) (float64, bool) {
+	p.mu.Lock()
+	attr, ok := p.byKey[key]
+	var s Sensor
+	if ok {
+		s = p.sensors[attr]
+	}
+	p.mu.Unlock()
+	if s == nil {
+		return 0, false
+	}
+	return s.Sample(p.clock.Now())
+}
+
+// Resource snapshots all sensors into a MAAN resource description.
+func (p *Producer) Resource() maan.Resource {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	values := make(map[string]float64, len(p.sensors))
+	now := p.clock.Now()
+	for attr, s := range p.sensors {
+		if v, ok := s.Sample(now); ok {
+			values[attr] = v
+		}
+	}
+	var labels map[string]string
+	if len(p.labels) > 0 {
+		labels = make(map[string]string, len(p.labels))
+		for k, v := range p.labels {
+			labels[k] = v
+		}
+	}
+	return maan.Resource{Name: p.name, Values: values, Strings: labels}
+}
+
+// AnnounceEvery periodically re-registers the producer's resource in
+// MAAN (the paper's producers refresh the directory rather than relying
+// on key-space transfer under churn). Returns a stop function.
+func (p *Producer) AnnounceEvery(svc *maan.Service, period time.Duration) (stop func()) {
+	announce := func() {
+		res := p.Resource()
+		if len(res.Values) == 0 {
+			return
+		}
+		svc.Register(res, func(error) {})
+	}
+	announce()
+	return p.clock.Every(period, period/10, announce)
+}
+
+// Consumer issues monitoring requests against the overlay: global
+// aggregates via DAT and resource discovery via MAAN. It is a thin
+// naming layer — the heavy lifting lives in core.Node and maan.Service —
+// provided so applications speak in attribute names, not hashes.
+type Consumer struct {
+	space ident.Space
+}
+
+// NewConsumer creates a consumer for the identifier space.
+func NewConsumer(space ident.Space) *Consumer { return &Consumer{space: space} }
+
+// KeyFor returns the rendezvous key for a monitored attribute name.
+func (c *Consumer) KeyFor(attr string) ident.ID { return c.space.HashString(attr) }

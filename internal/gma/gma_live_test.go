@@ -1,0 +1,122 @@
+package gma_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gma"
+	"repro/internal/maan"
+)
+
+// TestProducerAnnounceIntoMAAN: the producer's periodic announcements
+// land in the live directory and answer discovery queries, including
+// refreshed (changed) sensor values.
+func TestProducerAnnounceIntoMAAN(t *testing.T) {
+	const n = 10
+	c, err := cluster.New(cluster.Options{N: n, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := maan.NewSchema(c.Space,
+		maan.Attribute{Name: "cpu-usage", Min: 0, Max: 100},
+		maan.Attribute{Name: "site", Kind: maan.String},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var services []*maan.Service
+	for i, ch := range c.Chord {
+		svc := maan.NewService(ch, c.Endpoint(i), c.Net.Clock(), schema)
+		svc.EntryTTL = 5 * time.Second // fast soft-state expiry for the test
+		services = append(services, svc)
+	}
+
+	// One producer per node with a mutable load sensor and a site label.
+	loads := make([]float64, n)
+	var producers []*gma.Producer
+	for i := 0; i < n; i++ {
+		i := i
+		p := gma.NewProducer(fmt.Sprintf("host%02d", i), c.Space, c.Net.Clock())
+		p.AddSensor("cpu-usage", gma.SensorFunc(func(time.Duration) (float64, bool) {
+			return loads[i], true
+		}))
+		p.SetLabel("site", map[bool]string{true: "east", false: "west"}[i%2 == 0])
+		producers = append(producers, p)
+		stop := p.AnnounceEvery(services[i], 2*time.Second)
+		defer stop()
+	}
+	for i := range loads {
+		loads[i] = float64(10 * i)
+	}
+	c.RunFor(10 * time.Second)
+
+	// Discovery: east-site hosts under 35% load -> host00 (0), host02
+	// (20). host04 is 40: excluded.
+	var got []maan.Resource
+	done := false
+	services[3].MultiAttrQuery([]maan.Predicate{
+		maan.Eq("site", "east"),
+		maan.Range("cpu-usage", 0, 35),
+	}, func(res []maan.Resource, _ int, err error) {
+		done = true
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		got = res
+	})
+	c.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("query never completed")
+	}
+	want := map[string]bool{"host00": true, "host02": true}
+	if len(got) != len(want) {
+		t.Fatalf("got %d resources, want %d: %v", len(got), len(want), names(got))
+	}
+	for _, r := range got {
+		if !want[r.Name] {
+			t.Fatalf("unexpected %q", r.Name)
+		}
+	}
+
+	// Loads change; the next announcement refreshes the directory.
+	// (Stale entries for old values remain until they age out of real
+	// deployments; the query below tolerates them by asserting presence,
+	// not absence.)
+	loads[4] = 5 // host04 now idle
+	c.RunFor(5 * time.Second)
+	done = false
+	services[7].MultiAttrQuery([]maan.Predicate{
+		maan.Eq("site", "east"),
+		maan.Range("cpu-usage", 0, 8),
+	}, func(res []maan.Resource, _ int, err error) {
+		done = true
+		if err != nil {
+			t.Errorf("refresh query: %v", err)
+			return
+		}
+		found := false
+		for _, r := range res {
+			if r.Name == "host04" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("refreshed host04 not discoverable: %v", names(res))
+		}
+	})
+	c.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("refresh query never completed")
+	}
+}
+
+func names(rs []maan.Resource) []string {
+	out := make([]string, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, r.Name)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package gma
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func simClock() (transport.Clock, *sim.Engine) {
+	eng := sim.NewEngine(1)
+	return transport.SimClock{Engine: eng}, eng
+}
+
+func TestConstAndFuncSensors(t *testing.T) {
+	c := ConstSensor(2.8)
+	if v, ok := c.Sample(0); !ok || v != 2.8 {
+		t.Fatalf("const sensor = %v/%v", v, ok)
+	}
+	f := SensorFunc(func(now time.Duration) (float64, bool) { return now.Seconds(), true })
+	if v, _ := f.Sample(3 * time.Second); v != 3 {
+		t.Fatalf("func sensor = %v", v)
+	}
+}
+
+func TestTraceSensorFollowsClock(t *testing.T) {
+	s := &trace.Series{Name: "cpu", Interval: time.Second, Values: []float64{10, 20, 30}}
+	sensor := TraceSensor(s)
+	if v, ok := sensor.Sample(0); !ok || v != 10 {
+		t.Fatalf("t=0: %v/%v", v, ok)
+	}
+	if v, _ := sensor.Sample(1500 * time.Millisecond); v != 20 {
+		t.Fatalf("t=1.5s: %v", v)
+	}
+	if v, _ := sensor.Sample(time.Minute); v != 30 {
+		t.Fatalf("clamp: %v", v)
+	}
+}
+
+func TestProcCPUSensorSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stat")
+	write := func(user, nice, system, idle uint64) {
+		content := "cpu  " +
+			uintStr(user) + " " + uintStr(nice) + " " + uintStr(system) + " " + uintStr(idle) + "\n" +
+			"cpu0 1 2 3 4\n"
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewProcCPUSensorAt(path)
+	write(100, 0, 100, 800)
+	if _, ok := s.Sample(0); ok {
+		t.Fatal("first sample should prime, not report")
+	}
+	// +200 busy, +200 idle => 50% utilization.
+	write(250, 0, 150, 1000)
+	v, ok := s.Sample(0)
+	if !ok {
+		t.Fatal("second sample unavailable")
+	}
+	if v < 49.9 || v > 50.1 {
+		t.Fatalf("utilization = %v, want 50", v)
+	}
+	// No progress: unavailable rather than division by zero.
+	if _, ok := s.Sample(0); ok {
+		t.Fatal("zero-delta sample should be unavailable")
+	}
+}
+
+func TestProcCPUSensorRealFile(t *testing.T) {
+	if _, err := os.Stat("/proc/stat"); err != nil {
+		t.Skip("no /proc/stat on this platform")
+	}
+	s := NewProcCPUSensor()
+	s.Sample(0) // prime
+	time.Sleep(20 * time.Millisecond)
+	v, ok := s.Sample(0)
+	if !ok {
+		t.Skip("cpu counters did not advance in 20ms")
+	}
+	if v < 0 || v > 100 {
+		t.Fatalf("utilization %v out of range", v)
+	}
+}
+
+func TestProcCPUSensorErrors(t *testing.T) {
+	s := NewProcCPUSensorAt("/definitely/not/here")
+	if _, ok := s.Sample(0); ok {
+		t.Fatal("missing file reported ok")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "stat")
+	os.WriteFile(bad, []byte("intr 1 2 3\n"), 0o644)
+	s2 := NewProcCPUSensorAt(bad)
+	if _, ok := s2.Sample(0); ok {
+		t.Fatal("file without cpu line reported ok")
+	}
+	os.WriteFile(bad, []byte("cpu  1 2\n"), 0o644)
+	if _, ok := s2.Sample(0); ok {
+		t.Fatal("short cpu line reported ok")
+	}
+	os.WriteFile(bad, []byte("cpu  a b c d\n"), 0o644)
+	if _, ok := s2.Sample(0); ok {
+		t.Fatal("garbage cpu line reported ok")
+	}
+}
+
+func uintStr(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func TestProducerLocalByKey(t *testing.T) {
+	clock, eng := simClock()
+	space := ident.New(20)
+	p := NewProducer("host1", space, clock)
+	p.AddSensor("cpu-usage", ConstSensor(42))
+	p.AddSensor("memory-free", ConstSensor(2048))
+
+	key := space.HashString("cpu-usage")
+	if v, ok := p.Local(key); !ok || v != 42 {
+		t.Fatalf("Local(cpu-usage) = %v/%v", v, ok)
+	}
+	if _, ok := p.Local(space.HashString("unknown")); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if got := len(p.Attributes()); got != 2 {
+		t.Fatalf("attributes = %d", got)
+	}
+	if p.Name() != "host1" {
+		t.Fatal("name lost")
+	}
+
+	res := p.Resource()
+	if res.Name != "host1" || res.Values["cpu-usage"] != 42 || res.Values["memory-free"] != 2048 {
+		t.Fatalf("resource = %+v", res)
+	}
+	_ = eng
+}
+
+func TestProducerTraceSensorAdvancesWithClock(t *testing.T) {
+	clock, eng := simClock()
+	space := ident.New(20)
+	p := NewProducer("host1", space, clock)
+	series := &trace.Series{Name: "cpu", Interval: time.Second, Values: []float64{5, 15, 25}}
+	p.AddSensor("cpu-usage", TraceSensor(series))
+	key := space.HashString("cpu-usage")
+
+	if v, _ := p.Local(key); v != 5 {
+		t.Fatalf("t=0: %v", v)
+	}
+	eng.RunUntil(sim.Time(2 * time.Second))
+	if v, _ := p.Local(key); v != 25 {
+		t.Fatalf("t=2s: %v", v)
+	}
+}
+
+func TestConsumerKeyFor(t *testing.T) {
+	space := ident.New(20)
+	c := NewConsumer(space)
+	if c.KeyFor("cpu-usage") != space.HashString("cpu-usage") {
+		t.Fatal("KeyFor mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package ident
+
+import (
+	"testing"
+)
+
+// FuzzSpaceArithmetic checks the ring-arithmetic invariants on arbitrary
+// inputs: Add/Sub inversion, Dist antisymmetry, and interval membership
+// consistency across space widths.
+func FuzzSpaceArithmetic(f *testing.F) {
+	f.Add(uint(4), uint64(3), uint64(11), uint64(7))
+	f.Add(uint(32), uint64(1<<31), uint64(0), uint64(1<<20))
+	f.Add(uint(63), ^uint64(0), uint64(1), uint64(2))
+	f.Fuzz(func(t *testing.T, bits uint, a, b, x uint64) {
+		if bits == 0 || bits > MaxBits {
+			t.Skip()
+		}
+		s := New(bits)
+		ai, bi, xi := s.Wrap(a), s.Wrap(b), s.Wrap(x)
+		if got := s.Sub(s.Add(ai, b), b); got != ai {
+			t.Fatalf("Add/Sub not inverse: %v", got)
+		}
+		if ai != bi && s.Dist(ai, bi)+s.Dist(bi, ai) != s.Size() {
+			t.Fatalf("Dist not antisymmetric: %d + %d != %d",
+				s.Dist(ai, bi), s.Dist(bi, ai), s.Size())
+		}
+		// Between(x,a,b) implies InHalfOpen(x,a,b).
+		if ai != bi && s.Between(xi, ai, bi) && !s.InHalfOpen(xi, ai, bi) {
+			t.Fatalf("Between(%v,%v,%v) without InHalfOpen", xi, ai, bi)
+		}
+		// Midpoint lies within the (closed) arc.
+		m := s.Midpoint(ai, bi)
+		if s.Dist(ai, m) > s.Dist(ai, bi) {
+			t.Fatalf("Midpoint(%v,%v)=%v outside arc", ai, bi, m)
+		}
+		// FingerLimit is monotone in x.
+		if x < ^uint64(0)-16 {
+			d0 := b%1024 + 1
+			if FingerLimit(x, d0) > FingerLimit(x+16, d0) {
+				t.Fatalf("FingerLimit not monotone at %d", x)
+			}
+		}
+	})
+}
+
+// FuzzLocalityHashMonotone checks order preservation for arbitrary
+// bounds and probe values.
+func FuzzLocalityHashMonotone(f *testing.F) {
+	f.Add(0.0, 100.0, 10.0, 20.0)
+	f.Add(-50.0, 50.0, -10.0, 10.0)
+	f.Fuzz(func(t *testing.T, lo, hi, v1, v2 float64) {
+		if !(lo < hi) || hi-lo > 1e300 || lo != lo || hi != hi {
+			t.Skip()
+		}
+		s := New(32)
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		h1 := s.LocalityHash(v1, lo, hi)
+		h2 := s.LocalityHash(v2, lo, hi)
+		if h1 > h2 {
+			t.Fatalf("LocalityHash(%g) = %v > LocalityHash(%g) = %v", v1, h1, v2, h2)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+// Package ident implements arithmetic on circular b-bit identifier spaces
+// as used by Chord (Stoica et al., SIGCOMM 2001) and the DAT algorithms of
+// Cai and Hwang (IPDPS 2007).
+//
+// Identifiers live on a ring of size 2^b. All arithmetic is modulo 2^b.
+// Distances are *clockwise*: Dist(a, b) is how far one must travel forward
+// (in increasing identifier order, wrapping) from a to reach b. This is the
+// convention under which the paper's worked examples and its branching
+// factor formula B(i,n) = log2(n) - ceil(log2(d/d0+1)) hold.
+package ident
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ID is an identifier on the ring. Only the low Space.Bits bits are
+// significant; the ring size is 2^Bits.
+type ID uint64
+
+// MaxBits is the largest supported identifier-space width. 63 keeps all
+// ring arithmetic comfortably inside uint64 without overflow corner cases.
+const MaxBits = 63
+
+// Space describes a circular identifier space of 2^bits points.
+// The zero Space is not valid; use New.
+type Space struct {
+	bits uint
+	mask uint64 // 2^bits - 1
+}
+
+// New returns a b-bit identifier space. It panics if bits is 0 or exceeds
+// MaxBits: a malformed space is a programming error, not a runtime
+// condition.
+func New(bits uint) Space {
+	if bits == 0 || bits > MaxBits {
+		panic(fmt.Sprintf("ident: invalid space width %d (want 1..%d)", bits, MaxBits))
+	}
+	return Space{bits: bits, mask: (uint64(1) << bits) - 1}
+}
+
+// Bits returns the width of the identifier space in bits.
+func (s Space) Bits() uint { return s.bits }
+
+// Size returns the number of points on the ring, 2^bits.
+func (s Space) Size() uint64 { return s.mask + 1 }
+
+// Mask returns 2^bits - 1.
+func (s Space) Mask() uint64 { return s.mask }
+
+// Valid reports whether id fits in the space.
+func (s Space) Valid(id ID) bool { return uint64(id)&^s.mask == 0 }
+
+// Wrap reduces an arbitrary uint64 into the space.
+func (s Space) Wrap(v uint64) ID { return ID(v & s.mask) }
+
+// Add returns (a + delta) mod 2^bits.
+func (s Space) Add(a ID, delta uint64) ID { return ID((uint64(a) + delta) & s.mask) }
+
+// Sub returns (a - delta) mod 2^bits.
+func (s Space) Sub(a ID, delta uint64) ID { return ID((uint64(a) - delta) & s.mask) }
+
+// Dist returns the clockwise distance from a to b: the number of steps
+// forward from a (wrapping past 2^bits-1 to 0) needed to reach b.
+// Dist(a, a) == 0.
+func (s Space) Dist(a, b ID) uint64 { return (uint64(b) - uint64(a)) & s.mask }
+
+// CCWDist returns the counter-clockwise distance from a to b, i.e.
+// Dist(b, a).
+func (s Space) CCWDist(a, b ID) uint64 { return s.Dist(b, a) }
+
+// Between reports whether x lies strictly inside the open clockwise
+// interval (a, b). The interval wraps; if a == b it denotes the whole ring
+// minus the point a itself (Chord's usual convention for a full circle).
+func (s Space) Between(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	return s.Dist(a, x) > 0 && s.Dist(a, x) < s.Dist(a, b)
+}
+
+// InHalfOpen reports whether x lies in the clockwise interval (a, b]
+// (open at a, closed at b). If a == b the interval is the whole ring
+// (every x qualifies), matching Chord's successor conventions when a node
+// is its own successor.
+func (s Space) InHalfOpen(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	d := s.Dist(a, x)
+	return d > 0 && d <= s.Dist(a, b)
+}
+
+// InClosedOpen reports whether x lies in the clockwise interval [a, b).
+func (s Space) InClosedOpen(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	return s.Dist(a, x) < s.Dist(a, b)
+}
+
+// Midpoint returns the point halfway along the clockwise arc from a to b.
+// For adjacent points (Dist==1) it returns a's successor point, i.e. b;
+// callers splitting node intervals must check Dist > 1 first if they need
+// a fresh identifier.
+func (s Space) Midpoint(a, b ID) ID {
+	return s.Add(a, s.Dist(a, b)/2)
+}
+
+// FingerStart returns the start of node n's j-th finger interval,
+// n + 2^j (mod 2^bits), for j in [0, bits). The j-th finger of n is the
+// first node whose identifier equals or follows FingerStart(n, j).
+func (s Space) FingerStart(n ID, j uint) ID {
+	if j >= s.bits {
+		panic(fmt.Sprintf("ident: finger index %d out of range for %d-bit space", j, s.bits))
+	}
+	return s.Add(n, uint64(1)<<j)
+}
+
+// Hash maps arbitrary bytes to an identifier using SHA-1 truncated to the
+// space width, the consistent-hashing scheme of Chord/DAT.
+func (s Space) Hash(data []byte) ID {
+	sum := sha1.Sum(data)
+	return s.Wrap(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString is Hash on a string key (e.g. an attribute name used as a DAT
+// rendezvous key).
+func (s Space) HashString(key string) ID { return s.Hash([]byte(key)) }
+
+// LocalityHash maps a numeric attribute value v in [lo, hi] to an
+// identifier, preserving order: v1 <= v2 implies LocalityHash(v1) <=
+// LocalityHash(v2) (as plain integers, no wrap). This is MAAN's
+// locality-preserving hash H for numeric attributes; it makes range
+// queries contiguous arcs on the ring. Values outside [lo, hi] are
+// clamped. It panics if lo >= hi or either bound is not finite, since an
+// invalid attribute schema is a programming error.
+func (s Space) LocalityHash(v, lo, hi float64) ID {
+	if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("ident: invalid locality hash range [%g, %g]", lo, hi))
+	}
+	if math.IsNaN(v) || v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	frac := (v - lo) / (hi - lo)
+	// Scale into [0, mask]; use float64 throughout (53-bit mantissa is
+	// ample for the spaces we use and monotonic for our purposes).
+	return ID(uint64(frac*float64(s.mask)) & s.mask)
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1, and 0 for x == 0 or 1.
+func CeilLog2(x uint64) uint {
+	if x <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(x - 1))
+}
+
+// FloorLog2 returns floor(log2(x)) for x >= 1. It panics for x == 0.
+func FloorLog2(x uint64) uint {
+	if x == 0 {
+		panic("ident: FloorLog2(0)")
+	}
+	return uint(bits.Len64(x) - 1)
+}
+
+// FingerLimit computes the DAT finger limiting function
+//
+//	g(x) = ceil(log2((x + 2*d0) / 3))
+//
+// from Cai & Hwang §3.4, where x is the clockwise identifier distance from
+// a node to the DAT root and d0 the average gap between adjacent nodes.
+// A node running balanced routing may only use fingers whose interval
+// start offset 2^j satisfies j <= g(x). Computed exactly in integers:
+// g is the smallest j with 3*2^j >= x + 2*d0 (and at least 0).
+func FingerLimit(x, d0 uint64) uint {
+	if d0 == 0 {
+		d0 = 1
+	}
+	y := x + 2*d0 // x < 2^63 and d0 <= 2^63 keeps this inside uint64 for MaxBits=63 spaces with sane d0
+	var j uint
+	for ; j < 64; j++ {
+		// 3 * 2^j >= y  <=>  2^j >= ceil(y/3)
+		p := uint64(1) << j
+		if p >= (y+2)/3 {
+			break
+		}
+	}
+	return j
+}
+
+// String renders the identifier in hex.
+func (id ID) String() string { return fmt.Sprintf("%#x", uint64(id)) }

@@ -1,0 +1,332 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, bits := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := New(4)
+	if got := s.Size(); got != 16 {
+		t.Fatalf("Size = %d, want 16", got)
+	}
+	if got := s.Mask(); got != 15 {
+		t.Fatalf("Mask = %d, want 15", got)
+	}
+	if s.Bits() != 4 {
+		t.Fatalf("Bits = %d, want 4", s.Bits())
+	}
+	if !s.Valid(15) || s.Valid(16) {
+		t.Fatalf("Valid wrong: Valid(15)=%v Valid(16)=%v", s.Valid(15), s.Valid(16))
+	}
+	if got := s.Wrap(16); got != 0 {
+		t.Fatalf("Wrap(16) = %v, want 0", got)
+	}
+}
+
+func TestAddSubDist(t *testing.T) {
+	s := New(4)
+	cases := []struct {
+		a, b ID
+		d    uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 15},
+		{15, 0, 1},
+		{8, 0, 8},
+		{0, 8, 8},
+		{3, 11, 8},
+		{11, 3, 8},
+		{14, 2, 4},
+	}
+	for _, c := range cases {
+		if got := s.Dist(c.a, c.b); got != c.d {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.d)
+		}
+		if got := s.Add(c.a, c.d); got != c.b {
+			t.Errorf("Add(%v,%d) = %v, want %v", c.a, c.d, got, c.b)
+		}
+		if got := s.Sub(c.b, c.d); got != c.a {
+			t.Errorf("Sub(%v,%d) = %v, want %v", c.b, c.d, got, c.a)
+		}
+		if got := s.CCWDist(c.b, c.a); got != c.d {
+			t.Errorf("CCWDist(%v,%v) = %d, want %d", c.b, c.a, got, c.d)
+		}
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	s := New(4)
+	// (3, 7): 4,5,6 inside; 3, 7, 8, 0 outside.
+	for _, x := range []ID{4, 5, 6} {
+		if !s.Between(x, 3, 7) {
+			t.Errorf("Between(%v,3,7) = false, want true", x)
+		}
+	}
+	for _, x := range []ID{3, 7, 8, 0, 15} {
+		if s.Between(x, 3, 7) {
+			t.Errorf("Between(%v,3,7) = true, want false", x)
+		}
+	}
+	// Wrapping interval (13, 2): 14,15,0,1 inside.
+	for _, x := range []ID{14, 15, 0, 1} {
+		if !s.Between(x, 13, 2) {
+			t.Errorf("Between(%v,13,2) = false, want true", x)
+		}
+	}
+	for _, x := range []ID{13, 2, 5, 12} {
+		if s.Between(x, 13, 2) {
+			t.Errorf("Between(%v,13,2) = true, want false", x)
+		}
+	}
+	// Degenerate (a, a) is the whole ring minus a.
+	if s.Between(5, 5, 5) {
+		t.Error("Between(5,5,5) = true, want false")
+	}
+	if !s.Between(6, 5, 5) {
+		t.Error("Between(6,5,5) = false, want true")
+	}
+
+	// Half-open (3, 7]: 7 in, 3 out.
+	if !s.InHalfOpen(7, 3, 7) {
+		t.Error("InHalfOpen(7,3,7) = false, want true")
+	}
+	if s.InHalfOpen(3, 3, 7) {
+		t.Error("InHalfOpen(3,3,7) = true, want false")
+	}
+	if !s.InHalfOpen(0, 13, 2) || !s.InHalfOpen(2, 13, 2) || s.InHalfOpen(13, 13, 2) {
+		t.Error("InHalfOpen wrapping interval wrong")
+	}
+	// a==a half-open covers everything (full-circle convention).
+	if !s.InHalfOpen(9, 4, 4) || !s.InHalfOpen(4, 4, 4) {
+		t.Error("InHalfOpen full circle wrong")
+	}
+
+	// Closed-open [3, 7): 3 in, 7 out.
+	if !s.InClosedOpen(3, 3, 7) || s.InClosedOpen(7, 3, 7) {
+		t.Error("InClosedOpen boundaries wrong")
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	s := New(4)
+	if got := s.Midpoint(0, 8); got != 4 {
+		t.Errorf("Midpoint(0,8) = %v, want 4", got)
+	}
+	if got := s.Midpoint(12, 4); got != 0 {
+		t.Errorf("Midpoint(12,4) = %v, want 0", got)
+	}
+	if got := s.Midpoint(5, 6); got != 5 {
+		t.Errorf("Midpoint(5,6) = %v, want 5 (adjacent: no room)", got)
+	}
+}
+
+func TestFingerStart(t *testing.T) {
+	s := New(4)
+	n := ID(8)
+	want := []ID{9, 10, 12, 0}
+	for j, w := range want {
+		if got := s.FingerStart(n, uint(j)); got != w {
+			t.Errorf("FingerStart(8,%d) = %v, want %v", j, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FingerStart out-of-range j did not panic")
+		}
+	}()
+	s.FingerStart(n, 4)
+}
+
+func TestHashDeterministicAndInRange(t *testing.T) {
+	s := New(20)
+	a := s.HashString("cpu-usage")
+	b := s.HashString("cpu-usage")
+	c := s.HashString("memory-size")
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct keys collided (astronomically unlikely)")
+	}
+	if !s.Valid(a) || !s.Valid(c) {
+		t.Fatal("hash escaped the space")
+	}
+}
+
+func TestLocalityHashMonotone(t *testing.T) {
+	s := New(32)
+	lo, hi := 0.0, 100.0
+	prev := s.LocalityHash(lo, lo, hi)
+	for v := 1.0; v <= 100; v++ {
+		cur := s.LocalityHash(v, lo, hi)
+		if cur < prev {
+			t.Fatalf("LocalityHash not monotone at v=%g: %v < %v", v, cur, prev)
+		}
+		prev = cur
+	}
+	if got := s.LocalityHash(-5, lo, hi); got != s.LocalityHash(lo, lo, hi) {
+		t.Errorf("below-range value not clamped: %v", got)
+	}
+	if got := s.LocalityHash(1e9, lo, hi); got != s.LocalityHash(hi, lo, hi) {
+		t.Errorf("above-range value not clamped: %v", got)
+	}
+	if got := s.LocalityHash(hi, lo, hi); got != ID(s.Mask()) {
+		t.Errorf("top of range = %v, want mask %v", got, s.Mask())
+	}
+}
+
+func TestLocalityHashPanicsOnBadRange(t *testing.T) {
+	s := New(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("LocalityHash with lo>=hi did not panic")
+		}
+	}()
+	s.LocalityHash(1, 5, 5)
+}
+
+func TestCeilFloorLog2(t *testing.T) {
+	cases := []struct {
+		x           uint64
+		ceil, floor uint
+	}{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{7, 3, 2}, {8, 3, 3}, {9, 4, 3}, {1 << 20, 20, 20}, {(1 << 20) + 1, 21, 20},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.x); got != c.ceil {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.x, got, c.ceil)
+		}
+		if got := FloorLog2(c.x); got != c.floor {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.x, got, c.floor)
+		}
+	}
+	if got := CeilLog2(0); got != 0 {
+		t.Errorf("CeilLog2(0) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FloorLog2(0) did not panic")
+		}
+	}()
+	FloorLog2(0)
+}
+
+// TestFingerLimitPaperExamples checks g(x) against the worked examples in
+// Cai & Hwang §3.4 (16-node ring, d0 = 1).
+func TestFingerLimitPaperExamples(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want uint
+	}{
+		{1, 0},  // node just before the root uses only its successor finger
+		{2, 1},  //
+		{3, 1},  //
+		{4, 1},  // ceil(log2(6/3)) = 1
+		{8, 2},  // the paper's N8 example: g(8) = ceil(log2(10/3)) = 2
+		{11, 3}, // ceil(log2(13/3)) = 3
+		{15, 3}, // ceil(log2(17/3)) = 3
+	}
+	for _, c := range cases {
+		if got := FingerLimit(c.x, 1); got != c.want {
+			t.Errorf("FingerLimit(%d, 1) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFingerLimitDefinition(t *testing.T) {
+	// g must be the smallest j with 3*2^j >= x + 2*d0.
+	for _, d0 := range []uint64{1, 2, 7, 1024} {
+		for x := uint64(0); x < 5000; x += 13 {
+			g := FingerLimit(x, d0)
+			y := x + 2*d0
+			if 3*(uint64(1)<<g) < y {
+				t.Fatalf("FingerLimit(%d,%d)=%d too small", x, d0, g)
+			}
+			if g > 0 && 3*(uint64(1)<<(g-1)) >= y {
+				t.Fatalf("FingerLimit(%d,%d)=%d not minimal", x, d0, g)
+			}
+		}
+	}
+	if got := FingerLimit(8, 0); got != FingerLimit(8, 1) {
+		t.Errorf("d0=0 should behave as d0=1, got %d", got)
+	}
+}
+
+// Property: Dist(a,b) + Dist(b,a) == ring size for a != b, and the
+// interval predicates partition the ring correctly.
+func TestDistProperties(t *testing.T) {
+	s := New(16)
+	f := func(a16, b16, x16 uint16) bool {
+		a, b, x := ID(a16), ID(b16), ID(x16)
+		if a != b {
+			if s.Dist(a, b)+s.Dist(b, a) != s.Size() {
+				return false
+			}
+		} else if s.Dist(a, b) != 0 {
+			return false
+		}
+		// x is in exactly one of (a,b) endpoints/interior when a != b:
+		// Between(x,a,b) XOR InHalfOpen covers b, etc.
+		if a != b {
+			in := s.Between(x, a, b)
+			half := s.InHalfOpen(x, a, b)
+			if in && !half {
+				return false // (a,b) subset of (a,b]
+			}
+			if half && !in && x != b {
+				return false // (a,b] \ (a,b) == {b}
+			}
+		}
+		// Triangle equality along the circle: Dist(a,x) where x on arc a->b.
+		if s.InHalfOpen(x, a, b) && a != b {
+			if s.Dist(a, x) > s.Dist(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add/Sub are inverses and stay in the space.
+func TestAddSubProperties(t *testing.T) {
+	for _, bitsN := range []uint{1, 4, 16, 40, 63} {
+		s := New(bitsN)
+		rng := rand.New(rand.NewSource(int64(bitsN)))
+		for i := 0; i < 2000; i++ {
+			a := s.Wrap(rng.Uint64())
+			d := rng.Uint64()
+			if got := s.Sub(s.Add(a, d), d); got != a {
+				t.Fatalf("bits=%d: Sub(Add(%v,%d),%d) = %v", bitsN, a, d, d, got)
+			}
+			if !s.Valid(s.Add(a, d)) {
+				t.Fatalf("bits=%d: Add escaped space", bitsN)
+			}
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(255).String(); got != "0xff" {
+		t.Errorf("String = %q, want 0xff", got)
+	}
+}

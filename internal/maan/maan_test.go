@@ -1,0 +1,396 @@
+package maan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+)
+
+func testSchema(t *testing.T, space ident.Space) *Schema {
+	t.Helper()
+	s, err := NewSchema(space,
+		Attribute{Name: "cpu-speed", Min: 0, Max: 5},      // GHz
+		Attribute{Name: "memory-size", Min: 0, Max: 4096}, // MB
+		Attribute{Name: "cpu-usage", Min: 0, Max: 100},    // percent
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	space := ident.New(16)
+	if _, err := NewSchema(space, Attribute{Name: "", Min: 0, Max: 1}); err == nil {
+		t.Error("unnamed attribute accepted")
+	}
+	if _, err := NewSchema(space, Attribute{Name: "a", Min: 5, Max: 5}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewSchema(space,
+		Attribute{Name: "a", Min: 0, Max: 1},
+		Attribute{Name: "a", Min: 0, Max: 2}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestSchemaHashMonotoneAndSelectivity(t *testing.T) {
+	space := ident.New(32)
+	s := testSchema(t, space)
+	prev := ident.ID(0)
+	for v := 0.0; v <= 100; v += 5 {
+		h, err := s.Hash("cpu-usage", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < prev {
+			t.Fatalf("hash not monotone at %g", v)
+		}
+		prev = h
+	}
+	if _, err := s.Hash("unknown", 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	sel, err := s.Selectivity(Predicate{Attr: "cpu-usage", Lo: 25, Hi: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0.45 || sel > 0.55 {
+		t.Fatalf("selectivity of half the range = %v", sel)
+	}
+	if len(s.Attributes()) != 3 {
+		t.Fatal("attributes lost")
+	}
+}
+
+func TestResourceMatches(t *testing.T) {
+	r := Resource{Name: "host1", Values: map[string]float64{"cpu-usage": 50, "memory-size": 1024}}
+	if !r.Matches([]Predicate{{Attr: "cpu-usage", Lo: 0, Hi: 100}}) {
+		t.Error("in-range predicate failed")
+	}
+	if r.Matches([]Predicate{{Attr: "cpu-usage", Lo: 60, Hi: 100}}) {
+		t.Error("out-of-range predicate matched")
+	}
+	if r.Matches([]Predicate{{Attr: "disk", Lo: 0, Hi: 1}}) {
+		t.Error("missing attribute matched")
+	}
+}
+
+// buildIndex registers n synthetic hosts with deterministic attributes.
+func buildIndex(t *testing.T, nNodes, nRes int, seed int64) (*Index, *chord.Ring, []Resource) {
+	t.Helper()
+	space := ident.New(24)
+	rng := rand.New(rand.NewSource(seed))
+	ring, err := chord.NewRing(space, chord.RandomIDs(space, nNodes, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := testSchema(t, space)
+	x := NewIndex(schema, ring)
+	var resources []Resource
+	for i := 0; i < nRes; i++ {
+		res := Resource{
+			Name: fmt.Sprintf("host%03d", i),
+			Values: map[string]float64{
+				"cpu-speed":   float64(i%10) / 2.0,
+				"memory-size": float64((i % 16) * 256),
+				"cpu-usage":   float64(i % 101),
+			},
+		}
+		origin := ring.IDs()[rng.Intn(nNodes)]
+		if _, err := x.Register(origin, res); err != nil {
+			t.Fatal(err)
+		}
+		resources = append(resources, res)
+	}
+	return x, ring, resources
+}
+
+// bruteForce answers a query by scanning all resources directly.
+func bruteForce(resources []Resource, preds []Predicate) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range resources {
+		if r.Matches(preds) {
+			out[r.Name] = true
+		}
+	}
+	return out
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	x, ring, resources := buildIndex(t, 40, 200, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		lo := rng.Float64() * 90
+		hi := lo + rng.Float64()*(100-lo)
+		p := Predicate{Attr: "cpu-usage", Lo: lo, Hi: hi}
+		origin := ring.IDs()[rng.Intn(ring.N())]
+		got, hops, err := x.RangeQuery(origin, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(resources, []Predicate{p})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d [%g,%g]: got %d, want %d", trial, lo, hi, len(got), len(want))
+		}
+		for _, r := range got {
+			if !want[r.Name] {
+				t.Fatalf("unexpected match %q", r.Name)
+			}
+		}
+		if hops <= 0 {
+			t.Fatalf("no hops counted")
+		}
+	}
+}
+
+func TestMultiAttrQueryMatchesBruteForce(t *testing.T) {
+	x, ring, resources := buildIndex(t, 40, 200, 3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		preds := []Predicate{
+			{Attr: "cpu-usage", Lo: rng.Float64() * 50, Hi: 50 + rng.Float64()*50},
+			{Attr: "memory-size", Lo: 0, Hi: 256 * float64(1+rng.Intn(15))},
+			{Attr: "cpu-speed", Lo: 1, Hi: 5},
+		}
+		origin := ring.IDs()[rng.Intn(ring.N())]
+		got, _, err := x.MultiAttrQuery(origin, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(resources, preds)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, r := range got {
+			if !want[r.Name] {
+				t.Fatalf("unexpected match %q", r.Name)
+			}
+		}
+	}
+}
+
+// TestRangeQueryHopComplexity verifies the §2.2 claim: O(log n + k) hops,
+// where k is the number of nodes on the queried arc.
+func TestRangeQueryHopComplexity(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		x, ring, _ := buildIndex(t, n, 50, int64(n))
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		// Narrow query: k is small, so hops ~ O(log n).
+		p := Predicate{Attr: "cpu-usage", Lo: 50, Hi: 51}
+		origin := ring.IDs()[rng.Intn(n)]
+		_, hops, err := x.RangeQuery(origin, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logN := ident.CeilLog2(uint64(n))
+		// k for a 1% arc is about n/100; generous slack on both terms.
+		maxHops := 2*int(logN) + n/50 + 8
+		if hops > maxHops {
+			t.Errorf("n=%d: narrow query used %d hops, want <= %d", n, hops, maxHops)
+		}
+	}
+}
+
+func TestRegisterHopComplexity(t *testing.T) {
+	// O(m log n) per registration with m attributes.
+	for _, n := range []int{64, 512} {
+		space := ident.New(24)
+		rng := rand.New(rand.NewSource(int64(n)))
+		ring, err := chord.NewRing(space, chord.RandomIDs(space, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := NewIndex(testSchema(t, space), ring)
+		res := Resource{Name: "h", Values: map[string]float64{
+			"cpu-speed": 2.8, "memory-size": 1024, "cpu-usage": 95,
+		}}
+		hops, err := x.Register(ring.IDs()[0], res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 3
+		maxHops := m * (2*int(ident.CeilLog2(uint64(n))) + 2)
+		if hops > maxHops {
+			t.Errorf("n=%d: registration used %d hops, want <= %d", n, hops, maxHops)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	x, ring, _ := buildIndex(t, 16, 10, 9)
+	origin := ring.IDs()[0]
+	if _, _, err := x.RangeQuery(origin, Predicate{Attr: "cpu-usage", Lo: 5, Hi: 1}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := x.RangeQuery(origin, Predicate{Attr: "nope", Lo: 0, Hi: 1}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, _, err := x.MultiAttrQuery(origin, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := x.Register(origin, Resource{}); err == nil {
+		t.Error("anonymous resource accepted")
+	}
+}
+
+func TestStoredAtDistribution(t *testing.T) {
+	x, ring, _ := buildIndex(t, 32, 300, 12)
+	total := 0
+	for _, id := range ring.IDs() {
+		total += x.StoredAt(id)
+	}
+	// 300 resources x 3 attributes each.
+	if total != 900 {
+		t.Fatalf("stored entries = %d, want 900", total)
+	}
+}
+
+// --- string attributes and exact-match queries ---
+
+func stringSchema(t *testing.T, space ident.Space) *Schema {
+	t.Helper()
+	s, err := NewSchema(space,
+		Attribute{Name: "cpu-usage", Min: 0, Max: 100},
+		Attribute{Name: "os-name", Kind: String},
+		Attribute{Name: "arch", Kind: String},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStringAttributeSchema(t *testing.T) {
+	space := ident.New(24)
+	s := stringSchema(t, space)
+	// String attributes need no range.
+	if _, err := s.HashString("os-name", "linux"); err != nil {
+		t.Fatal(err)
+	}
+	// Kind mismatches are rejected both ways.
+	if _, err := s.Hash("os-name", 1); err == nil {
+		t.Error("numeric hash of string attribute accepted")
+	}
+	if _, err := s.HashString("cpu-usage", "x"); err == nil {
+		t.Error("string hash of numeric attribute accepted")
+	}
+	// Distinct values hash to (almost surely) distinct keys.
+	a, _ := s.HashString("os-name", "linux")
+	b, _ := s.HashString("os-name", "freebsd")
+	if a == b {
+		t.Error("distinct string values collided")
+	}
+	// Selectivity of an exact match is (near) zero — it dominates ranges.
+	sel, err := s.Selectivity(Eq("os-name", "linux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0 {
+		t.Errorf("exact selectivity = %v", sel)
+	}
+}
+
+func TestExactMatchQuery(t *testing.T) {
+	space := ident.New(24)
+	rng := rand.New(rand.NewSource(31))
+	ring, err := chord.NewRing(space, chord.RandomIDs(space, 48, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewIndex(stringSchema(t, space), ring)
+	oses := []string{"linux", "freebsd", "darwin"}
+	for i := 0; i < 60; i++ {
+		res := Resource{
+			Name:    fmt.Sprintf("host%02d", i),
+			Values:  map[string]float64{"cpu-usage": float64(i)},
+			Strings: map[string]string{"os-name": oses[i%3], "arch": "x86_64"},
+		}
+		if _, err := x.Register(ring.IDs()[i%48], res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pure exact query: all 20 freebsd hosts.
+	got, hops, err := x.RangeQuery(ring.IDs()[0], Eq("os-name", "freebsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("freebsd hosts = %d, want 20", len(got))
+	}
+	// Exact match visits a single owner: O(log n) hops, no arc walk.
+	if hops > 2*int(ident.CeilLog2(48))+2 {
+		t.Errorf("exact query used %d hops", hops)
+	}
+
+	// Mixed query: freebsd AND cpu-usage <= 30 -> i in {1,4,...,28}: 10 hosts.
+	mixed, _, err := x.MultiAttrQuery(ring.IDs()[3], []Predicate{
+		Range("cpu-usage", 0, 30),
+		Eq("os-name", "freebsd"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 10 {
+		t.Fatalf("mixed query = %d, want 10", len(mixed))
+	}
+	for _, r := range mixed {
+		if r.Strings["os-name"] != "freebsd" || r.Values["cpu-usage"] > 30 {
+			t.Fatalf("bad match %+v", r)
+		}
+	}
+
+	// No matches for an unknown value.
+	none, _, err := x.RangeQuery(ring.IDs()[0], Eq("os-name", "plan9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("phantom matches: %d", len(none))
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	p := Eq("os-name", "linux")
+	if !p.Exact || p.Equal != "linux" || p.Attr != "os-name" {
+		t.Fatalf("Eq = %+v", p)
+	}
+	r := Range("cpu", 1, 2)
+	if r.Exact || r.Lo != 1 || r.Hi != 2 {
+		t.Fatalf("Range = %+v", r)
+	}
+	res := Resource{Strings: map[string]string{"os-name": "linux"}}
+	if !res.Matches([]Predicate{Eq("os-name", "linux")}) {
+		t.Error("exact match failed")
+	}
+	if res.Matches([]Predicate{Eq("os-name", "freebsd")}) {
+		t.Error("exact mismatch matched")
+	}
+	if res.Matches([]Predicate{Eq("missing", "")}) {
+		// empty string equals missing entry: document the zero-value rule
+		t.Log("missing attribute equals empty string by design")
+	}
+}
+
+// TestFullDomainRangeQuery: a query spanning the entire value domain
+// maps both bounds to the same ring node and must lap the whole ring,
+// not stop at the first owner (regression test).
+func TestFullDomainRangeQuery(t *testing.T) {
+	x, ring, resources := buildIndex(t, 24, 80, 77)
+	got, hops, err := x.RangeQuery(ring.IDs()[5], Predicate{Attr: "cpu-usage", Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(resources, []Predicate{{Attr: "cpu-usage", Lo: 0, Hi: 100}})
+	if len(got) != len(want) {
+		t.Fatalf("full-domain query found %d, want %d", len(got), len(want))
+	}
+	// The walk visits every node: at least n-1 arc hops.
+	if hops < 23 {
+		t.Fatalf("full-domain query used %d hops, want a full lap", hops)
+	}
+}

@@ -1,0 +1,588 @@
+package maan
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// MAAN message types.
+const (
+	// MsgStore registers one attribute-value entry at its owner node.
+	MsgStore = "maan.store"
+	// MsgRange is the range query traveling along the successor arc.
+	MsgRange = "maan.range"
+	// MsgResult returns the collected resources to the query originator.
+	MsgResult = "maan.result"
+	// MsgReplicate pushes an owner's full entry set to its successor for
+	// crash durability (opt-in, see Service.Replicate).
+	MsgReplicate = "maan.replicate"
+)
+
+// StoreReq registers a resource under one attribute value. Key is the
+// hashed ring key (computed by the sender), kept with the entry so the
+// owner can hand it off when the key arc changes hands.
+type StoreReq struct {
+	Attr  string
+	Value float64
+	Key   ident.ID
+	Res   Resource
+}
+
+// RangeReq is the in-flight range query state: it accumulates matches as
+// it walks the successor arc from successor(H(lo)) to successor(H(hi)).
+type RangeReq struct {
+	QueryID uint64
+	Origin  transport.Addr
+	Pred    Predicate
+	Filter  []Predicate
+	LoKey   ident.ID
+	HiKey   ident.ID
+	// Start is the first node on the arc; a query over the full value
+	// domain terminates when the walk laps back to it.
+	Start transport.Addr
+	Found []Resource
+	Hops  int
+	// Final marks the message as addressed to the terminal node (set by
+	// its predecessor), so the receiver answers even if it has not yet
+	// learned its own predecessor.
+	Final bool
+}
+
+// ResultMsg delivers the final result set to the originator.
+type ResultMsg struct {
+	QueryID uint64
+	Found   []Resource
+	Hops    int
+}
+
+// WireEntry is one stored entry in a replication batch.
+type WireEntry struct {
+	Attr  string
+	Key   ident.ID
+	Value float64
+	Res   Resource
+}
+
+// ReplicateMsg replaces the receiver's replica set for the sender.
+type ReplicateMsg struct {
+	Owner   transport.Addr
+	Entries []WireEntry
+}
+
+func init() {
+	gob.Register(StoreReq{})
+	gob.Register(RangeReq{})
+	gob.Register(ResultMsg{})
+	gob.Register(ReplicateMsg{})
+	gob.Register(chord.AckResp{})
+}
+
+// ErrQueryTimeout reports an unanswered live range query.
+var ErrQueryTimeout = errors.New("maan: query timed out")
+
+// Service is the live MAAN layer of one node: it owns the attribute
+// entries whose hashed values fall in this node's arc and participates
+// in query forwarding. When a node joins on this node's arc (observed as
+// a predecessor change), the entries the joiner now owns are handed off
+// through normal routing; entries on a *crashed* node are lost until the
+// producer's next periodic announcement (there is no replication, as in
+// the paper's prototype).
+type Service struct {
+	ch     *chord.Node
+	ep     transport.Endpoint
+	clock  transport.Clock
+	schema *Schema
+
+	mu      sync.Mutex
+	store   map[string][]ownedEntry // attr -> entries owned by this node
+	pending map[uint64]*pendingQuery
+	nextQID atomic.Uint64
+
+	stopTransfer func()
+	replicas     map[transport.Addr][]WireEntry // per-origin replica sets
+
+	// Replicate, when set, pushes this node's entries to its immediate
+	// successor on every maintenance scan; when the successor inherits
+	// the arc (this node crashes), it promotes the replicas and keeps
+	// serving them. Off by default: the paper's prototype relies on
+	// producer re-announcement instead.
+	Replicate bool
+	// QueryTimeout bounds live range queries. Default 5s.
+	QueryTimeout time.Duration
+	// EntryTTL is the soft-state lifetime of a stored entry: entries not
+	// refreshed by a producer announcement within the TTL expire. This is
+	// what retires stale values — a changed reading hashes to a different
+	// owner, so the old entry can only age out, never be overwritten.
+	// Default 60s.
+	EntryTTL time.Duration
+}
+
+// ownedEntry is one stored attribute value with its ring key and
+// refresh time (soft state).
+type ownedEntry struct {
+	key   ident.ID
+	value float64
+	res   Resource
+	at    time.Duration // clock time of last refresh
+}
+
+type pendingQuery struct {
+	cb     func([]Resource, int, error)
+	cancel func()
+	done   bool
+}
+
+// NewService attaches a MAAN layer to a Chord node.
+func NewService(ch *chord.Node, ep transport.Endpoint, clock transport.Clock, schema *Schema) *Service {
+	s := &Service{
+		ch:           ch,
+		ep:           ep,
+		clock:        clock,
+		schema:       schema,
+		store:        make(map[string][]ownedEntry),
+		replicas:     make(map[transport.Addr][]WireEntry),
+		pending:      make(map[uint64]*pendingQuery),
+		QueryTimeout: 5 * time.Second,
+		EntryTTL:     60 * time.Second,
+	}
+	ch.Handle(MsgStore, s.handleStore)
+	ch.Handle(MsgRange, s.handleRange)
+	ch.Handle(MsgResult, s.handleResult)
+	ch.Handle(MsgReplicate, s.handleReplicate)
+	// Key-space hand-off: react immediately when a closer predecessor
+	// appears (a node joined on our arc), and re-scan periodically — the
+	// first attempt can run before the ring has fully integrated the
+	// joiner, in which case the lookup still resolves here and the entry
+	// stays until the next scan. The scan is message-free when nothing is
+	// misplaced.
+	ch.OnPredecessorChange(func(_, _ chord.NodeRef) { s.transferMisplaced() })
+	s.stopTransfer = clock.Every(5*time.Second, time.Second, func() {
+		s.pruneExpired()
+		s.promoteReplicas()
+		s.transferMisplaced()
+		s.replicateToSuccessor()
+	})
+	return s
+}
+
+// replicateToSuccessor pushes this node's full entry set to its
+// immediate successor (one one-way message per scan; no-op when
+// replication is off, the node is alone, or it stores nothing).
+func (s *Service) replicateToSuccessor() {
+	if !s.Replicate {
+		return
+	}
+	succ := s.ch.Successor()
+	if succ.IsZero() || succ.Addr == s.ep.Addr() {
+		return
+	}
+	s.mu.Lock()
+	var batch []WireEntry
+	for attr, es := range s.store {
+		for _, e := range es {
+			batch = append(batch, WireEntry{Attr: attr, Key: e.key, Value: e.value, Res: e.res})
+		}
+	}
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	_ = s.ep.Send(succ.Addr, MsgReplicate, ReplicateMsg{Owner: s.ep.Addr(), Entries: batch})
+}
+
+// handleReplicate replaces the replica set held for one origin owner.
+func (s *Service) handleReplicate(req *transport.Request) {
+	rm, ok := req.Payload.(ReplicateMsg)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.replicas[rm.Owner] = rm.Entries
+	s.mu.Unlock()
+}
+
+// promoteReplicas moves replicated entries whose keys now fall in this
+// node's arc into the owned store — the owner died and this node
+// inherited its key range. Entries still owned elsewhere stay parked.
+func (s *Service) promoteReplicas() {
+	if !s.Replicate {
+		return
+	}
+	self := s.ch.Self()
+	pred := s.ch.Predecessor()
+	if pred.IsZero() {
+		return
+	}
+	space := s.ch.Space()
+	s.mu.Lock()
+	var promote []WireEntry
+	for owner, entries := range s.replicas {
+		// While the origin is still our direct predecessor it owns its
+		// entries; only an arc we inherited is promoted.
+		if owner == pred.Addr {
+			continue
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			if space.InHalfOpen(e.Key, pred.ID, self.ID) {
+				promote = append(promote, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.replicas, owner)
+		} else {
+			s.replicas[owner] = kept
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range promote {
+		s.insert(e.Attr, ownedEntry{key: e.Key, value: e.Value, res: e.Res})
+	}
+}
+
+// pruneExpired drops entries whose producers stopped refreshing them.
+func (s *Service) pruneExpired() {
+	if s.EntryTTL <= 0 {
+		return
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for attr, es := range s.store {
+		kept := es[:0]
+		for _, e := range es {
+			if now-e.at <= s.EntryTTL {
+				kept = append(kept, e)
+			}
+		}
+		s.store[attr] = kept
+	}
+}
+
+// Close stops the service's background hand-off scan. The chord node and
+// endpoint are owned by the caller and stay untouched.
+func (s *Service) Close() {
+	if s.stopTransfer != nil {
+		s.stopTransfer()
+	}
+}
+
+// transferMisplaced re-routes every stored entry whose key no longer
+// falls in this node's arc (pred, self]. Entries are removed locally and
+// re-registered through normal routing, so they land on (and stay with)
+// their current owner even across multi-node arc changes.
+func (s *Service) transferMisplaced() {
+	self := s.ch.Self()
+	pred := s.ch.Predecessor()
+	if pred.IsZero() || pred.Addr == self.Addr {
+		return
+	}
+	space := s.ch.Space()
+	type moved struct {
+		attr string
+		e    ownedEntry
+	}
+	var out []moved
+	s.mu.Lock()
+	for attr, es := range s.store {
+		kept := es[:0]
+		for _, e := range es {
+			if space.InHalfOpen(e.key, pred.ID, self.ID) {
+				kept = append(kept, e)
+			} else {
+				out = append(out, moved{attr, e})
+			}
+		}
+		s.store[attr] = kept
+	}
+	s.mu.Unlock()
+	for _, m := range out {
+		m := m
+		s.ch.Lookup(m.e.key, func(owner chord.NodeRef, err error) {
+			if err != nil {
+				// Could not place it: keep it here rather than lose it.
+				s.insert(m.attr, m.e)
+				return
+			}
+			if owner.Addr == s.ep.Addr() {
+				s.insert(m.attr, m.e)
+				return
+			}
+			req := StoreReq{Attr: m.attr, Value: m.e.value, Key: m.e.key, Res: m.e.res}
+			s.ep.Call(owner.Addr, MsgStore, req, func(_ any, err error) {
+				if err != nil {
+					s.insert(m.attr, m.e) // transfer failed: keep serving it
+				}
+			})
+		})
+	}
+}
+
+// insert stores one entry locally, keeping per-attribute value order. A
+// resource has one value per attribute, so any previous entry for the
+// same (attribute, resource) pair is replaced.
+func (s *Service) insert(attr string, e ownedEntry) {
+	e.at = s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es := s.store[attr]
+	kept := es[:0]
+	for _, old := range es {
+		if old.res.Name != e.res.Name {
+			kept = append(kept, old)
+		}
+	}
+	es = kept
+	i := sort.Search(len(es), func(i int) bool { return es[i].value >= e.value })
+	es = append(es, ownedEntry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	s.store[attr] = es
+}
+
+// Register stores the resource under each of its attribute values,
+// routing every registration to the value's successor node. cb runs once
+// with the first error or nil after all registrations land.
+func (s *Service) Register(res Resource, cb func(error)) {
+	if res.Name == "" {
+		cb(fmt.Errorf("maan: resource needs a name"))
+		return
+	}
+	type kv struct {
+		attr string
+		v    float64
+		key  ident.ID
+	}
+	var kvs []kv
+	for attr, v := range res.Values {
+		key, err := s.schema.Hash(attr, v)
+		if err != nil {
+			cb(err)
+			return
+		}
+		kvs = append(kvs, kv{attr, v, key})
+	}
+	for attr, sv := range res.Strings {
+		key, err := s.schema.HashString(attr, sv)
+		if err != nil {
+			cb(err)
+			return
+		}
+		kvs = append(kvs, kv{attr, 0, key})
+	}
+	if len(kvs) == 0 {
+		cb(fmt.Errorf("maan: resource %q has no attributes", res.Name))
+		return
+	}
+	var mu sync.Mutex
+	remaining := len(kvs)
+	var firstErr error
+	finish := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			cb(firstErr)
+		}
+	}
+	for _, item := range kvs {
+		item := item
+		s.ch.Lookup(item.key, func(owner chord.NodeRef, err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			s.ep.Call(owner.Addr, MsgStore,
+				StoreReq{Attr: item.attr, Value: item.v, Key: item.key, Res: res},
+				func(_ any, err error) { finish(err) })
+		})
+	}
+}
+
+// RangeQuery resolves a single-attribute range query. cb runs once with
+// the matching resources and the overlay hop count.
+func (s *Service) RangeQuery(p Predicate, cb func([]Resource, int, error)) {
+	s.query(p, nil, cb)
+}
+
+// MultiAttrQuery resolves a conjunctive query with the single-attribute
+// dominated approach (§2.2).
+func (s *Service) MultiAttrQuery(preds []Predicate, cb func([]Resource, int, error)) {
+	if len(preds) == 0 {
+		cb(nil, 0, fmt.Errorf("maan: empty query"))
+		return
+	}
+	best, bestSel := 0, 2.0
+	for i, p := range preds {
+		sel, err := s.schema.Selectivity(p)
+		if err != nil {
+			cb(nil, 0, err)
+			return
+		}
+		if sel < bestSel {
+			best, bestSel = i, sel
+		}
+	}
+	others := make([]Predicate, 0, len(preds)-1)
+	others = append(others, preds[:best]...)
+	others = append(others, preds[best+1:]...)
+	s.query(preds[best], others, cb)
+}
+
+func (s *Service) query(p Predicate, filter []Predicate, cb func([]Resource, int, error)) {
+	loKey, hiKey, err := s.schema.predicateKeys(p)
+	if err != nil {
+		cb(nil, 0, err)
+		return
+	}
+	qid := s.nextQID.Add(1)
+	pq := &pendingQuery{cb: cb}
+	s.mu.Lock()
+	s.pending[qid] = pq
+	s.mu.Unlock()
+	pq.cancel = s.clock.AfterFunc(s.QueryTimeout, func() {
+		s.finishQuery(qid, nil, 0, ErrQueryTimeout)
+	})
+
+	s.ch.Lookup(loKey, func(first chord.NodeRef, err error) {
+		if err != nil {
+			s.finishQuery(qid, nil, 0, err)
+			return
+		}
+		req := RangeReq{
+			QueryID: qid,
+			Origin:  s.ep.Addr(),
+			Pred:    p,
+			Filter:  filter,
+			LoKey:   loKey,
+			HiKey:   hiKey,
+			Start:   first.Addr,
+		}
+		if err := s.ep.Send(first.Addr, MsgRange, req); err != nil {
+			s.finishQuery(qid, nil, 0, err)
+		}
+	})
+}
+
+func (s *Service) finishQuery(qid uint64, res []Resource, hops int, err error) {
+	s.mu.Lock()
+	pq := s.pending[qid]
+	if pq == nil || pq.done {
+		s.mu.Unlock()
+		return
+	}
+	pq.done = true
+	delete(s.pending, qid)
+	s.mu.Unlock()
+	if pq.cancel != nil {
+		pq.cancel()
+	}
+	pq.cb(res, hops, err)
+}
+
+// --- handlers ---
+
+func (s *Service) handleStore(req *transport.Request) {
+	sr, ok := req.Payload.(StoreReq)
+	if !ok {
+		req.ReplyError(fmt.Errorf("maan: bad store payload %T", req.Payload))
+		return
+	}
+	s.insert(sr.Attr, ownedEntry{key: sr.Key, value: sr.Value, res: sr.Res})
+	req.Reply(chord.AckResp{})
+}
+
+func (s *Service) handleRange(req *transport.Request) {
+	rr, ok := req.Payload.(RangeReq)
+	if !ok {
+		return
+	}
+	all := append([]Predicate{rr.Pred}, rr.Filter...)
+	seen := make(map[string]bool, len(rr.Found))
+	for _, r := range rr.Found {
+		seen[r.Name] = true
+	}
+	s.mu.Lock()
+	for _, e := range s.store[rr.Pred.Attr] {
+		if !rr.Pred.Exact && (e.value < rr.Pred.Lo || e.value > rr.Pred.Hi) {
+			continue
+		}
+		if seen[e.res.Name] {
+			continue
+		}
+		if e.res.Matches(all) {
+			seen[e.res.Name] = true
+			rr.Found = append(rr.Found, e.res)
+		}
+	}
+	s.mu.Unlock()
+
+	self := s.ch.Self()
+	pred := s.ch.Predecessor()
+	succ := s.ch.Successor()
+	space := s.ch.Space()
+	// Terminal test: we own HiKey AND the queried span actually ends here
+	// (a full-domain query resolves both bounds to the same node but must
+	// still lap the ring; the span test tells the two cases apart).
+	spanEndsHere := space.Dist(rr.LoKey, rr.HiKey) <= space.Dist(rr.LoKey, self.ID) ||
+		self.ID == rr.HiKey
+	lastHop := rr.Final ||
+		succ.Addr == self.Addr || // alone
+		(!pred.IsZero() && space.InHalfOpen(rr.HiKey, pred.ID, self.ID) && spanEndsHere)
+	// Hop cap: a query must never lap the ring twice (possible only with
+	// badly stale neighbor state); 2x the size estimate is generous.
+	if !lastHop && uint64(rr.Hops) > 2*s.ch.EstimatedNetworkSize()+16 {
+		lastHop = true
+	}
+	if lastHop {
+		_ = s.ep.Send(rr.Origin, MsgResult, ResultMsg{QueryID: rr.QueryID, Found: rr.Found, Hops: rr.Hops})
+		return
+	}
+	rr.Hops++
+	// If the successor is the terminal node — it owns the upper bound, or
+	// the walk is about to lap back to its starting node — say so
+	// explicitly in case its predecessor pointer is still unset.
+	rr.Final = (space.InHalfOpen(rr.HiKey, self.ID, succ.ID) && spanEndsAt(space, rr, succ.ID)) ||
+		succ.Addr == rr.Start
+	_ = s.ep.Send(succ.Addr, MsgRange, rr)
+}
+
+// spanEndsAt reports whether the queried span [LoKey, HiKey] ends at or
+// before the given node position going clockwise from LoKey.
+func spanEndsAt(space ident.Space, rr RangeReq, at ident.ID) bool {
+	return space.Dist(rr.LoKey, rr.HiKey) <= space.Dist(rr.LoKey, at) || at == rr.HiKey
+}
+
+func (s *Service) handleResult(req *transport.Request) {
+	rm, ok := req.Payload.(ResultMsg)
+	if !ok {
+		return
+	}
+	sort.Slice(rm.Found, func(i, j int) bool { return rm.Found[i].Name < rm.Found[j].Name })
+	s.finishQuery(rm.QueryID, rm.Found, rm.Hops, nil)
+}
+
+// LocalEntries returns how many entries this node currently owns.
+func (s *Service) LocalEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, es := range s.store {
+		total += len(es)
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+// Package metrics collects the load and message statistics reported in
+// the paper's evaluation (§5): per-node aggregation message counts, their
+// rank distribution (Fig. 8a) and the imbalance factor, defined as the
+// ratio between the maximum and average number of aggregation messages
+// per node (Fig. 8b).
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// MessageCounter tallies messages received per node. It implements
+// transport.Tap and is safe for concurrent use, so it works unchanged on
+// the simulated and the real transports.
+type MessageCounter struct {
+	filter func(typ string) bool
+
+	mu     sync.Mutex
+	byNode map[transport.Addr]uint64
+	byType map[string]uint64
+	total  uint64
+}
+
+// NewMessageCounter creates a counter that tallies every message whose
+// type passes filter. A nil filter counts everything.
+func NewMessageCounter(filter func(typ string) bool) *MessageCounter {
+	return &MessageCounter{
+		filter: filter,
+		byNode: make(map[transport.Addr]uint64),
+		byType: make(map[string]uint64),
+	}
+}
+
+// TypePrefixFilter returns a filter accepting message types with any of
+// the given prefixes. Replies ("typ:reply") are excluded: the paper
+// counts aggregation messages processed, and in our protocol those are
+// the forward value-update messages.
+func TypePrefixFilter(prefixes ...string) func(string) bool {
+	return func(typ string) bool {
+		if strings.HasSuffix(typ, ":reply") {
+			return false
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(typ, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Message implements transport.Tap: it credits one received message to
+// the destination node.
+func (c *MessageCounter) Message(from, to transport.Addr, typ string, oneWay bool) {
+	if c.filter != nil && !c.filter(typ) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byNode[to]++
+	c.byType[typ]++
+	c.total++
+}
+
+// Add credits count messages to a node directly (used by snapshot-based
+// experiments that do not run a transport).
+func (c *MessageCounter) Add(node transport.Addr, count uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byNode[node] += count
+	c.total += count
+}
+
+// ReceivedBy returns the count for one node.
+func (c *MessageCounter) ReceivedBy(node transport.Addr) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byNode[node]
+}
+
+// Total returns the total number of counted messages.
+func (c *MessageCounter) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// ByType returns a copy of the per-type totals.
+func (c *MessageCounter) ByType() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.byType))
+	for k, v := range c.byType {
+		out[k] = v
+	}
+	return out
+}
+
+// Loads returns the per-node counts over the given node population. Nodes
+// that received nothing appear with a zero entry, so averages are over
+// the whole network as in the paper, not just over nodes that happened to
+// receive traffic.
+func (c *MessageCounter) Loads(nodes []transport.Addr) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	loads := make([]uint64, len(nodes))
+	for i, n := range nodes {
+		loads[i] = c.byNode[n]
+	}
+	return loads
+}
+
+// Reset clears all counts.
+func (c *MessageCounter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byNode = make(map[transport.Addr]uint64)
+	c.byType = make(map[string]uint64)
+	c.total = 0
+}
+
+// LoadStats summarizes a per-node load vector.
+type LoadStats struct {
+	Nodes     int
+	Total     uint64
+	Max       uint64
+	Min       uint64
+	Mean      float64
+	Imbalance float64 // Max / Mean, the paper's imbalance factor (Fig. 8b)
+}
+
+// Analyze computes LoadStats for a load vector. An empty vector yields
+// the zero LoadStats.
+func Analyze(loads []uint64) LoadStats {
+	if len(loads) == 0 {
+		return LoadStats{}
+	}
+	s := LoadStats{Nodes: len(loads), Min: loads[0]}
+	for _, l := range loads {
+		s.Total += l
+		if l > s.Max {
+			s.Max = l
+		}
+		if l < s.Min {
+			s.Min = l
+		}
+	}
+	s.Mean = float64(s.Total) / float64(len(loads))
+	if s.Mean > 0 {
+		s.Imbalance = float64(s.Max) / s.Mean
+	}
+	return s
+}
+
+// RankDistribution returns the load vector sorted in descending order:
+// index i is the load of the node with rank i+1, the x-axis of Fig. 8(a).
+func RankDistribution(loads []uint64) []uint64 {
+	out := make([]uint64, len(loads))
+	copy(out, loads)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

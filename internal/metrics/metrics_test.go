@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestMessageCounterBasics(t *testing.T) {
+	c := NewMessageCounter(nil)
+	c.Message("a", "b", "dat.update", true)
+	c.Message("a", "b", "dat.update", true)
+	c.Message("b", "a", "chord.ping", false)
+	if got := c.ReceivedBy("b"); got != 2 {
+		t.Fatalf("ReceivedBy(b) = %d", got)
+	}
+	if got := c.ReceivedBy("a"); got != 1 {
+		t.Fatalf("ReceivedBy(a) = %d", got)
+	}
+	if got := c.Total(); got != 3 {
+		t.Fatalf("Total = %d", got)
+	}
+	byType := c.ByType()
+	if byType["dat.update"] != 2 || byType["chord.ping"] != 1 {
+		t.Fatalf("ByType = %v", byType)
+	}
+	c.Reset()
+	if c.Total() != 0 || c.ReceivedBy("b") != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTypePrefixFilter(t *testing.T) {
+	f := TypePrefixFilter("dat.", "agg.")
+	cases := map[string]bool{
+		"dat.update":       true,
+		"agg.collect":      true,
+		"chord.stabilize":  false,
+		"dat.update:reply": false, // replies never counted
+	}
+	for typ, want := range cases {
+		if got := f(typ); got != want {
+			t.Errorf("filter(%q) = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestCounterWithFilter(t *testing.T) {
+	c := NewMessageCounter(TypePrefixFilter("dat."))
+	c.Message("a", "b", "dat.update", true)
+	c.Message("a", "b", "chord.ping", true)
+	if c.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (filtered)", c.Total())
+	}
+}
+
+func TestCounterAddAndLoads(t *testing.T) {
+	c := NewMessageCounter(nil)
+	c.Add("n1", 5)
+	c.Add("n2", 1)
+	loads := c.Loads([]transport.Addr{"n1", "n2", "n3"})
+	want := []uint64{5, 1, 0}
+	for i, w := range want {
+		if loads[i] != w {
+			t.Fatalf("Loads = %v, want %v", loads, want)
+		}
+	}
+	if c.Total() != 6 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewMessageCounter(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Message("x", "y", "t", true)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Total() != 8000 {
+		t.Fatalf("Total = %d, want 8000", c.Total())
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	s := Analyze([]uint64{4, 0, 2, 2})
+	if s.Nodes != 4 || s.Total != 8 || s.Max != 4 || s.Min != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean != 2 || s.Imbalance != 2 {
+		t.Fatalf("mean=%v imbalance=%v", s.Mean, s.Imbalance)
+	}
+	if z := Analyze(nil); z != (LoadStats{}) {
+		t.Fatalf("empty stats = %+v", z)
+	}
+	allZero := Analyze([]uint64{0, 0})
+	if allZero.Imbalance != 0 {
+		t.Fatalf("all-zero imbalance = %v", allZero.Imbalance)
+	}
+}
+
+func TestRankDistribution(t *testing.T) {
+	in := []uint64{1, 9, 4, 4, 0}
+	out := RankDistribution(in)
+	want := []uint64{9, 4, 4, 1, 0}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("RankDistribution = %v, want %v", out, want)
+		}
+	}
+	// Input untouched.
+	if in[0] != 1 || in[4] != 0 {
+		t.Fatal("input mutated")
+	}
+}

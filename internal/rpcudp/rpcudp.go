@@ -1,0 +1,309 @@
+// Package rpcudp implements the paper's UDP-based RPC manager (§4): a
+// socket-level transport that carries the same Chord/DAT messages as the
+// simulated network, so the protocol stack runs unchanged on real
+// sockets. Requests are matched to responses by a per-endpoint sequence
+// number; unanswered requests are retransmitted a configurable number of
+// times before failing with transport.ErrTimeout.
+//
+// Payloads are gob-encoded; every concrete payload type must be
+// registered with encoding/gob (the chord and core packages do so in
+// their init functions).
+package rpcudp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Config parameterizes a UDP endpoint.
+type Config struct {
+	// CallTimeout bounds one request attempt (including retransmits it is
+	// CallTimeout * (1 + Retransmits)). Default 500ms.
+	CallTimeout time.Duration
+	// Retransmits is how many times an unanswered request is resent.
+	// Default 2.
+	Retransmits int
+	// MaxPacket is the receive buffer size. Default 64KiB (max UDP).
+	MaxPacket int
+	// Logf, when set, receives transport diagnostics (decode failures,
+	// send errors). Default: log.Printf-compatible silence.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 500 * time.Millisecond
+	}
+	if c.Retransmits < 0 {
+		c.Retransmits = 0
+	} else if c.Retransmits == 0 {
+		c.Retransmits = 2
+	}
+	if c.MaxPacket <= 0 {
+		c.MaxPacket = 64 << 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+const (
+	kindOneWay byte = 1
+	kindCall   byte = 2
+	kindReply  byte = 3
+	kindError  byte = 4
+)
+
+// envelope is the wire frame.
+type envelope struct {
+	Kind    byte
+	Seq     uint64
+	Type    string
+	From    string
+	Payload any
+	ErrText string
+}
+
+// Endpoint is a UDP transport endpoint. Create with Listen.
+type Endpoint struct {
+	cfg  Config
+	conn *net.UDPConn
+	addr transport.Addr
+
+	mu      sync.Mutex
+	handler transport.Handler
+	pending map[uint64]*pendingCall
+	closed  bool
+
+	seq atomic.Uint64
+	wg  sync.WaitGroup
+}
+
+type pendingCall struct {
+	cb    transport.ResponseFunc
+	timer *time.Timer
+	done  bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen opens a UDP endpoint on the given address ("127.0.0.1:0" picks
+// a free port). The returned endpoint's Addr is the concrete bound
+// address, which is what peers must dial.
+func Listen(addr string, cfg Config) (*Endpoint, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcudp: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcudp: listen %q: %w", addr, err)
+	}
+	e := &Endpoint{
+		cfg:     cfg.withDefaults(),
+		conn:    conn,
+		addr:    transport.Addr(conn.LocalAddr().String()),
+		pending: make(map[uint64]*pendingCall),
+	}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr implements transport.Endpoint.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// Handle implements transport.Endpoint.
+func (e *Endpoint) Handle(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Close shuts the socket down and fails all pending calls.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	pend := e.pending
+	e.pending = make(map[uint64]*pendingCall)
+	e.mu.Unlock()
+
+	err := e.conn.Close()
+	for _, p := range pend {
+		p.timer.Stop()
+		if !p.done {
+			p.done = true
+			p.cb(nil, transport.ErrClosed)
+		}
+	}
+	e.wg.Wait()
+	return err
+}
+
+// Send implements transport.Endpoint (fire-and-forget datagram).
+func (e *Endpoint) Send(to transport.Addr, typ string, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	return e.write(to, envelope{Kind: kindOneWay, Type: typ, From: string(e.addr), Payload: payload})
+}
+
+// Call implements transport.Endpoint: request/response with
+// retransmission.
+func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport.ResponseFunc) {
+	if cb == nil {
+		panic("rpcudp: Call with nil callback")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cb(nil, transport.ErrClosed)
+		return
+	}
+	seq := e.seq.Add(1)
+	env := envelope{Kind: kindCall, Seq: seq, Type: typ, From: string(e.addr), Payload: payload}
+	p := &pendingCall{cb: cb}
+	e.pending[seq] = p
+	e.mu.Unlock()
+
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		e.mu.Lock()
+		cur, ok := e.pending[seq]
+		if !ok || cur.done {
+			e.mu.Unlock()
+			return
+		}
+		attempts++
+		give := attempts > e.cfg.Retransmits+1
+		if give {
+			delete(e.pending, seq)
+			cur.done = true
+		} else {
+			cur.timer = time.AfterFunc(e.cfg.CallTimeout, attempt)
+		}
+		e.mu.Unlock()
+		if give {
+			cb(nil, transport.ErrTimeout)
+			return
+		}
+		if err := e.write(to, env); err != nil {
+			e.cfg.Logf("rpcudp: send %s to %s: %v", typ, to, err)
+		}
+	}
+	attempt()
+}
+
+func (e *Endpoint) write(to transport.Addr, env envelope) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return fmt.Errorf("rpcudp: resolve %q: %w", to, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return fmt.Errorf("rpcudp: encode %s: %w", env.Type, err)
+	}
+	if buf.Len() > e.cfg.MaxPacket {
+		return fmt.Errorf("rpcudp: message %s too large (%d bytes)", env.Type, buf.Len())
+	}
+	_, err = e.conn.WriteToUDP(buf.Bytes(), udpAddr)
+	return err
+}
+
+func (e *Endpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, e.cfg.MaxPacket)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.cfg.Logf("rpcudp: read: %v", err)
+			continue
+		}
+		var env envelope
+		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&env); err != nil {
+			e.cfg.Logf("rpcudp: decode from %s: %v", from, err)
+			continue
+		}
+		e.handle(env)
+	}
+}
+
+func (e *Endpoint) handle(env envelope) {
+	switch env.Kind {
+	case kindOneWay, kindCall:
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h == nil {
+			return // no handler yet: drop, UDP-style
+		}
+		var reply func(payload any, err error)
+		if env.Kind == kindCall {
+			seq := env.Seq
+			to := transport.Addr(env.From)
+			typ := env.Type
+			reply = func(payload any, err error) {
+				resp := envelope{Seq: seq, Type: typ, From: string(e.addr)}
+				if err != nil {
+					resp.Kind = kindError
+					resp.ErrText = err.Error()
+				} else {
+					resp.Kind = kindReply
+					resp.Payload = payload
+				}
+				if werr := e.write(to, resp); werr != nil {
+					e.cfg.Logf("rpcudp: reply %s to %s: %v", typ, to, werr)
+				}
+			}
+		}
+		h(transport.NewRequest(transport.Addr(env.From), env.Type, env.Payload, reply))
+	case kindReply, kindError:
+		e.mu.Lock()
+		p, ok := e.pending[env.Seq]
+		if ok {
+			delete(e.pending, env.Seq)
+		}
+		e.mu.Unlock()
+		if !ok || p.done {
+			return // duplicate or late reply
+		}
+		p.done = true
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		if env.Kind == kindError {
+			p.cb(nil, errors.New(env.ErrText))
+		} else {
+			p.cb(env.Payload, nil)
+		}
+	default:
+		e.cfg.Logf("rpcudp: unknown envelope kind %d", env.Kind)
+	}
+}
+
+// Logger returns a Config.Logf adapter for the standard logger, handy in
+// the cmd tools.
+func Logger(l *log.Logger) func(string, ...any) {
+	return func(format string, args ...any) { l.Printf(format, args...) }
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel produces one-way network delays for simulated messages.
+// Implementations draw randomness from the rng they are given so that the
+// engine's determinism is preserved.
+type LatencyModel interface {
+	// Sample returns the one-way delay for a message between two nodes,
+	// identified by opaque endpoint strings.
+	Sample(rng *rand.Rand, from, to string) time.Duration
+}
+
+// ConstantLatency delays every message by a fixed amount.
+type ConstantLatency time.Duration
+
+// Sample implements LatencyModel.
+func (c ConstantLatency) Sample(*rand.Rand, string, string) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency draws delays uniformly from [Min, Max).
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(rng *rand.Rand, _, _ string) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// LogNormalLatency draws delays from a log-normal distribution, a common
+// model for wide-area RTTs (heavy right tail). Median is the 50th
+// percentile delay; Sigma the log-space standard deviation (0.5 is a
+// reasonable WAN value). Samples are clamped to [Floor, Ceil] when those
+// are non-zero.
+type LogNormalLatency struct {
+	Median time.Duration
+	Sigma  float64
+	Floor  time.Duration
+	Ceil   time.Duration
+}
+
+// Sample implements LatencyModel.
+func (l LogNormalLatency) Sample(rng *rand.Rand, _, _ string) time.Duration {
+	mu := math.Log(float64(l.Median))
+	d := time.Duration(math.Exp(mu + l.Sigma*rng.NormFloat64()))
+	if l.Floor > 0 && d < l.Floor {
+		d = l.Floor
+	}
+	if l.Ceil > 0 && d > l.Ceil {
+		d = l.Ceil
+	}
+	return d
+}
+
+// String implementations aid experiment logs.
+
+func (c ConstantLatency) String() string { return fmt.Sprintf("constant(%v)", time.Duration(c)) }
+func (u UniformLatency) String() string  { return fmt.Sprintf("uniform[%v,%v)", u.Min, u.Max) }
+func (l LogNormalLatency) String() string {
+	return fmt.Sprintf("lognormal(median=%v, sigma=%.2f)", l.Median, l.Sigma)
+}

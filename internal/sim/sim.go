@@ -1,0 +1,236 @@
+// Package sim provides the discrete event simulation engine used to run
+// the Chord/DAT protocol stack at scales beyond what a single machine can
+// host as real processes (the paper evaluates up to 8192 nodes this way).
+//
+// The engine is a classic heap-based event queue with a virtual clock:
+// events are (time, sequence, callback) triples fired in chronological
+// order; ties break by insertion order so runs are fully deterministic for
+// a given seed. The engine is single-goroutine by design — protocol code
+// scheduled on it must not block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Seconds converts a virtual time to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String renders the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are created via Engine.Schedule
+// or Engine.At and may be cancelled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 once fired or cancelled
+	fn     func()
+	engine *Engine
+}
+
+// Time returns when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&e.engine.queue, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	queue   eventQueue
+	now     Time
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Protocol code
+// running on the engine should draw all randomness from here so that runs
+// are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run after delay d of virtual time. Negative
+// delays are treated as zero (fire at the current instant, after already
+// queued same-time events). It returns a cancellable handle.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// At queues fn to run at absolute virtual time t. Times in the past are
+// clamped to now.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called. It returns
+// the number of events fired by this call.
+func (e *Engine) Run() uint64 {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to deadline (if it has not already passed it). Events scheduled beyond
+// the deadline remain queued. It returns the number of events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunFor advances the simulation by d of virtual time (see RunUntil).
+func (e *Engine) RunFor(d time.Duration) uint64 {
+	return e.RunUntil(e.now + Time(d))
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. It is intended to be called from within an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Every schedules fn to run periodically with the given period, starting
+// one period from now, until the returned Ticker is stopped. Jitter, if
+// positive, adds a uniform random offset in [0, jitter) to each firing —
+// protocol maintenance loops (Chord stabilization) use this to avoid
+// lock-step synchronization artifacts.
+func (e *Engine) Every(period, jitter time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, jitter: jitter, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker is a recurring event created by Engine.Every.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	jitter  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	d := t.period
+	if t.jitter > 0 {
+		d += time.Duration(t.engine.rng.Int63n(int64(t.jitter)))
+	}
+	t.ev = t.engine.Schedule(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	n := e.Run()
+	if n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if e.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events not fired in insertion order: %v", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("negative delay: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event not pending after schedule")
+	}
+	if !ev.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			fired = append(fired, i)
+		}))
+	}
+	for i := 0; i < 20; i += 2 {
+		events[i].Cancel()
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v%2 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(time.Millisecond, chain)
+		}
+	}
+	e.Schedule(time.Millisecond, chain)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("chained depth = %d, want 5", depth)
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("clock = %v, want 5ms", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 2) })
+	n := e.RunUntil(Time(20 * time.Millisecond))
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("RunUntil fired %d, got=%v", n, got)
+	}
+	if e.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("clock = %v, want 20ms (advanced to deadline)", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Len())
+	}
+	e.RunFor(10 * time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("second event not fired: %v", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (stopped)", count)
+	}
+	// Run again resumes.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := e.Every(time.Second, 0, func() {
+		count++
+		if count == 4 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	if count != 4 {
+		t.Fatalf("ticker fired %d times, want 4", count)
+	}
+	if e.Now() != Time(4*time.Second) {
+		t.Fatalf("clock = %v, want 4s", e.Now())
+	}
+	tk.Stop()
+	before := count
+	e.RunFor(10 * time.Second)
+	if count != before {
+		t.Fatalf("stopped ticker kept firing: %d -> %d", before, count)
+	}
+}
+
+func TestTickerJitterBounded(t *testing.T) {
+	e := NewEngine(42)
+	var times []Time
+	tk := e.Every(time.Second, 500*time.Millisecond, func() {
+		times = append(times, e.Now())
+	})
+	e.RunUntil(Time(30 * time.Second))
+	tk.Stop()
+	if len(times) < 15 {
+		t.Fatalf("too few firings: %d", len(times))
+	}
+	prev := Time(0)
+	for _, at := range times {
+		gap := at - prev
+		if gap < Time(time.Second) || gap >= Time(1500*time.Millisecond) {
+			t.Fatalf("jittered gap %v outside [1s, 1.5s)", time.Duration(gap))
+		}
+		prev = at
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(7)
+		var times []Time
+		tk := e.Every(100*time.Millisecond, 50*time.Millisecond, func() {
+			times = append(times, e.Now())
+		})
+		e.RunUntil(Time(5 * time.Second))
+		tk.Stop()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic timestamps at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, 0, func() {})
+}
+
+func TestAtNilCallbackPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(nil) did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", tm.Seconds())
+	}
+	if tm.String() != "1.5s" {
+		t.Errorf("String = %q, want 1.5s", tm.String())
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	c := ConstantLatency(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if d := c.Sample(rng, "a", "b"); d != 5*time.Millisecond {
+			t.Fatalf("constant latency = %v", d)
+		}
+	}
+
+	u := UniformLatency{Min: 10 * time.Millisecond, Max: 20 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(rng, "a", "b")
+		if d < u.Min || d >= u.Max {
+			t.Fatalf("uniform latency %v outside [%v,%v)", d, u.Min, u.Max)
+		}
+	}
+	degenerate := UniformLatency{Min: 7 * time.Millisecond, Max: 7 * time.Millisecond}
+	if d := degenerate.Sample(rng, "a", "b"); d != 7*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+
+	l := LogNormalLatency{Median: 50 * time.Millisecond, Sigma: 0.5,
+		Floor: time.Millisecond, Ceil: time.Second}
+	below, above := 0, 0
+	for i := 0; i < 2000; i++ {
+		d := l.Sample(rng, "a", "b")
+		if d < l.Floor || d > l.Ceil {
+			t.Fatalf("lognormal %v outside clamp", d)
+		}
+		if d < l.Median {
+			below++
+		} else {
+			above++
+		}
+	}
+	// Median property: roughly half the samples on each side.
+	if below < 800 || above < 800 {
+		t.Fatalf("lognormal median skewed: below=%d above=%d", below, above)
+	}
+}
+
+func TestLatencyStrings(t *testing.T) {
+	if s := ConstantLatency(time.Millisecond).String(); s == "" {
+		t.Error("empty ConstantLatency string")
+	}
+	if s := (UniformLatency{}).String(); s == "" {
+		t.Error("empty UniformLatency string")
+	}
+	if s := (LogNormalLatency{Median: time.Millisecond}).String(); s == "" {
+		t.Error("empty LogNormalLatency string")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d before run", e.Fired())
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+func TestEventTimeAndPending(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(5*time.Millisecond, func() {})
+	if ev.Time() != Time(5*time.Millisecond) {
+		t.Fatalf("Time = %v", ev.Time())
+	}
+	if !ev.Pending() {
+		t.Fatal("not pending before run")
+	}
+	e.Run()
+	if ev.Pending() {
+		t.Fatal("still pending after fire")
+	}
+	if ev.Cancel() {
+		t.Fatal("cancel after fire returned true")
+	}
+	if (*Event)(nil).Cancel() {
+		t.Fatal("nil event cancel returned true")
+	}
+}
+
+func TestRunUntilIncludesDeadlineEvents(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(10*time.Millisecond, func() { fired = true })
+	e.RunUntil(Time(10 * time.Millisecond)) // exactly at the deadline
+	if !fired {
+		t.Fatal("event at the deadline not fired")
+	}
+}

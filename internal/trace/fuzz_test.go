@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic — it either parses into
+// well-formed series or returns an error.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteCSV(&buf, Generate("a", GenConfig{Seed: 1, Duration: 60e9}))
+	f.Add(buf.String())
+	f.Add("t_seconds,a\n0,1\n15,2\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("t_seconds,a\nx,y\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		series, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range series {
+			if s.Interval <= 0 {
+				t.Fatalf("parsed series with non-positive interval %v", s.Interval)
+			}
+			_ = s.At(0)
+			_, _, _ = s.Stats()
+		}
+	})
+}

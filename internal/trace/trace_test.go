@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateShape(t *testing.T) {
+	s := Generate("cpu", GenConfig{Seed: 1})
+	if s.Interval != 15*time.Second {
+		t.Fatalf("interval = %v", s.Interval)
+	}
+	if s.Duration() != 2*time.Hour {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	if s.Len() != 480 {
+		t.Fatalf("len = %d, want 480 (2h at 15s)", s.Len())
+	}
+	min, max, mean := s.Stats()
+	if min < 0 || max > 100 {
+		t.Fatalf("values escape [0,100]: min=%v max=%v", min, max)
+	}
+	if mean < 5 || mean > 80 {
+		t.Fatalf("implausible mean %v", mean)
+	}
+	// The signal must actually vary (it drives the accuracy experiment).
+	if max-min < 10 {
+		t.Fatalf("trace too flat: min=%v max=%v", min, max)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("x", GenConfig{Seed: 42})
+	b := Generate("x", GenConfig{Seed: 42})
+	c := Generate("x", GenConfig{Seed: 43})
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds, identical trace")
+	}
+}
+
+func TestAtClampAndStep(t *testing.T) {
+	s := &Series{Name: "x", Interval: time.Second, Values: []float64{1, 2, 3}}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{-time.Second, 1},
+		{0, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 2},
+		{2500 * time.Millisecond, 3},
+		{time.Minute, 3},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	empty := &Series{}
+	if empty.At(0) != 0 {
+		t.Error("empty series At != 0")
+	}
+}
+
+func TestGenerateFleet(t *testing.T) {
+	fleet := GenerateFleet(5, GenConfig{Seed: 7, Duration: 10 * time.Minute})
+	if len(fleet) != 5 {
+		t.Fatalf("fleet size = %d", len(fleet))
+	}
+	if fleet[0].Values[3] == fleet[1].Values[3] && fleet[0].Values[7] == fleet[1].Values[7] {
+		t.Fatal("fleet members suspiciously identical")
+	}
+	again := GenerateFleet(5, GenConfig{Seed: 7, Duration: 10 * time.Minute})
+	for i := range fleet {
+		for j := range fleet[i].Values {
+			if fleet[i].Values[j] != again[i].Values[j] {
+				t.Fatal("fleet not deterministic")
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := Generate("alpha", GenConfig{Seed: 1, Duration: 5 * time.Minute})
+	b := Generate("beta", GenConfig{Seed: 2, Duration: 5 * time.Minute})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "alpha" || series[1].Name != "beta" {
+		t.Fatalf("series = %v", series)
+	}
+	if series[0].Interval != a.Interval {
+		t.Fatalf("interval = %v, want %v", series[0].Interval, a.Interval)
+	}
+	for i := range a.Values {
+		if diff := series[0].Values[i] - a.Values[i]; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("value %d drifted: %v vs %v", i, series[0].Values[i], a.Values[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("empty write accepted")
+	}
+	short := Generate("a", GenConfig{Seed: 1, Duration: time.Minute})
+	long := Generate("b", GenConfig{Seed: 1, Duration: 2 * time.Minute})
+	if err := WriteCSV(&bytes.Buffer{}, short, long); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("t_seconds,a\nx,1\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("t_seconds,a\n0,zzz\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}

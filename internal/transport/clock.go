@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Clock abstracts time for protocol maintenance loops (stabilization,
+// continuous aggregation slots) so the same protocol code runs in real
+// time or virtual time.
+type Clock interface {
+	// Now returns the current time as a duration since an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc runs fn once after d. The returned stop function cancels
+	// it if it has not fired; stopping twice is safe.
+	AfterFunc(d time.Duration, fn func()) (stop func())
+	// Every runs fn periodically with optional uniform jitter added to
+	// each period. The returned stop function halts the loop.
+	Every(period, jitter time.Duration, fn func()) (stop func())
+}
+
+// SimClock adapts a sim.Engine to the Clock interface. All callbacks run
+// inline on the engine's event loop.
+type SimClock struct {
+	Engine *sim.Engine
+}
+
+// Now implements Clock.
+func (c SimClock) Now() time.Duration { return time.Duration(c.Engine.Now()) }
+
+// AfterFunc implements Clock.
+func (c SimClock) AfterFunc(d time.Duration, fn func()) func() {
+	ev := c.Engine.Schedule(d, fn)
+	return func() { ev.Cancel() }
+}
+
+// Every implements Clock.
+func (c SimClock) Every(period, jitter time.Duration, fn func()) func() {
+	t := c.Engine.Every(period, jitter, fn)
+	return t.Stop
+}
+
+// RealClock implements Clock over the time package, for live transports.
+// The zero value is ready to use.
+type RealClock struct {
+	once  sync.Once
+	epoch time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *RealClock) init() {
+	c.once.Do(func() {
+		c.epoch = time.Now()
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	})
+}
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration {
+	c.init()
+	return time.Since(c.epoch)
+}
+
+// AfterFunc implements Clock.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+// Every implements Clock.
+func (c *RealClock) Every(period, jitter time.Duration, fn func()) func() {
+	c.init()
+	stopped := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			d := period
+			if jitter > 0 {
+				c.mu.Lock()
+				d += time.Duration(c.rng.Int63n(int64(jitter)))
+				c.mu.Unlock()
+			}
+			select {
+			case <-stopped:
+				return
+			case <-time.After(d):
+				// Re-check: a stop that raced the timer should win.
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				fn()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stopped) }) }
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SimConfig parameterizes a SimNetwork.
+type SimConfig struct {
+	// Latency models one-way message delay. Nil means ConstantLatency(1ms).
+	Latency sim.LatencyModel
+	// CallTimeout bounds request/response exchanges. Zero means 2s of
+	// virtual time.
+	CallTimeout time.Duration
+	// DropProb is the probability that any single message (request,
+	// reply or one-way) is silently lost. Used for failure injection.
+	DropProb float64
+	// DupProb is the probability that a delivered message is delivered a
+	// second time shortly afterwards. Used for failure injection.
+	DupProb float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Latency == nil {
+		c.Latency = sim.ConstantLatency(time.Millisecond)
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// SimNetwork delivers messages through a sim.Engine: every delivery is an
+// event delayed by the latency model. It is deterministic and strictly
+// single-threaded — all endpoints, handlers and callbacks run on the
+// engine's event loop, so protocol code needs no locking but must never
+// block. Not safe for concurrent use from multiple goroutines.
+type SimNetwork struct {
+	engine    *sim.Engine
+	cfg       SimConfig
+	endpoints map[Addr]*simEndpoint
+	tap       Tap
+
+	// Counters for failure-injection assertions in tests.
+	dropped    uint64
+	duplicated uint64
+}
+
+// NewSimNetwork creates a network on the given engine.
+func NewSimNetwork(engine *sim.Engine, cfg SimConfig) *SimNetwork {
+	return &SimNetwork{
+		engine:    engine,
+		cfg:       cfg.withDefaults(),
+		endpoints: make(map[Addr]*simEndpoint),
+	}
+}
+
+// SetTap installs a metrics observer for every delivered message.
+func (n *SimNetwork) SetTap(t Tap) { n.tap = t }
+
+// SetDropProb changes the message-loss probability at runtime, letting
+// experiments converge a clean overlay first and inject loss afterwards.
+func (n *SimNetwork) SetDropProb(p float64) { n.cfg.DropProb = p }
+
+// Dropped returns the number of messages lost to injected drops.
+func (n *SimNetwork) Dropped() uint64 { return n.dropped }
+
+// Duplicated returns the number of injected duplicate deliveries.
+func (n *SimNetwork) Duplicated() uint64 { return n.duplicated }
+
+// Engine returns the underlying simulation engine.
+func (n *SimNetwork) Engine() *sim.Engine { return n.engine }
+
+// Clock returns a Clock view of the engine, for protocol timers.
+func (n *SimNetwork) Clock() Clock { return SimClock{Engine: n.engine} }
+
+// Endpoint creates (or returns) the endpoint with the given address.
+// Creating an endpoint with an address that is already live panics: that
+// is a wiring bug in the experiment setup.
+func (n *SimNetwork) Endpoint(addr Addr) Endpoint {
+	if _, ok := n.endpoints[addr]; ok {
+		panic("transport: duplicate sim endpoint " + string(addr))
+	}
+	ep := &simEndpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// deliver schedules fn after a sampled latency, honoring drop and
+// duplicate injection. kind is reported to the tap on actual delivery.
+func (n *SimNetwork) deliver(from, to Addr, typ string, oneWay bool, fn func()) {
+	if n.cfg.DropProb > 0 && n.engine.Rand().Float64() < n.cfg.DropProb {
+		n.dropped++
+		return
+	}
+	d := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to))
+	wrapped := func() {
+		if n.tap != nil {
+			n.tap.Message(from, to, typ, oneWay)
+		}
+		fn()
+	}
+	n.engine.Schedule(d, wrapped)
+	if n.cfg.DupProb > 0 && n.engine.Rand().Float64() < n.cfg.DupProb {
+		n.duplicated++
+		n.engine.Schedule(d+d/2+time.Millisecond, wrapped)
+	}
+}
+
+type simEndpoint struct {
+	net     *SimNetwork
+	addr    Addr
+	handler Handler
+	closed  bool
+}
+
+func (e *simEndpoint) Addr() Addr       { return e.addr }
+func (e *simEndpoint) Handle(h Handler) { e.handler = h }
+
+func (e *simEndpoint) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	delete(e.net.endpoints, e.addr)
+	return nil
+}
+
+func (e *simEndpoint) Send(to Addr, typ string, payload any) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.net.deliver(e.addr, to, typ, true, func() {
+		dst, ok := e.net.endpoints[to]
+		if !ok || dst.handler == nil {
+			return // dropped, like UDP to a dead host
+		}
+		dst.handler(&Request{From: e.addr, Type: typ, Payload: payload})
+	})
+	return nil
+}
+
+func (e *simEndpoint) Call(to Addr, typ string, payload any, cb ResponseFunc) {
+	if cb == nil {
+		panic("transport: Call with nil callback")
+	}
+	if e.closed {
+		cb(nil, ErrClosed)
+		return
+	}
+	done := false
+	finish := func(payload any, err error) {
+		if done {
+			return
+		}
+		done = true
+		cb(payload, err)
+	}
+	timeout := e.net.engine.Schedule(e.net.cfg.CallTimeout, func() {
+		finish(nil, ErrTimeout)
+	})
+
+	from := e.addr
+	e.net.deliver(from, to, typ, false, func() {
+		dst, ok := e.net.endpoints[to]
+		if !ok || dst.handler == nil {
+			// The request reached a dead address; the caller's timeout
+			// will fire. (Real UDP behaves the same way.)
+			return
+		}
+		req := &Request{
+			From:    from,
+			Type:    typ,
+			Payload: payload,
+			reply: func(respPayload any, respErr error) {
+				e.net.deliver(to, from, typ+":reply", false, func() {
+					timeout.Cancel()
+					finish(respPayload, respErr)
+				})
+			},
+		}
+		dst.handler(req)
+	})
+}

@@ -1,0 +1,119 @@
+// Package transport defines the messaging interface shared by the Chord
+// and DAT layers and provides in-memory and simulated implementations.
+//
+// The paper's prototype (§4) runs the same Chord/DAT code over either a
+// UDP RPC manager or a discrete event simulation engine; this package is
+// the seam that makes that possible here. Protocol code is written in a
+// non-blocking, continuation-passing style against Endpoint, so a single
+// implementation runs unchanged over:
+//
+//   - MemNetwork: real goroutines and channels, for race-detector tests
+//     and in-process examples;
+//   - SimNetwork: deliveries scheduled on a sim.Engine with a pluggable
+//     latency model, deterministic and single-threaded, for 8192-node runs;
+//   - rpcudp.Network (sibling package): real UDP sockets.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr identifies an endpoint. The format is implementation-defined
+// ("sim/42", "127.0.0.1:9123"); protocol layers treat it as opaque.
+type Addr string
+
+// Common transport errors.
+var (
+	ErrTimeout     = errors.New("transport: request timed out")
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	ErrNoHandler   = errors.New("transport: destination has no handler")
+)
+
+// NewRequest assembles an inbound Request for delivery to a Handler.
+// Transport implementations outside this package (e.g. the UDP RPC
+// layer) use it to attach their reply path; pass a nil reply for one-way
+// messages.
+func NewRequest(from Addr, typ string, payload any, reply func(payload any, err error)) *Request {
+	return &Request{From: from, Type: typ, Payload: payload, reply: reply}
+}
+
+// Request is an inbound message delivered to a Handler. For two-way calls
+// the handler must eventually invoke Reply or ReplyError exactly once;
+// for one-way messages both are no-ops.
+type Request struct {
+	From    Addr
+	Type    string
+	Payload any
+
+	reply func(payload any, err error)
+	done  bool
+}
+
+// OneWay reports whether the sender expects no reply.
+func (r *Request) OneWay() bool { return r.reply == nil }
+
+// Reply sends a successful response. Replying twice panics: it indicates
+// a protocol-handler bug that would otherwise corrupt request matching.
+func (r *Request) Reply(payload any) {
+	if r.reply == nil {
+		return
+	}
+	if r.done {
+		panic(fmt.Sprintf("transport: duplicate reply to %s request from %s", r.Type, r.From))
+	}
+	r.done = true
+	r.reply(payload, nil)
+}
+
+// ReplyError sends an error response.
+func (r *Request) ReplyError(err error) {
+	if r.reply == nil {
+		return
+	}
+	if r.done {
+		panic(fmt.Sprintf("transport: duplicate reply to %s request from %s", r.Type, r.From))
+	}
+	r.done = true
+	r.reply(nil, err)
+}
+
+// Handler consumes inbound messages and requests.
+type Handler func(*Request)
+
+// ResponseFunc receives the outcome of a Call. It is invoked exactly once.
+type ResponseFunc func(payload any, err error)
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// Addr returns this endpoint's address.
+	Addr() Addr
+	// Send fires a one-way message. Delivery is best-effort.
+	Send(to Addr, typ string, payload any) error
+	// Call issues a request and invokes cb exactly once with the reply or
+	// an error (ErrTimeout, ErrUnreachable, ...). cb may run on another
+	// goroutine for real transports, or inline within the event loop for
+	// simulated ones — callers must do their own locking.
+	Call(to Addr, typ string, payload any, cb ResponseFunc)
+	// Handle registers the inbound handler. It must be set before the
+	// endpoint receives traffic; registering twice replaces the handler.
+	Handle(h Handler)
+	// Close detaches the endpoint. In-flight Calls fail with ErrClosed.
+	Close() error
+}
+
+// Tap observes every message delivered by a network, for metrics.
+// typ is the message type; oneWay distinguishes fire-and-forget messages
+// from request/response pairs (responses are reported with typ suffixed
+// ":reply"). Implementations must be safe for concurrent use when
+// attached to concurrent networks.
+type Tap interface {
+	Message(from, to Addr, typ string, oneWay bool)
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(from, to Addr, typ string, oneWay bool)
+
+// Message implements Tap.
+func (f TapFunc) Message(from, to Addr, typ string, oneWay bool) { f(from, to, typ, oneWay) }

@@ -1,0 +1,522 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// --- SimNetwork ---
+
+func newSimPair(t *testing.T, cfg SimConfig) (*sim.Engine, *SimNetwork, Endpoint, Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := NewSimNetwork(eng, cfg)
+	a := net.Endpoint("sim/a")
+	b := net.Endpoint("sim/b")
+	return eng, net, a, b
+}
+
+func TestSimSendDelivers(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{})
+	var got []string
+	b.Handle(func(r *Request) {
+		got = append(got, fmt.Sprintf("%s/%s/%v/oneway=%v", r.From, r.Type, r.Payload, r.OneWay()))
+	})
+	if err := a.Send(b.Addr(), "ping", 42); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 || got[0] != "sim/a/ping/42/oneway=true" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSimCallRoundTrip(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{Latency: sim.ConstantLatency(5 * time.Millisecond)})
+	b.Handle(func(r *Request) {
+		if r.OneWay() {
+			t.Error("call delivered as one-way")
+		}
+		r.Reply(r.Payload.(int) * 2)
+	})
+	var result int
+	var callErr error
+	a.Call(b.Addr(), "double", 21, func(p any, err error) {
+		callErr = err
+		if err == nil {
+			result = p.(int)
+		}
+	})
+	eng.Run()
+	if callErr != nil || result != 42 {
+		t.Fatalf("result=%d err=%v", result, callErr)
+	}
+	// Round trip = 2 * 5ms.
+	if eng.Now() != sim.Time(10*time.Millisecond) {
+		t.Fatalf("clock = %v, want 10ms", eng.Now())
+	}
+}
+
+func TestSimCallErrorReply(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{})
+	boom := errors.New("boom")
+	b.Handle(func(r *Request) { r.ReplyError(boom) })
+	var got error
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, boom) {
+		t.Fatalf("err = %v, want boom", got)
+	}
+}
+
+func TestSimCallTimeoutOnDeadDestination(t *testing.T) {
+	eng, _, a, _ := newSimPair(t, SimConfig{CallTimeout: 100 * time.Millisecond})
+	var got error
+	calls := 0
+	a.Call("sim/nonexistent", "x", nil, func(_ any, err error) { got = err; calls++ })
+	eng.Run()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", got)
+	}
+	if calls != 1 {
+		t.Fatalf("callback invoked %d times", calls)
+	}
+	if eng.Now() != sim.Time(100*time.Millisecond) {
+		t.Fatalf("timed out at %v, want 100ms", eng.Now())
+	}
+}
+
+func TestSimCallTimeoutOnSilentHandler(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{CallTimeout: 50 * time.Millisecond})
+	b.Handle(func(r *Request) { /* never replies */ })
+	var got error
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", got)
+	}
+}
+
+func TestSimDropInjection(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net := NewSimNetwork(eng, SimConfig{DropProb: 1.0, CallTimeout: 10 * time.Millisecond})
+	a := net.Endpoint("sim/a")
+	b := net.Endpoint("sim/b")
+	delivered := 0
+	b.Handle(func(r *Request) { delivered++; r.Reply(nil) })
+	var got error
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { got = err })
+	a.Send(b.Addr(), "y", nil)
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages despite DropProb=1", delivered)
+	}
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", got)
+	}
+	if net.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", net.Dropped())
+	}
+}
+
+func TestSimDuplicateInjectionCallbackOnce(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net := NewSimNetwork(eng, SimConfig{DupProb: 1.0})
+	a := net.Endpoint("sim/a")
+	b := net.Endpoint("sim/b")
+	handled := 0
+	b.Handle(func(r *Request) { handled++; r.Reply("ok") })
+	cbCount := 0
+	a.Call(b.Addr(), "x", nil, func(p any, err error) {
+		cbCount++
+		if err != nil || p.(string) != "ok" {
+			t.Errorf("p=%v err=%v", p, err)
+		}
+	})
+	eng.Run()
+	if cbCount != 1 {
+		t.Fatalf("callback invoked %d times, want exactly 1", cbCount)
+	}
+	if handled < 2 {
+		t.Fatalf("handler saw %d deliveries, want >= 2 (duplicate)", handled)
+	}
+	if net.Duplicated() == 0 {
+		t.Fatal("no duplicates recorded")
+	}
+}
+
+func TestSimTapSeesTraffic(t *testing.T) {
+	eng, net, a, b := newSimPair(t, SimConfig{})
+	var lines []string
+	net.SetTap(TapFunc(func(from, to Addr, typ string, oneWay bool) {
+		lines = append(lines, fmt.Sprintf("%s->%s %s oneway=%v", from, to, typ, oneWay))
+	}))
+	b.Handle(func(r *Request) { r.Reply(nil) })
+	a.Send(b.Addr(), "notify", nil)
+	a.Call(b.Addr(), "ask", nil, func(any, error) {})
+	eng.Run()
+	want := map[string]bool{
+		"sim/a->sim/b notify oneway=true":     true,
+		"sim/a->sim/b ask oneway=false":       true,
+		"sim/b->sim/a ask:reply oneway=false": true,
+	}
+	if len(lines) != 3 {
+		t.Fatalf("tap saw %d messages: %v", len(lines), lines)
+	}
+	for _, l := range lines {
+		if !want[l] {
+			t.Fatalf("unexpected tap line %q", l)
+		}
+	}
+}
+
+func TestSimCloseSemantics(t *testing.T) {
+	eng, net, a, b := newSimPair(t, SimConfig{CallTimeout: 20 * time.Millisecond})
+	b.Handle(func(r *Request) { r.Reply(nil) })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close errored:", err)
+	}
+	var got error
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("call to closed endpoint: err=%v, want timeout", got)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("sim/b", "x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed endpoint err=%v", err)
+	}
+	var cerr error
+	a.Call("sim/b", "x", nil, func(_ any, err error) { cerr = err })
+	if !errors.Is(cerr, ErrClosed) {
+		t.Fatalf("call on closed endpoint err=%v", cerr)
+	}
+	// A fresh endpoint can reuse the freed address.
+	_ = net.Endpoint("sim/b")
+}
+
+func TestSimDuplicateEndpointPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewSimNetwork(eng, SimConfig{})
+	net.Endpoint("sim/a")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate endpoint did not panic")
+		}
+	}()
+	net.Endpoint("sim/a")
+}
+
+func TestDuplicateReplyPanics(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{})
+	b.Handle(func(r *Request) {
+		r.Reply(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate reply did not panic")
+			}
+		}()
+		r.Reply(2)
+	})
+	a.Call(b.Addr(), "x", nil, func(any, error) {})
+	eng.Run()
+}
+
+func TestOneWayReplyIsNoOp(t *testing.T) {
+	eng, _, a, b := newSimPair(t, SimConfig{})
+	b.Handle(func(r *Request) {
+		r.Reply(1) // must be a silent no-op for one-way messages
+		r.ReplyError(errors.New("x"))
+	})
+	a.Send(b.Addr(), "notify", nil)
+	eng.Run()
+}
+
+// --- MemNetwork ---
+
+func TestMemCallRoundTrip(t *testing.T) {
+	net := NewMemNetwork(MemConfig{})
+	a := net.Endpoint("mem/a")
+	b := net.Endpoint("mem/b")
+	defer a.Close()
+	defer b.Close()
+	b.Handle(func(r *Request) { r.Reply(r.Payload.(string) + "-pong") })
+	done := make(chan struct{})
+	a.Call(b.Addr(), "ping", "ping", func(p any, err error) {
+		if err != nil || p.(string) != "ping-pong" {
+			t.Errorf("p=%v err=%v", p, err)
+		}
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("call did not complete")
+	}
+}
+
+func TestMemCallUnreachable(t *testing.T) {
+	net := NewMemNetwork(MemConfig{})
+	a := net.Endpoint("mem/a")
+	defer a.Close()
+	done := make(chan error, 1)
+	a.Call("mem/ghost", "x", nil, func(_ any, err error) { done <- err })
+	if err := <-done; !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+}
+
+func TestMemNoHandlerError(t *testing.T) {
+	net := NewMemNetwork(MemConfig{})
+	a := net.Endpoint("mem/a")
+	b := net.Endpoint("mem/b") // never registers a handler
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { done <- err })
+	if err := <-done; !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want no-handler", err)
+	}
+}
+
+func TestMemTimeout(t *testing.T) {
+	net := NewMemNetwork(MemConfig{CallTimeout: 50 * time.Millisecond})
+	a := net.Endpoint("mem/a")
+	b := net.Endpoint("mem/b")
+	defer a.Close()
+	defer b.Close()
+	b.Handle(func(r *Request) { /* never replies */ })
+	done := make(chan error, 1)
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) { done <- err })
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout never fired")
+	}
+}
+
+func TestMemConcurrentCalls(t *testing.T) {
+	net := NewMemNetwork(MemConfig{})
+	var counted atomic.Int64
+	net.SetTap(TapFunc(func(_, _ Addr, _ string, _ bool) { counted.Add(1) }))
+	server := net.Endpoint("mem/server")
+	defer server.Close()
+	server.Handle(func(r *Request) { r.Reply(r.Payload.(int) + 1) })
+
+	const clients, callsPer = 8, 50
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < clients; c++ {
+		ep := net.Endpoint(Addr(fmt.Sprintf("mem/client%d", c)))
+		defer ep.Close()
+		for i := 0; i < callsPer; i++ {
+			wg.Add(1)
+			i := i
+			ep.Call(server.Addr(), "inc", i, func(p any, err error) {
+				defer wg.Done()
+				if err != nil || p.(int) != i+1 {
+					failures.Add(1)
+				}
+			})
+		}
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d failed calls", failures.Load())
+	}
+	if counted.Load() == 0 {
+		t.Fatal("tap saw no traffic")
+	}
+}
+
+func TestMemDelayedDelivery(t *testing.T) {
+	net := NewMemNetwork(MemConfig{Delay: 30 * time.Millisecond})
+	a := net.Endpoint("mem/a")
+	b := net.Endpoint("mem/b")
+	defer a.Close()
+	defer b.Close()
+	b.Handle(func(r *Request) { r.Reply(nil) })
+	start := time.Now()
+	done := make(chan struct{})
+	a.Call(b.Addr(), "x", nil, func(_ any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		close(done)
+	})
+	<-done
+	if rtt := time.Since(start); rtt < 30*time.Millisecond {
+		t.Fatalf("rtt = %v, want >= 30ms one-way delay", rtt)
+	}
+}
+
+func TestMemCloseIdempotentAndAddressReuse(t *testing.T) {
+	net := NewMemNetwork(MemConfig{})
+	a := net.Endpoint("mem/a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("mem/x", "t", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	a2 := net.Endpoint("mem/a")
+	defer a2.Close()
+}
+
+// --- Clocks ---
+
+func TestSimClock(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := SimClock{Engine: eng}
+	fired := 0
+	stop := c.AfterFunc(10*time.Millisecond, func() { fired++ })
+	_ = stop
+	ticks := 0
+	stopTicks := c.Every(5*time.Millisecond, 0, func() { ticks++ })
+	eng.RunUntil(sim.Time(26 * time.Millisecond))
+	stopTicks()
+	if fired != 1 {
+		t.Fatalf("AfterFunc fired %d times", fired)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if c.Now() != 26*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	// Cancellation.
+	fired2 := 0
+	stop2 := c.AfterFunc(10*time.Millisecond, func() { fired2++ })
+	stop2()
+	eng.RunFor(50 * time.Millisecond)
+	if fired2 != 0 {
+		t.Fatal("cancelled AfterFunc fired")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := &RealClock{}
+	t0 := c.Now()
+	var fired atomic.Int32
+	stop := c.AfterFunc(10*time.Millisecond, func() { fired.Add(1) })
+	defer stop()
+	var ticks atomic.Int32
+	stopTicks := c.Every(10*time.Millisecond, 5*time.Millisecond, func() { ticks.Add(1) })
+	time.Sleep(80 * time.Millisecond)
+	stopTicks()
+	stopTicks() // double-stop safe
+	if fired.Load() != 1 {
+		t.Fatalf("AfterFunc fired %d times", fired.Load())
+	}
+	if ticks.Load() == 0 {
+		t.Fatal("ticker never fired")
+	}
+	if c.Now() <= t0 {
+		t.Fatal("clock did not advance")
+	}
+	n := ticks.Load()
+	time.Sleep(50 * time.Millisecond)
+	// One in-flight tick may complete concurrently with the stop; more
+	// than that means the stop did not take.
+	if got := ticks.Load(); got > n+1 {
+		t.Fatalf("stopped ticker kept firing: %d -> %d", n, got)
+	}
+}
+
+func TestCallNilCallbackPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewSimNetwork(eng, SimConfig{})
+	a := net.Endpoint("sim/a")
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	a.Call("sim/b", "x", nil, nil)
+}
+
+func TestMemInboxOverflowDropsLikeUDP(t *testing.T) {
+	net := NewMemNetwork(MemConfig{InboxSize: 4})
+	a := net.Endpoint("mem/ovf-a")
+	b := net.Endpoint("mem/ovf-b")
+	defer a.Close()
+	defer b.Close()
+	// No handler on b yet: its worker drains into ErrNoHandler replies,
+	// so stall it instead with a slow handler.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	b.Handle(func(r *Request) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	})
+	// First message occupies the worker; the next 4 fill the inbox; the
+	// rest must be dropped without blocking the sender.
+	for i := 0; i < 20; i++ {
+		if err := a.Send(b.Addr(), "flood", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	close(release)
+	// The sender never blocked: reaching this line is the assertion.
+}
+
+func TestSimOneWayDuplicateDelivery(t *testing.T) {
+	eng := sim.NewEngine(5)
+	net := NewSimNetwork(eng, SimConfig{DupProb: 1.0})
+	a := net.Endpoint("sim/dup-a")
+	b := net.Endpoint("sim/dup-b")
+	got := 0
+	b.Handle(func(r *Request) { got++ })
+	a.Send(b.Addr(), "x", nil)
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("one-way delivered %d times with DupProb=1, want 2", got)
+	}
+	if net.Duplicated() != 1 {
+		t.Fatalf("Duplicated = %d", net.Duplicated())
+	}
+}
+
+func TestSetDropProbRuntime(t *testing.T) {
+	eng := sim.NewEngine(6)
+	net := NewSimNetwork(eng, SimConfig{})
+	a := net.Endpoint("sim/sdp-a")
+	b := net.Endpoint("sim/sdp-b")
+	got := 0
+	b.Handle(func(r *Request) { got++ })
+	a.Send(b.Addr(), "x", nil)
+	eng.Run()
+	net.SetDropProb(1.0)
+	a.Send(b.Addr(), "y", nil)
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1 (second dropped)", got)
+	}
+	net.SetDropProb(0)
+	a.Send(b.Addr(), "z", nil)
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("delivered %d after re-enabling, want 2", got)
+	}
+}

@@ -1,0 +1,291 @@
+package dat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/gma"
+	"repro/internal/ident"
+	"repro/internal/maan"
+	"repro/internal/rpcudp"
+	"repro/internal/transport"
+)
+
+// PeerConfig configures a live UDP peer.
+type PeerConfig struct {
+	// Listen is the UDP listen address; "127.0.0.1:0" picks a free port.
+	// Required.
+	Listen string
+	// Name identifies this host in the MAAN directory. Defaults to the
+	// bound address.
+	Name string
+	// Bits is the identifier-space width (must match the whole ring).
+	// Default 32.
+	Bits uint
+	// Scheme selects the DAT parent rule. Default BalancedLocal.
+	Scheme Scheme
+	// Attributes declares the MAAN schema (must match the whole ring).
+	// Optional; without it resource indexing is disabled.
+	Attributes []Attribute
+	// Stabilize, FixFingers, Ping override the overlay maintenance
+	// cadence. Defaults suit LAN deployments (300ms/500ms/1s).
+	Stabilize  time.Duration
+	FixFingers time.Duration
+	Ping       time.Duration
+	// ShareResults makes the attribute root broadcast each completed slot
+	// result so LatestResult is fresh on every peer (costs n-1 messages
+	// per slot).
+	ShareResults bool
+	// CallTimeout bounds one RPC attempt. Default 500ms.
+	CallTimeout time.Duration
+	// RPCTimeout bounds blocking convenience calls (Join, Query...).
+	// Default 10s.
+	RPCTimeout time.Duration
+}
+
+// Peer is one live DAT node over real UDP sockets: the full P-GMA stack
+// of the paper — sensors and a producer (GMA layer), MAAN indexing, and
+// the Chord + DAT overlay — in a single process.
+type Peer struct {
+	cfg      PeerConfig
+	space    ident.Space
+	ep       *rpcudp.Endpoint
+	clock    *transport.RealClock
+	chord    *chord.Node
+	dat      *core.Node
+	maan     *maan.Service
+	producer *gma.Producer
+
+	mu       sync.Mutex
+	results  map[string]Aggregate // latest root results per attribute
+	announce func()               // stop function of the MAAN announcer
+	closed   bool
+}
+
+// NewPeer opens the UDP endpoint and assembles the protocol stack. The
+// peer is passive until Create or Join.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("dat: PeerConfig.Listen is required")
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 32
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 10 * time.Second
+	}
+	space := ident.New(cfg.Bits)
+	ep, err := rpcudp.Listen(cfg.Listen, rpcudp.Config{CallTimeout: cfg.CallTimeout})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = string(ep.Addr())
+	}
+	clock := &transport.RealClock{}
+	// The identifier is the hash of the bound address; probing joins may
+	// replace it before the peer enters the ring.
+	id := space.Hash([]byte(ep.Addr()))
+	cn := chord.New(ep, clock, id, chord.Config{
+		Space:           space,
+		StabilizeEvery:  cfg.Stabilize,
+		FixFingersEvery: cfg.FixFingers,
+		PingEvery:       cfg.Ping,
+	})
+	p := &Peer{
+		cfg:     cfg,
+		space:   space,
+		ep:      ep,
+		clock:   clock,
+		chord:   cn,
+		results: make(map[string]Aggregate),
+	}
+	p.producer = gma.NewProducer(cfg.Name, space, clock)
+	p.dat = core.NewNode(cn, ep, clock, core.NodeConfig{
+		Scheme:       cfg.Scheme,
+		Local:        p.producer.Local,
+		ShareResults: cfg.ShareResults,
+	})
+	if len(cfg.Attributes) > 0 {
+		schema, err := maan.NewSchema(space, cfg.Attributes...)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		p.maan = maan.NewService(cn, ep, clock, schema)
+	}
+	return p, nil
+}
+
+// Addr returns the peer's bound UDP address — what other peers pass as
+// the bootstrap address.
+func (p *Peer) Addr() string { return string(p.ep.Addr()) }
+
+// ID returns the peer's ring identifier.
+func (p *Peer) ID() uint64 { return uint64(p.chord.Self().ID) }
+
+// Create bootstraps a new ring with this peer as its only member.
+func (p *Peer) Create() { p.chord.Create() }
+
+// Join enters the ring known to the bootstrap address. It blocks until
+// the join completes or the RPC timeout expires.
+func (p *Peer) Join(bootstrap string) error {
+	done := make(chan error, 1)
+	p.chord.Join(transport.Addr(bootstrap), func(err error) { done <- err })
+	return p.await(done, "join")
+}
+
+// JoinProbed enters the ring using the identifier-probing join, which
+// keeps node spacing even and balanced DATs flat. It blocks like Join.
+func (p *Peer) JoinProbed(bootstrap string) error {
+	done := make(chan error, 1)
+	p.chord.JoinProbed(transport.Addr(bootstrap), func(_ ident.ID, err error) { done <- err })
+	return p.await(done, "probed join")
+}
+
+func (p *Peer) await(done chan error, op string) error {
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(p.cfg.RPCTimeout):
+		return fmt.Errorf("dat: %s timed out after %v", op, p.cfg.RPCTimeout)
+	}
+}
+
+// AddSensor publishes a local sensor under an attribute name. The sensor
+// feeds both DAT aggregation (the peer's contribution to the global
+// aggregate named attr) and MAAN announcements.
+func (p *Peer) AddSensor(attr string, sensor func() (float64, bool)) {
+	p.producer.AddSensor(attr, gma.SensorFunc(func(time.Duration) (float64, bool) { return sensor() }))
+}
+
+// SetLabel publishes a static string attribute (e.g. os-name, site) in
+// the MAAN directory for exact-match discovery (dat.Eq predicates).
+func (p *Peer) SetLabel(attr, value string) { p.producer.SetLabel(attr, value) }
+
+// AddCPUSensor publishes the host's real CPU utilization from /proc/stat
+// under the attribute name (Linux; reports no value elsewhere).
+func (p *Peer) AddCPUSensor(attr string) {
+	p.producer.AddSensor(attr, gma.NewProcCPUSensor())
+}
+
+// StartMonitor begins continuous aggregation of attr with the given slot
+// duration. Every ring member monitoring attr must use the same slot.
+// If this peer currently owns the attribute's rendezvous key it acts as
+// the tree root; onResult (may be nil) fires there once per slot.
+func (p *Peer) StartMonitor(attr string, slot time.Duration, onResult func(slot int64, agg Aggregate)) error {
+	key := p.space.HashString(attr)
+	return p.dat.StartContinuous(key, slot, func(s int64, agg Aggregate) {
+		p.mu.Lock()
+		p.results[attr] = agg
+		p.mu.Unlock()
+		if onResult != nil {
+			onResult(s, agg)
+		}
+	})
+}
+
+// StopMonitor halts continuous aggregation of attr on this peer.
+func (p *Peer) StopMonitor(attr string) {
+	p.dat.StopContinuous(p.space.HashString(attr))
+}
+
+// LatestResult returns this peer's most recent root-computed aggregate
+// for attr, if it has acted as the attribute's root.
+func (p *Peer) LatestResult(attr string) (Aggregate, bool) {
+	if _, agg, ok := p.dat.LastResult(p.space.HashString(attr)); ok {
+		return agg, true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg, ok := p.results[attr]
+	return agg, ok
+}
+
+// Query performs an on-demand aggregation of attr: the request routes to
+// the attribute's root, which collects over the window and replies. It
+// blocks until the result arrives or the RPC timeout expires.
+func (p *Peer) Query(attr string, window time.Duration) (Aggregate, error) {
+	type result struct {
+		agg Aggregate
+		err error
+	}
+	done := make(chan result, 1)
+	p.dat.Query(p.space.HashString(attr), window, func(r core.QueryResp, err error) {
+		done <- result{r.Agg, err}
+	})
+	select {
+	case r := <-done:
+		return r.agg, r.err
+	case <-time.After(p.cfg.RPCTimeout + window):
+		return Aggregate{}, fmt.Errorf("dat: query %q timed out", attr)
+	}
+}
+
+// Announce registers this peer's current sensor readings in the MAAN
+// directory and keeps refreshing them at the given period. Requires
+// Attributes in the config.
+func (p *Peer) Announce(period time.Duration) error {
+	if p.maan == nil {
+		return errors.New("dat: no MAAN schema configured")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.announce != nil {
+		p.announce()
+	}
+	p.announce = p.producer.AnnounceEvery(p.maan, period)
+	return nil
+}
+
+// FindResources answers a conjunctive multi-attribute range query
+// against the MAAN directory. It blocks until the result or timeout.
+func (p *Peer) FindResources(preds []Predicate) ([]Resource, error) {
+	if p.maan == nil {
+		return nil, errors.New("dat: no MAAN schema configured")
+	}
+	type result struct {
+		res []Resource
+		err error
+	}
+	done := make(chan result, 1)
+	p.maan.MultiAttrQuery(preds, func(res []Resource, _ int, err error) {
+		done <- result{res, err}
+	})
+	select {
+	case r := <-done:
+		return r.res, r.err
+	case <-time.After(p.cfg.RPCTimeout):
+		return nil, errors.New("dat: resource query timed out")
+	}
+}
+
+// Leave departs the ring gracefully and closes the endpoint.
+func (p *Peer) Leave() error { return p.shutdown(true) }
+
+// Close crashes the peer (no goodbye messages) and closes the endpoint.
+func (p *Peer) Close() error { return p.shutdown(false) }
+
+func (p *Peer) shutdown(graceful bool) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	stop := p.announce
+	p.announce = nil
+	p.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if p.maan != nil {
+		p.maan.Close()
+	}
+	p.chord.Stop(graceful)
+	return p.ep.Close()
+}
