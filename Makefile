@@ -1,0 +1,36 @@
+# Build, test, and static-analysis entry points. `make ci` is what the
+# GitHub Actions workflow runs; keep the two in sync.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# datlint: the project-specific analyzer suite (ringcmp, locksafe,
+# simclock, senderr). See DESIGN.md §7. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/datlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short, bounded runs of every fuzz target — a smoke pass, not a soak.
+# Each -fuzz invocation must target a single package, hence the loop.
+fuzz:
+	$(GO) test ./internal/ident -run '^$$' -fuzz FuzzSpaceArithmetic -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ident -run '^$$' -fuzz FuzzLocalityHashMonotone -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
+
+ci: build vet lint test race fuzz

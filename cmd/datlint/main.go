@@ -1,0 +1,60 @@
+// Command datlint runs the project's custom static-analysis suite over
+// the module: ringcmp (no raw comparisons on ring identifiers),
+// locksafe (no network calls or re-locking under a node mutex),
+// simclock (no wall-clock time in simulation-facing packages), and
+// senderr (no silently dropped transport send errors). See DESIGN.md
+// §7 for each rule and its suppression pragma.
+//
+// Usage:
+//
+//	datlint [-list] [packages]
+//
+// Packages default to ./... resolved against the current directory.
+// The exit status is 1 when any finding survives suppression, making
+// it usable as a CI gate: go run ./cmd/datlint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: datlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "datlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

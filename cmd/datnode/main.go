@@ -30,11 +30,28 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	dat "repro"
 )
+
+// syntheticSensor returns a fake CPU reading source. Sensors are called
+// from both the aggregation slot loop and the MAAN announce loop (two
+// goroutines under the live clock), and *rand.Rand is not safe for
+// concurrent use, so the RNG is guarded by a mutex. The seed is fixed
+// per instance: deterministic across runs, distinct across instances.
+func syntheticSensor(instance int64) func() (float64, bool) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(1 + instance))
+	base := 20 + rng.Float64()*40
+	return func() (float64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return base + rng.Float64()*10, true
+	}
+}
 
 func main() {
 	var (
@@ -72,11 +89,7 @@ func main() {
 	log.Printf("datnode %s id=%#x", peer.Addr(), peer.ID())
 
 	if *synthetic {
-		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-		base := 20 + rng.Float64()*40
-		peer.AddSensor(*attr, func() (float64, bool) {
-			return base + rng.Float64()*10, true
-		})
+		peer.AddSensor(*attr, syntheticSensor(0))
 	} else {
 		peer.AddCPUSensor(*attr)
 	}
@@ -145,9 +158,7 @@ func main() {
 		}
 		defer extra.Close()
 		if *synthetic {
-			rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(i)))
-			base := 20 + rng.Float64()*40
-			extra.AddSensor(*attr, func() (float64, bool) { return base + rng.Float64()*10, true })
+			extra.AddSensor(*attr, syntheticSensor(int64(i)))
 		} else {
 			extra.AddCPUSensor(*attr)
 		}

@@ -88,7 +88,7 @@ func (n *Node) forwardBroadcast(msg BroadcastMsg) {
 		} else {
 			sub.Limit = msg.Limit
 		}
-		_ = n.ep.Send(t.Addr, MsgBroadcast, sub)
+		n.send(t.Addr, MsgBroadcast, sub)
 	}
 }
 

@@ -419,10 +419,10 @@ func (n *Node) Stop(graceful bool) {
 	}
 	if graceful {
 		if !succ.IsZero() && succ.Addr != selfAddr {
-			_ = n.ep.Send(succ.Addr, MsgLeave, leave)
+			n.send(succ.Addr, MsgLeave, leave)
 		}
 		if !pred.IsZero() && pred.Addr != selfAddr {
-			_ = n.ep.Send(pred.Addr, MsgLeave, leave)
+			n.send(pred.Addr, MsgLeave, leave)
 		}
 	}
 }
@@ -634,7 +634,7 @@ func (n *Node) handleProbeSplit(req *transport.Request) {
 	finish := func() {
 		best := gapInfo{}
 		for _, g := range gaps {
-			if g.gap > best.gap || (g.gap == best.gap && g.ref.ID < best.ref.ID) {
+			if g.gap > best.gap || (g.gap == best.gap && ident.Less(g.ref.ID, best.ref.ID)) {
 				best = g
 			}
 		}
@@ -831,7 +831,7 @@ func (n *Node) stabilize() {
 		notifyTo := newSucc
 		selfRef := n.self
 		n.mu.Unlock()
-		_ = n.ep.Send(notifyTo.Addr, MsgNotify, NotifyReq{Candidate: selfRef})
+		n.send(notifyTo.Addr, MsgNotify, NotifyReq{Candidate: selfRef})
 	})
 }
 
@@ -896,6 +896,23 @@ func (n *Node) removeDead(addr transport.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.removeDeadLocked(addr)
+}
+
+// Suspect feeds an upper layer's failed exchange with addr into the
+// node's two-strike failure detector. The DAT and MAAN layers call it
+// when their own sends fail, so a dead neighbor discovered on an
+// aggregation path is evicted from the routing tables as fast as one
+// discovered by overlay maintenance.
+func (n *Node) Suspect(addr transport.Addr) { n.suspect(addr) }
+
+// send fires a best-effort datagram. Delivery failures feed the
+// two-strike failure detector instead of vanishing: a send error is
+// the cheapest liveness signal the node gets. Must not be called with
+// n.mu held (locksafe enforces this transitively via suspect).
+func (n *Node) send(to transport.Addr, typ string, payload any) {
+	if err := n.ep.Send(to, typ, payload); err != nil {
+		n.suspect(to)
+	}
 }
 
 // suspect records a failed exchange with addr; the second consecutive

@@ -43,7 +43,7 @@ func NewRing(space ident.Space, ids []ident.ID) (*Ring, error) {
 	}
 	sorted := make([]ident.ID, len(ids))
 	copy(sorted, ids)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sort.Slice(sorted, func(i, j int) bool { return ident.Less(sorted[i], sorted[j]) })
 	index := make(map[ident.ID]int, len(sorted))
 	for i, id := range sorted {
 		if !space.Valid(id) {
@@ -77,7 +77,7 @@ func (r *Ring) Contains(id ident.ID) bool {
 // key in the circular space — the node responsible for key under
 // consistent hashing.
 func (r *Ring) SuccessorOf(key ident.ID) ident.ID {
-	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	i := sort.Search(len(r.ids), func(i int) bool { return !ident.Less(r.ids[i], key) })
 	if i == len(r.ids) {
 		i = 0 // wrap: key is past the last member
 	}
@@ -86,7 +86,7 @@ func (r *Ring) SuccessorOf(key ident.ID) ident.ID {
 
 // PredecessorOf returns the last member strictly preceding key.
 func (r *Ring) PredecessorOf(key ident.ID) ident.ID {
-	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	i := sort.Search(len(r.ids), func(i int) bool { return !ident.Less(r.ids[i], key) })
 	// ids[i-1] < key <= ids[i]; predecessor is ids[i-1] with wrap.
 	return r.ids[(i-1+len(r.ids))%len(r.ids)]
 }
@@ -279,22 +279,22 @@ func ProbedIDs(space ident.Space, n int, rng *rand.Rand) []ident.ID {
 	sorted := []ident.ID{space.Wrap(rng.Uint64())}
 
 	succOf := func(key ident.ID) ident.ID {
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= key })
+		i := sort.Search(len(sorted), func(i int) bool { return !ident.Less(sorted[i], key) })
 		if i == len(sorted) {
 			i = 0
 		}
 		return sorted[i]
 	}
 	predOf := func(member ident.ID) ident.ID {
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= member })
+		i := sort.Search(len(sorted), func(i int) bool { return !ident.Less(sorted[i], member) })
 		return sorted[(i-1+len(sorted))%len(sorted)]
 	}
 	contains := func(id ident.ID) bool {
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= id })
+		i := sort.Search(len(sorted), func(i int) bool { return !ident.Less(sorted[i], id) })
 		return i < len(sorted) && sorted[i] == id
 	}
 	insert := func(id ident.ID) {
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= id })
+		i := sort.Search(len(sorted), func(i int) bool { return !ident.Less(sorted[i], id) })
 		sorted = append(sorted, 0)
 		copy(sorted[i+1:], sorted[i:])
 		sorted[i] = id
@@ -321,7 +321,7 @@ func ProbedIDs(space ident.Space, n int, rng *rand.Rand) []ident.ID {
 		var bestGap uint64
 		for c := range cands {
 			gap := space.Dist(predOf(c), c)
-			if gap > bestGap || (gap == bestGap && c < best) {
+			if gap > bestGap || (gap == bestGap && ident.Less(c, best)) {
 				best, bestGap = c, gap
 			}
 		}

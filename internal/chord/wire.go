@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 
@@ -117,6 +118,27 @@ type BroadcastMsg struct {
 	Type    string   // application payload type, dispatched via upcall
 	Payload []byte   // application payload, opaque to Chord
 	Hops    int
+}
+
+// EncodeMessage serializes one wire payload the way the UDP transport
+// does: gob, through the any interface, so the dynamic type tag travels
+// with the value. The concrete type must be registered in init below.
+func EncodeMessage(payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMessage is the inverse of EncodeMessage. Malformed input yields
+// an error, never a panic (FuzzWireRoundTrip enforces this).
+func DecodeMessage(data []byte) (any, error) {
+	var payload any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
 }
 
 func init() {

@@ -114,7 +114,7 @@ func (t *Tree) AggregateUp(values map[ident.ID]float64) (Aggregate, map[ident.ID
 		if depths[order[i]] != depths[order[j]] {
 			return depths[order[i]] > depths[order[j]]
 		}
-		return order[i] < order[j]
+		return ident.Less(order[i], order[j])
 	})
 
 	partial := make(map[ident.ID]Aggregate, t.N())

@@ -419,7 +419,7 @@ func (n *Node) tickContinuous(key ident.ID) {
 	}
 	n.mu.Unlock()
 	if oldParent != "" && (isRoot || oldParent != parent.Addr) {
-		_ = n.ep.Send(oldParent, MsgDetach, DetachMsg{Key: key, Sender: self})
+		n.send(oldParent, MsgDetach, DetachMsg{Key: key, Sender: self})
 	}
 
 	if isRoot {
@@ -437,10 +437,20 @@ func (n *Node) tickContinuous(key ident.ID) {
 		}
 		return
 	}
-	_ = n.ep.Send(parent.Addr, MsgUpdate, UpdateMsg{
+	n.send(parent.Addr, MsgUpdate, UpdateMsg{
 		Key: key, Epoch: slot, Agg: agg, Nodes: nodes, Height: height,
 		Slot: int64(e.slotDur), Sender: self,
 	})
+}
+
+// send fires a best-effort datagram. Delivery failures feed the chord
+// layer's two-strike failure detector, so a dead parent discovered on
+// the aggregation path is evicted from the routing tables (and a new
+// parent chosen) without waiting for overlay maintenance to notice.
+func (n *Node) send(to transport.Addr, typ string, payload any) {
+	if err := n.ep.Send(to, typ, payload); err != nil {
+		n.ch.Suspect(to)
+	}
 }
 
 // handleDetach drops a former child's cached aggregate.
@@ -467,6 +477,11 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		n.foldDemand(um)
 		return
 	}
+	// Compute the 2-cycle guard before taking the lock: ParentFor only
+	// consults the chord node, which has its own lock, and calling it
+	// with n.mu held would re-enter n.mu through the scheme helpers.
+	parent, isRoot, okp := n.ParentFor(um.Key)
+	fromParent := okp && !isRoot && parent.Addr == req.From
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	e := n.aggs[um.Key]
@@ -495,18 +510,10 @@ func (n *Node) handleUpdate(req *transport.Request) {
 	// Guard against transient 2-cycles during churn: if the sender is
 	// currently our parent, adopting it as a child would double-count the
 	// whole subtree.
-	if parent, isRoot, okp := n.parentForLocked(um.Key); okp && !isRoot && parent.Addr == req.From {
+	if fromParent {
 		return
 	}
 	e.children[req.From] = childState{agg: um.Agg, nodes: um.Nodes, height: um.Height, seen: n.clock.Now()}
-}
-
-// parentForLocked mirrors ParentFor but assumes n.mu is held; it only
-// consults the chord node, which has its own lock, so this is safe.
-func (n *Node) parentForLocked(key ident.ID) (chord.NodeRef, bool, bool) {
-	n.mu.Unlock()
-	defer n.mu.Lock()
-	return n.ParentFor(key)
 }
 
 // --- on-demand mode ---
@@ -672,7 +679,7 @@ func (n *Node) flushDemand(key ident.ID, epoch int64) {
 		return
 	}
 	self := n.ch.Self()
-	_ = n.ep.Send(parent.Addr, MsgUpdate, UpdateMsg{
+	n.send(parent.Addr, MsgUpdate, UpdateMsg{
 		Key: key, Epoch: epoch, Agg: agg, Nodes: nodes, Sender: self, Demand: true,
 	})
 }

@@ -65,7 +65,7 @@ func (t *Tree) RenderASCII(w io.Writer, maxNodes int) error {
 		kids := t.Children(v)
 		ordered := make([]ident.ID, len(kids))
 		copy(ordered, kids)
-		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		sort.Slice(ordered, func(i, j int) bool { return ident.Less(ordered[i], ordered[j]) })
 		for i, c := range ordered {
 			if err := rec(c, childPrefix, i == len(ordered)-1, false); err != nil {
 				return err

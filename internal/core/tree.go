@@ -165,7 +165,7 @@ func Build(r *chord.Ring, key ident.ID, scheme Scheme) *Tree {
 		t.children[p] = append(t.children[p], v)
 	}
 	for _, c := range t.children {
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		sort.Slice(c, func(i, j int) bool { return ident.Less(c[i], c[j]) })
 	}
 	return t
 }
@@ -308,7 +308,7 @@ func (t *Tree) Validate() error {
 		reached++
 		// Duality: v must appear in parent's child list.
 		kids := t.children[p]
-		i := sort.Search(len(kids), func(i int) bool { return kids[i] >= v })
+		i := sort.Search(len(kids), func(i int) bool { return !ident.Less(kids[i], v) })
 		if i == len(kids) || kids[i] != v {
 			return fmt.Errorf("core: %v missing from children(%v)", v, p)
 		}

@@ -154,6 +154,28 @@ func (s Space) LocalityHash(v, lo, hi float64) ID {
 	return ID(uint64(frac*float64(s.mask)) & s.mask)
 }
 
+// Less reports a < b in absolute (non-circular) identifier order.
+//
+// Raw order comparisons on IDs are banned outside this package (the
+// ringcmp analyzer enforces it) because they break at the wraparound.
+// The exceptions — sorted ring snapshots, binary searches over them,
+// and deterministic tie-breaks — handle the wrap explicitly and route
+// through this helper to document that the absolute order is intended.
+func Less(a, b ID) bool { return a < b }
+
+// Compare returns -1, 0, or +1 ordering a against b in absolute
+// (non-circular) identifier order. See Less for when absolute order is
+// legitimate.
+func Compare(a, b ID) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
 // CeilLog2 returns ceil(log2(x)) for x >= 1, and 0 for x == 0 or 1.
 func CeilLog2(x uint64) uint {
 	if x <= 1 {

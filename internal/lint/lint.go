@@ -1,0 +1,216 @@
+// Package lint implements datlint, a project-specific static-analysis
+// suite for invariants the Go compiler cannot see: modular ring
+// arithmetic (ringcmp), lock discipline around the network (locksafe),
+// virtual-time discipline in simulation code (simclock), and transport
+// send-error handling (senderr). See DESIGN.md §7 for the rationale
+// behind each rule and how it connects to the paper's math.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is built purely on the standard
+// library's go/ast and go/types, so the module stays dependency-free.
+//
+// Suppression: a finding can be silenced with a comment on the same
+// line or the line above, naming the analyzer and giving a reason:
+//
+//	x := a < b //datlint:ignore ringcmp deterministic tie-break, any total order works
+//
+// A file implementing a real-time (non-simulated) path can opt out of
+// simclock entirely with a file-level pragma (anywhere in the file):
+//
+//	//datlint:allow-realtime implements the live clock
+//
+// Nondeterministically seeded math/rand is flagged even in such files;
+// seeds must be threaded in explicitly so runs stay reproducible.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore pragmas.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the full datlint suite in reporting order.
+var All = []*Analyzer{RingCmp, LockSafe, SimClock, SendErr}
+
+// Run applies the analyzers to each package and returns the surviving
+// (non-suppressed) findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !ignores.matches(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreSet records //datlint:ignore pragmas by file and line.
+type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//datlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether a pragma on the diagnostic's line or the line
+// above names the analyzer.
+func (s ignoreSet) matches(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileHasPragma reports whether any comment in the file starts with
+// //datlint:<pragma>.
+func fileHasPragma(f *ast.File, pragma string) bool {
+	want := "//datlint:" + pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileOf returns the file containing pos.
+func fileOf(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgPathMatches reports whether path is the named package or one of
+// its vendored/test variants: an exact match, or a suffix match on a
+// full path segment ("repro/internal/ident" matches "ident"). Fixture
+// packages under testdata use the bare segment as their whole path, so
+// the same analyzers run unchanged on fixtures and on the real tree.
+func pkgPathMatches(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// calleeFunc resolves the static callee of a call, if it is a named
+// function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package declaring fn
+// ("" for builtins).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// LoadModule loads and type-checks the module packages matching the
+// given `go list` patterns (e.g. "./..."), rooted at dir. Dependencies
+// — the standard library and any module deps — are imported from
+// compiler export data produced by the go tool, so only the matched
+// packages are type-checked from source. Test files are not loaded;
+// datlint governs production code.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	// First pass: collect export data for every dependency and note
+	// which packages the patterns selected (go list prints dependencies
+	// first, the matched packages last — but matching on Module is
+	// simpler and order-independent: -deps includes module packages
+	// only when matched or imported, and linting imported ones too is
+	// exactly what we want).
+	exports := map[string]string{}
+	var local []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil {
+			local = append(local, p)
+		}
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i].ImportPath < local[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range local {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path: p.ImportPath, Dir: p.Dir,
+			Fset: fset, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads one fixture package from root/<name> for tests.
+// Fixture packages import sibling fixture directories by bare name
+// ("ident", "transport"); those are type-checked from source first.
+// Standard-library imports resolve through the installed toolchain's
+// export data like LoadModule's.
+func LoadFixture(root, name string) (*Package, error) {
+	fset := token.NewFileSet()
+	cache := map[string]*types.Package{}
+	infos := map[string]*types.Info{}
+	files := map[string][]*ast.File{}
+
+	std, err := stdImporter(fset)
+	if err != nil {
+		return nil, err
+	}
+
+	var load func(path string) (*types.Package, error)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := cache[path]; ok {
+			return pkg, nil
+		}
+		if st, err := os.Stat(filepath.Join(root, path)); err == nil && st.IsDir() {
+			return load(path)
+		}
+		return std.Import(path)
+	})
+	load = func(path string) (*types.Package, error) {
+		dir := filepath.Join(root, path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var fs []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, fs, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check fixture %s: %v", path, err)
+		}
+		cache[path] = tpkg
+		infos[path] = info
+		files[path] = fs
+		return tpkg, nil
+	}
+
+	tpkg, err := load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path: name, Dir: filepath.Join(root, name),
+		Fset: fset, Files: files[name], Types: tpkg, Info: infos[name],
+	}, nil
+}
+
+// stdImporter returns an importer for the standard library backed by
+// the go tool's export data.
+func stdImporter(fset *token.FileSet) (types.Importer, error) {
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "std")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list std: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}), nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RingCmp flags raw order comparisons and arithmetic on ident.ID values
+// outside the ident package. Identifiers live on a circular space:
+// a < b is meaningless across the wraparound, and a - b silently
+// computes a non-modular difference. Callers must go through the Space
+// methods (Dist, Between, InHalfOpen, Add, Sub, ...) — or, for the few
+// places that legitimately need absolute (non-circular) order such as
+// sorted ring snapshots, the named helpers ident.Less / ident.Compare,
+// which document the intent.
+//
+// The branching-factor formula B(i,n) and the finger limit g(x) of
+// Cai & Hwang are pure clockwise-distance math; a single raw comparison
+// in routing or parent selection breaks exactly the identifiers that
+// straddle the origin, which random testing rarely hits.
+var RingCmp = &Analyzer{
+	Name: "ringcmp",
+	Doc:  "flags raw </<=/>/>=/-/+ on ident.ID values outside the ident package",
+	Run:  runRingCmp,
+}
+
+const identPkgName = "ident"
+
+func runRingCmp(pass *Pass) {
+	if pkgPathMatches(pass.Pkg.Path(), identPkgName) {
+		return // the one place raw ring arithmetic is allowed
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.SUB, token.ADD:
+			default:
+				return true
+			}
+			if !isIdentID(pass.Info.TypeOf(be.X)) && !isIdentID(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			switch be.Op {
+			case token.SUB, token.ADD:
+				pass.Reportf(be.OpPos, "raw %s on ident.ID values ignores the ring modulus; use Space.Add/Sub/Dist", be.Op)
+			default:
+				pass.Reportf(be.OpPos, "raw %s on ident.ID values breaks at the wraparound; use Space.Dist/Between/InHalfOpen (or ident.Less/Compare for absolute order)", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isIdentID reports whether t is the ident package's ID type.
+func isIdentID(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ID" && obj.Pkg() != nil && pkgPathMatches(obj.Pkg().Path(), identPkgName)
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SendErr flags discarded errors from transport send paths: a bare
+// statement-position call to a transport/rpcudp Send method, or one
+// whose results are assigned entirely to blanks (`_ = ep.Send(...)`).
+//
+// Best-effort datagrams are a legitimate pattern — but a send error is
+// the cheapest failure signal the stack gets (closed endpoint,
+// unresolvable peer), and dropping it on the floor hides dead
+// neighbors from the two-strike failure detector. Route sends through
+// a helper that feeds failures to Node.Suspect (see chord.Node.send),
+// or suppress a genuinely fire-and-forget site with
+// //datlint:ignore senderr <reason>.
+var SendErr = &Analyzer{
+	Name: "senderr",
+	Doc:  "flags discarded errors from transport/rpcudp send paths",
+	Run:  runSendErr,
+}
+
+func runSendErr(pass *Pass) {
+	for _, name := range []string{"transport", "rpcudp", "lint"} {
+		if pkgPathMatches(pass.Pkg.Path(), name) {
+			return // the transport's internals retry/log their own writes
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTransportSend(pass, call) {
+					pass.Reportf(call.Pos(), "transport send error silently dropped; handle it (feed Node.Suspect) or assign and justify with //datlint:ignore senderr")
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok || !isTransportSend(pass, call) {
+					return true
+				}
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true // at least one result is kept
+					}
+				}
+				pass.Reportf(call.Pos(), "transport send error discarded with _; handle it (feed Node.Suspect) or justify with //datlint:ignore senderr")
+			}
+			return true
+		})
+	}
+}
+
+// isTransportSend reports whether call invokes a method named Send
+// declared by the transport or rpcudp package (including the Endpoint
+// interface method) that returns an error.
+func isTransportSend(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Send" {
+		return false
+	}
+	path := funcPkgPath(fn)
+	if !pkgPathMatches(path, "transport") && !pkgPathMatches(path, "rpcudp") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Results().Len() > 0
+}

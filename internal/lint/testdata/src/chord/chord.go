@@ -1,0 +1,85 @@
+// Package chord is the locksafe analyzer fixture: transport operations
+// and re-locking method calls under a held node mutex must be flagged;
+// the copy-out style and deferred callbacks must not.
+package chord
+
+import (
+	"sync"
+
+	"transport"
+)
+
+// Node mirrors the real chord.Node shape: a mutex guarding state next
+// to a transport endpoint.
+type Node struct {
+	mu   sync.Mutex
+	ep   transport.Endpoint
+	succ transport.Addr
+}
+
+// lockedTouch acquires n.mu directly; callers already holding it would
+// self-deadlock.
+func (n *Node) lockedTouch() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.succ = n.succ
+}
+
+// depth2 acquires n.mu only transitively, through lockedTouch.
+func (n *Node) depth2() {
+	n.lockedTouch()
+}
+
+// BadSendUnderLock talks to the network inside the critical section.
+func (n *Node) BadSendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ep.Send(n.succ, "notify", nil) // want `transport\.Send while holding n\.mu`
+}
+
+// BadReenter calls a method that re-acquires the held mutex.
+func (n *Node) BadReenter() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.depth2() // want `n\.depth2 acquires n\.mu which is already held: self-deadlock`
+}
+
+// BadDoubleLock re-locks directly.
+func (n *Node) BadDoubleLock() {
+	n.mu.Lock()
+	n.mu.Lock() // want `n\.mu\.Lock while n\.mu is already held`
+	n.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// GoodCopyOut is the sanctioned style: snapshot under the lock, release,
+// then send.
+func (n *Node) GoodCopyOut() error {
+	n.mu.Lock()
+	succ := n.succ
+	n.mu.Unlock()
+	return n.ep.Send(succ, "notify", nil)
+}
+
+// GoodBranchUnlock releases on the early path before sending there; the
+// fallthrough path stays locked and sends nothing.
+func (n *Node) GoodBranchUnlock() {
+	n.mu.Lock()
+	if n.succ == "" {
+		n.mu.Unlock()
+		if err := n.ep.Send("seed", "ping", nil); err != nil {
+			return
+		}
+		return
+	}
+	n.mu.Unlock()
+}
+
+// GoodDeferredCallback builds a closure under the lock; its body runs
+// later, not inside the critical section.
+func (n *Node) GoodDeferredCallback() func() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	succ := n.succ
+	return func() error { return n.ep.Send(succ, "later", nil) }
+}

@@ -1,0 +1,43 @@
+// Package ident is a fixture standing in for repro/internal/ident: the
+// analyzers recognize it by its bare import path "ident" (see
+// pkgPathMatches), so the same checks run on fixtures and the real tree.
+package ident
+
+// ID is a point on the circular identifier space.
+type ID uint64
+
+// Space models a 2^bits identifier ring.
+type Space struct{ bits uint }
+
+// New returns a space of the given width.
+func New(bits uint) Space { return Space{bits: bits} }
+
+func (s Space) mask() ID {
+	if s.bits >= 64 {
+		return ^ID(0)
+	}
+	return ID(1)<<s.bits - 1
+}
+
+// Dist is the clockwise distance from a to b. Raw ring arithmetic is
+// allowed here — this package is the one place ringcmp exempts.
+func (s Space) Dist(a, b ID) ID { return (b - a) & s.mask() }
+
+// Between reports whether x lies in the open clockwise arc (a, b).
+func (s Space) Between(a, x, b ID) bool {
+	return s.Dist(a, x) != 0 && s.Dist(a, x) < s.Dist(a, b)
+}
+
+// Less is the absolute (non-circular) order, for sorted snapshots.
+func Less(a, b ID) bool { return a < b }
+
+// Compare is the absolute three-way order.
+func Compare(a, b ID) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+// Package ringcmp is the ringcmp analyzer fixture: raw order/arith on
+// ident.ID must be flagged outside the ident package; the named helpers
+// and an explicit pragma silence it.
+package ringcmp
+
+import "ident"
+
+// BadOwner compares ring points with raw <, which is wrong across the
+// wraparound.
+func BadOwner(a, b ident.ID) bool {
+	return a < b // want `raw < on ident\.ID values breaks at the wraparound`
+}
+
+// BadGap computes a non-modular difference.
+func BadGap(a, b ident.ID) ident.ID {
+	return b - a // want `raw - on ident\.ID values ignores the ring modulus`
+}
+
+// BadHalf shifts a ring point without the modulus.
+func BadHalf(a ident.ID) ident.ID {
+	return a + 1 // want `raw \+ on ident\.ID values ignores the ring modulus`
+}
+
+// GoodArc uses the space's circular predicates.
+func GoodArc(s ident.Space, a, x, b ident.ID) bool {
+	return s.Between(a, x, b)
+}
+
+// GoodSortKey uses the named absolute-order helper.
+func GoodSortKey(a, b ident.ID) bool {
+	return ident.Less(a, b)
+}
+
+// GoodInts is untouched: the operands are not ident.ID.
+func GoodInts(a, b uint64) bool {
+	return a < b
+}
+
+// SuppressedTieBreak shows the escape hatch for a justified raw compare.
+func SuppressedTieBreak(a, b ident.ID) bool {
+	return a < b //datlint:ignore ringcmp fixture: any total order works for this tie-break
+}

@@ -1,0 +1,41 @@
+// Package senderr is the senderr analyzer fixture: discarded errors
+// from transport send paths must be flagged; handled errors and
+// explicitly justified fire-and-forget sites must not.
+package senderr
+
+import "transport"
+
+// Node pairs an endpoint with a failure detector hook.
+type Node struct {
+	ep   transport.Endpoint
+	succ transport.Addr
+}
+
+func (n *Node) suspect(transport.Addr) {}
+
+// BadDropped discards the send error in statement position.
+func (n *Node) BadDropped() {
+	n.ep.Send(n.succ, "ping", nil) // want `transport send error silently dropped`
+}
+
+// BadBlank discards it through the blank identifier.
+func (n *Node) BadBlank() {
+	_ = n.ep.Send(n.succ, "ping", nil) // want `transport send error discarded with _`
+}
+
+// GoodHandled feeds the failure to the detector.
+func (n *Node) GoodHandled() {
+	if err := n.ep.Send(n.succ, "ping", nil); err != nil {
+		n.suspect(n.succ)
+	}
+}
+
+// GoodReturned propagates the error to the caller.
+func (n *Node) GoodReturned() error {
+	return n.ep.Send(n.succ, "ping", nil)
+}
+
+// Justified documents a genuinely fire-and-forget site with the pragma.
+func (n *Node) Justified() {
+	n.ep.Send(n.succ, "gossip", nil) //datlint:ignore senderr fixture: best-effort gossip, loss is priced in
+}

@@ -1,0 +1,20 @@
+package sim
+
+//datlint:allow-realtime fixture: this file models a genuine live-clock
+// path, where wall-clock waits are the point.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RealWait may sleep for real: the file-level pragma exempts time calls.
+func RealWait(d time.Duration) {
+	time.Sleep(d)
+}
+
+// RealSeed is still flagged: even real-time files must thread seeds
+// explicitly so runs replay.
+func RealSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `math/rand seeded from the wall clock breaks replay determinism`
+}

@@ -1,0 +1,42 @@
+// Package transport is a fixture standing in for repro/internal/transport;
+// locksafe and senderr recognize its Send/Call/Close/Reply methods by the
+// bare package path "transport".
+package transport
+
+import "errors"
+
+// Addr is a network address.
+type Addr string
+
+// ErrClosed reports a send on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is the messaging surface, mirroring the real interface.
+type Endpoint interface {
+	Addr() Addr
+	Send(to Addr, typ string, payload any) error
+	Call(to Addr, typ string, payload any, cb func(resp any, err error))
+	Close() error
+}
+
+// Request is one inbound message.
+type Request struct {
+	From    Addr
+	Type    string
+	Payload any
+	reply   func(resp any, err error)
+}
+
+// Reply answers the request.
+func (r *Request) Reply(payload any) {
+	if r.reply != nil {
+		r.reply(payload, nil)
+	}
+}
+
+// ReplyError answers the request with an error.
+func (r *Request) ReplyError(err error) {
+	if r.reply != nil {
+		r.reply(nil, err)
+	}
+}

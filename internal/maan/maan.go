@@ -165,10 +165,12 @@ func (s *Schema) Selectivity(p Predicate) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if hi < lo {
+	if ident.Less(hi, lo) {
 		return 0, nil
 	}
-	return float64(hi-lo) / float64(s.space.Size()), nil
+	// The locality-preserving hash is monotone and never wraps, so the
+	// clockwise distance equals the plain difference hi-lo here.
+	return float64(s.space.Dist(lo, hi)) / float64(s.space.Size()), nil
 }
 
 // Attributes returns the declared attributes sorted by name.

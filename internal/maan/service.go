@@ -177,6 +177,16 @@ func NewService(ch *chord.Node, ep transport.Endpoint, clock transport.Clock, sc
 // replicateToSuccessor pushes this node's full entry set to its
 // immediate successor (one one-way message per scan; no-op when
 // replication is off, the node is alone, or it stores nothing).
+// send fires a best-effort datagram. Delivery failures feed the chord
+// layer's two-strike failure detector, so a dead successor or query
+// originator noticed on the directory path is evicted from the routing
+// tables without waiting for overlay maintenance.
+func (s *Service) send(to transport.Addr, typ string, payload any) {
+	if err := s.ep.Send(to, typ, payload); err != nil {
+		s.ch.Suspect(to)
+	}
+}
+
 func (s *Service) replicateToSuccessor() {
 	if !s.Replicate {
 		return
@@ -196,7 +206,7 @@ func (s *Service) replicateToSuccessor() {
 	if len(batch) == 0 {
 		return
 	}
-	_ = s.ep.Send(succ.Addr, MsgReplicate, ReplicateMsg{Owner: s.ep.Addr(), Entries: batch})
+	s.send(succ.Addr, MsgReplicate, ReplicateMsg{Owner: s.ep.Addr(), Entries: batch})
 }
 
 // handleReplicate replaces the replica set held for one origin owner.
@@ -549,7 +559,7 @@ func (s *Service) handleRange(req *transport.Request) {
 		lastHop = true
 	}
 	if lastHop {
-		_ = s.ep.Send(rr.Origin, MsgResult, ResultMsg{QueryID: rr.QueryID, Found: rr.Found, Hops: rr.Hops})
+		s.send(rr.Origin, MsgResult, ResultMsg{QueryID: rr.QueryID, Found: rr.Found, Hops: rr.Hops})
 		return
 	}
 	rr.Hops++
@@ -558,7 +568,7 @@ func (s *Service) handleRange(req *transport.Request) {
 	// explicitly in case its predecessor pointer is still unset.
 	rr.Final = (space.InHalfOpen(rr.HiKey, self.ID, succ.ID) && spanEndsAt(space, rr, succ.ID)) ||
 		succ.Addr == rr.Start
-	_ = s.ep.Send(succ.Addr, MsgRange, rr)
+	s.send(succ.Addr, MsgRange, rr)
 }
 
 // spanEndsAt reports whether the queried span [LoKey, HiKey] ends at or

@@ -1,5 +1,9 @@
 package transport
 
+//datlint:allow-realtime this file implements the live Clock paths
+// (RealClock over the time package); simulated runs use SimClock, which
+// never touches the wall clock.
+
 import (
 	"math/rand"
 	"sync"
@@ -44,8 +48,13 @@ func (c SimClock) Every(period, jitter time.Duration, fn func()) func() {
 }
 
 // RealClock implements Clock over the time package, for live transports.
-// The zero value is ready to use.
+// The zero value is ready to use and jitters with a fixed default seed;
+// use NewRealClock to thread an explicit per-node seed so maintenance
+// jitter differs across nodes while every run stays reproducible (a
+// wall-clock seed here once broke replay determinism — simclock now
+// bans the pattern).
 type RealClock struct {
+	seed  int64
 	once  sync.Once
 	epoch time.Time
 
@@ -53,10 +62,21 @@ type RealClock struct {
 	rng *rand.Rand
 }
 
+// NewRealClock returns a live clock whose jitter RNG is seeded with
+// seed. Peers derive the seed from their ring identifier so that
+// maintenance loops across a deployment do not fire in lock-step.
+func NewRealClock(seed int64) *RealClock {
+	return &RealClock{seed: seed}
+}
+
 func (c *RealClock) init() {
 	c.once.Do(func() {
 		c.epoch = time.Now()
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		seed := c.seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
 	})
 }
 

@@ -1,5 +1,9 @@
 package transport
 
+//datlint:allow-realtime MemNetwork is the real-goroutine in-process
+// transport used by race-detector tests; its delays are genuine timers,
+// not simulated ones.
+
 import (
 	"sync"
 	"time"

@@ -86,10 +86,13 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.Name == "" {
 		cfg.Name = string(ep.Addr())
 	}
-	clock := &transport.RealClock{}
 	// The identifier is the hash of the bound address; probing joins may
 	// replace it before the peer enters the ring.
 	id := space.Hash([]byte(ep.Addr()))
+	// Seed the live clock's maintenance jitter from the identifier:
+	// distinct per node (no lock-step maintenance across a deployment)
+	// yet fully determined by the bound address, so runs replay.
+	clock := transport.NewRealClock(int64(id))
 	cn := chord.New(ep, clock, id, chord.Config{
 		Space:           space,
 		StabilizeEvery:  cfg.Stabilize,
