@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz ci
+.PHONY: all build vet lint test race fuzz datcheck datcheck-long ci
 
 all: build
 
@@ -24,6 +24,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# datcheck: the deterministic simulation-testing harness (DESIGN.md §8).
+# The default target runs the fixed PR-gating seed corpus; datcheck-long
+# sweeps DATCHECK_SEEDS fresh seeds from DATCHECK_BASE (the nightly
+# workflow passes a date-derived base so coverage grows over time).
+# Replay a failure with:
+#   go test ./internal/datcheck -run TestDatcheckReplay -datcheck.seed=N -v
+DATCHECK_SEEDS ?= 25
+DATCHECK_BASE ?= 1000000
+datcheck:
+	$(GO) test ./internal/datcheck -v -run TestDatcheckCorpus
+
+datcheck-long:
+	$(GO) test -race ./internal/datcheck -v -run TestDatcheckLong \
+		-datcheck.long -datcheck.seeds $(DATCHECK_SEEDS) -datcheck.base $(DATCHECK_BASE) \
+		-datcheck.artifacts $(CURDIR)/datcheck-artifacts -timeout 45m
 
 # Short, bounded runs of every fuzz target — a smoke pass, not a soak.
 # Each -fuzz invocation must target a single package, hence the loop.

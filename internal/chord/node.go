@@ -74,6 +74,13 @@ func (c Config) withDefaults() Config {
 var (
 	ErrLookupFailed = errors.New("chord: lookup failed")
 	ErrNotRunning   = errors.New("chord: node not running")
+	// ErrStaleIncarnation means a join-time lookup resolved this node's
+	// identifier to its own address: the ring still carries a previous
+	// incarnation that the failure detector has not evicted yet. Joining
+	// now would make the node adopt itself as successor and come up as a
+	// lone ring while the real one routes around its arc — a permanent
+	// split. Callers must retry after a failure-detection period.
+	ErrStaleIncarnation = errors.New("chord: ring still resolves our identifier to a previous incarnation")
 )
 
 // Node is a live Chord protocol node. It owns its transport endpoint's
@@ -321,23 +328,65 @@ func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
 			cb(fmt.Errorf("chord: join via %s: %w", bootstrap, err))
 			return
 		}
-		n.mu.Lock()
-		if succ.Addr == n.self.Addr {
-			// The ring already resolves our identifier to ourselves
-			// (stale state from a prior incarnation); treat as fresh ring.
-			n.succs = []NodeRef{n.self}
-		} else {
-			n.succs = []NodeRef{succ}
+		if succ.Addr == n.Self().Addr {
+			// A ghost of our previous incarnation is still in the ring's
+			// tables and answered for us. Coming up alone here would split
+			// the overlay permanently (the live ring routes around our arc
+			// and never notifies a node it believes it already has), so
+			// refuse and let the caller retry once suspicion evicts the
+			// ghost.
+			cb(fmt.Errorf("chord: join via %s: %w", bootstrap, ErrStaleIncarnation))
+			return
 		}
-		n.pred = NodeRef{}
-		n.running = true
-		n.joinedAt = n.clock.Now()
-		n.mu.Unlock()
-		n.startMaintenance()
-		// Kick stabilization immediately so the ring converges without
-		// waiting a full period.
-		n.stabilize()
-		cb(nil)
+		// Verify the successor is actually alive and adopt its successor
+		// list in the same exchange. Until the first stabilize round a
+		// joiner's whole ring knowledge is this list; entering with a
+		// single entry — one that moreover came from another node's
+		// possibly stale tables — means one dead successor strands the
+		// joiner alone (removeDead empties the list and a lone node never
+		// hears from the ring again). Failing the join instead lets the
+		// caller retry against a live ring.
+		n.ep.Call(succ.Addr, MsgGetState, GetStateReq{}, func(payload any, err error) {
+			if err != nil {
+				cb(fmt.Errorf("chord: join via %s: successor %s: %w", bootstrap, succ.Addr, err))
+				return
+			}
+			resp, ok := payload.(StateResp)
+			if !ok {
+				cb(fmt.Errorf("chord: join via %s: successor %s: bad state reply %T", bootstrap, succ.Addr, payload))
+				return
+			}
+			n.mu.Lock()
+			list := []NodeRef{succ}
+			for _, s := range resp.Successors {
+				if len(list) >= n.cfg.SuccessorListLen {
+					break
+				}
+				if s.IsZero() || s.Addr == n.self.Addr {
+					continue
+				}
+				dup := false
+				for _, have := range list {
+					if have.Addr == s.Addr {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					list = append(list, s)
+				}
+			}
+			n.succs = list
+			n.pred = NodeRef{}
+			n.running = true
+			n.joinedAt = n.clock.Now()
+			n.mu.Unlock()
+			n.startMaintenance()
+			// Kick stabilization immediately so the ring converges without
+			// waiting a full period.
+			n.stabilize()
+			cb(nil)
+		})
 	})
 }
 
@@ -430,6 +479,17 @@ func (n *Node) Stop(graceful bool) {
 // --- message dispatch ---
 
 func (n *Node) dispatch(req *transport.Request) {
+	if !n.Running() {
+		// A recycled address must not masquerade as its dead incarnation.
+		// Before Join completes this node has no ring state: answering
+		// pings would keep the ghost looking alive forever (so suspicion
+		// never evicts it and our own join loops on ErrStaleIncarnation),
+		// and answering lookup steps from an empty successor list would
+		// claim arcs we do not own. An error reply feeds the caller's
+		// failure detector instead; one-way messages are dropped.
+		req.ReplyError(ErrNotRunning)
+		return
+	}
 	switch req.Type {
 	case MsgStep:
 		n.handleStep(req)

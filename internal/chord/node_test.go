@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -574,4 +575,181 @@ func TestConcurrentLookupsDuringChurn(t *testing.T) {
 	if failed > 20 {
 		t.Fatalf("%d/40 lookups failed, too fragile", failed)
 	}
+}
+
+// TestSuspectSuccessorRepairsViaSuccessorList crashes one node's
+// immediate successor and verifies the two-strike suspicion path: the
+// predecessor falls back to the next entry of its successor list and the
+// crashed node's keys route to the new owner — no black hole.
+func TestSuspectSuccessorRepairsViaSuccessorList(t *testing.T) {
+	c := newSimCluster(t, 31, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 10))
+	victim := c.nodes[4]
+	victimID := victim.Self().ID
+	pred := c.nodes[3] // EvenIDs are sorted, so node 3 precedes node 4
+	fallback := pred.SuccessorList()
+	if len(fallback) < 2 || fallback[0].Addr != victim.Self().Addr {
+		t.Fatalf("precondition: node 3 successor list %v should lead with the victim", fallback)
+	}
+	c.eng.Schedule(time.Second, func() {
+		victim.Stop(false)
+		_ = victim.ep.Close()
+	})
+	c.eng.RunFor(5 * time.Second)
+	c.awaitConvergence(2 * time.Minute)
+	if got, want := pred.Successor().Addr, fallback[1].Addr; got != want {
+		t.Fatalf("node 3 successor = %v, want successor-list fallback %v", got, want)
+	}
+	// The crashed node's identifier must now resolve to its old successor.
+	ring := c.idealRing()
+	var got NodeRef
+	var gotErr error
+	done := false
+	pred.Lookup(victimID, func(ref NodeRef, err error) { got, gotErr, done = ref, err, true })
+	c.eng.RunFor(10 * time.Second)
+	if !done || gotErr != nil {
+		t.Fatalf("lookup(%v) done=%v err=%v", victimID, done, gotErr)
+	}
+	if want := ring.SuccessorOf(victimID); got.ID != want {
+		t.Fatalf("lookup(%v) = %v, want new owner %v", victimID, got.ID, want)
+	}
+}
+
+// TestNoBlackHoleAfterPartitionHeal partitions a node from its successor
+// long enough for suspicion to reroute around the link, heals, and then
+// verifies every node resolves every member's identifier to the ideal
+// owner — the ring must re-knit with no residual routing holes.
+func TestNoBlackHoleAfterPartitionHeal(t *testing.T) {
+	c := newSimCluster(t, 37, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 8))
+	a, b := c.nodes[2], c.nodes[3]
+	c.eng.Schedule(time.Second, func() {
+		c.net.Partition(a.Self().Addr, b.Self().Addr)
+	})
+	c.eng.RunFor(30 * time.Second)
+	c.net.HealAll()
+	c.awaitConvergence(2 * time.Minute)
+	ring := c.idealRing()
+	for _, src := range c.nodes {
+		for _, dst := range c.nodes {
+			key := dst.Self().ID
+			var got NodeRef
+			var gotErr error
+			done := false
+			src.Lookup(key, func(ref NodeRef, err error) { got, gotErr, done = ref, err, true })
+			c.eng.RunFor(10 * time.Second)
+			if !done || gotErr != nil {
+				t.Fatalf("lookup(%v) from %v: done=%v err=%v", key, src.Self().ID, done, gotErr)
+			}
+			if want := ring.SuccessorOf(key); got.ID != want {
+				t.Fatalf("lookup(%v) from %v = %v, want %v", key, src.Self().ID, got.ID, want)
+			}
+		}
+	}
+}
+
+// TestJoinRefusesStaleIncarnation crashes a node and immediately brings
+// up a fresh incarnation at the same identifier and address. While the
+// ring's tables still resolve the identifier to the ghost, Join must
+// fail with ErrStaleIncarnation rather than coming up alone (which would
+// split the overlay permanently); once suspicion evicts the ghost,
+// retries succeed and the ring re-converges with the new incarnation.
+func TestJoinRefusesStaleIncarnation(t *testing.T) {
+	c := newSimCluster(t, 41, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 8))
+	victim := c.nodes[5]
+	id, addr := victim.Self().ID, victim.Self().Addr
+	boot := c.nodes[0].Self().Addr
+
+	victim.Stop(false)
+	_ = victim.ep.Close()
+
+	fresh := New(c.net.Endpoint(addr), c.net.Clock(), id, c.config())
+	c.nodes[5] = fresh
+	sawStale := false
+	joined := false
+	var join func()
+	join = func() {
+		fresh.Join(boot, func(err error) {
+			switch {
+			case err == nil:
+				joined = true
+			case errors.Is(err, ErrStaleIncarnation):
+				sawStale = true
+				c.eng.Schedule(500*time.Millisecond, join)
+			default:
+				// Transient routing errors while the ghost is evicted are
+				// fine; keep retrying.
+				c.eng.Schedule(500*time.Millisecond, join)
+			}
+		})
+	}
+	c.eng.Schedule(10*time.Millisecond, join)
+	deadline := c.eng.Now() + sim.Time(2*time.Minute)
+	for !joined && c.eng.Now() < deadline {
+		c.eng.RunFor(time.Second)
+	}
+	if !sawStale {
+		t.Fatal("join never observed ErrStaleIncarnation while the ghost was live in the ring's tables")
+	}
+	if !joined {
+		t.Fatal("join never succeeded after the ghost was evicted")
+	}
+	c.awaitConvergence(2 * time.Minute)
+	if got := len(c.live()); got != 8 {
+		t.Fatalf("live nodes = %d, want 8", got)
+	}
+}
+
+// TestDispatchRefusesWhenNotRunning: a constructed-but-not-started node
+// must answer every request with an error. A recycled address that
+// answered pings for its dead predecessor incarnation would keep the
+// ghost alive in its neighbors' tables forever.
+func TestDispatchRefusesWhenNotRunning(t *testing.T) {
+	c := newSimCluster(t, 43, 10, transport.SimConfig{})
+	a := c.addNode(1)
+	a.Create()
+	idle := c.addNode(500) // never Created or Joined
+	var gotErr error
+	done := false
+	c.eng.Schedule(time.Second, func() {
+		a.ep.Call(idle.Self().Addr, MsgPing, PingReq{}, func(_ any, err error) {
+			gotErr, done = err, true
+		})
+	})
+	c.eng.RunFor(5 * time.Second)
+	if !done {
+		t.Fatal("ping to idle node never completed")
+	}
+	if !errors.Is(gotErr, ErrNotRunning) {
+		t.Fatalf("ping to idle node returned %v, want ErrNotRunning", gotErr)
+	}
+}
+
+// TestJoinAdoptsSuccessorList: a successful join must leave the joiner
+// with its successor's whole successor list, not a fragile single entry
+// — otherwise one crash in the window before the first stabilization
+// strands the joiner alone.
+func TestJoinAdoptsSuccessorList(t *testing.T) {
+	c := newSimCluster(t, 47, 12, transport.SimConfig{})
+	c.buildRing(EvenIDs(c.space, 8))
+	id := c.space.HashString("late-joiner")
+	late := c.addNode(id)
+	joined := false
+	c.eng.Schedule(10*time.Millisecond, func() {
+		late.Join(c.nodes[0].Self().Addr, func(err error) {
+			if err != nil {
+				t.Errorf("join: %v", err)
+			}
+			joined = true
+			if got := len(late.SuccessorList()); got < 2 {
+				t.Errorf("successor list right after join has %d entries, want >= 2", got)
+			}
+		})
+	})
+	c.eng.RunFor(5 * time.Second)
+	if !joined {
+		t.Fatal("join never completed")
+	}
+	c.awaitConvergence(2 * time.Minute)
 }

@@ -422,6 +422,70 @@ func (c *Cluster) AddNode(id ident.ID) int {
 	return i
 }
 
+// Rejoin brings a crashed or departed node back under its old identifier
+// and address, with completely fresh protocol state — the real recovery
+// path, not a warm start. The new node replaces index i and joins through
+// any live node with the same retry policy as AddNode. Rejoining a node
+// that is still running panics: that is a scenario-scheduling bug.
+func (c *Cluster) Rejoin(i int) {
+	old := c.Chord[i]
+	if old.Running() {
+		panic(fmt.Sprintf("cluster: Rejoin(%d) while node is still running", i))
+	}
+	id := old.Self().ID
+	addr := old.Self().Addr
+	ep := c.Net.Endpoint(addr)
+	chordCfg := chord.Config{
+		Space:            c.Space,
+		StabilizeEvery:   c.Opts.StabilizeEvery,
+		FixFingersEvery:  c.Opts.FixFingersEvery,
+		FingersPerFix:    8,
+		PingEvery:        c.Opts.PingEvery,
+		SuccessorListLen: c.Opts.SuccessorListLen,
+	}
+	cn := chord.New(ep, c.Net.Clock(), id, chordCfg)
+	var local func(key ident.ID) (float64, bool)
+	if c.Opts.Local != nil {
+		idx := i
+		clk := c.Net.Clock()
+		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(idx, clk.Now(), key) }
+	}
+	dn := core.NewNode(cn, ep, c.Net.Clock(), core.NodeConfig{
+		Scheme:        c.Opts.Scheme,
+		Local:         local,
+		ChildTTLSlots: c.Opts.ChildTTLSlots,
+		BatchDelay:    c.Opts.BatchDelay,
+		HoldPerLevel:  c.Opts.HoldPerLevel,
+		ShareResults:  c.Opts.ShareResults,
+	})
+	c.eps[i] = ep
+	c.Chord[i] = cn
+	c.DAT[i] = dn
+
+	var boot transport.Addr
+	for j, n := range c.Chord {
+		if j != i && n.Running() {
+			boot = c.eps[j].Addr()
+			break
+		}
+	}
+	if boot == "" {
+		cn.Create()
+		return
+	}
+	attempts := 0
+	var try func()
+	try = func() {
+		attempts++
+		cn.Join(boot, func(err error) {
+			if err != nil && attempts < 5 {
+				c.Engine.Schedule(time.Second, try)
+			}
+		})
+	}
+	try()
+}
+
 // Crash fails node i without warning: maintenance stops and the endpoint
 // goes silent.
 func (c *Cluster) Crash(i int) {

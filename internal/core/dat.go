@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -363,6 +364,33 @@ func (n *Node) LastResult(key ident.ID) (slot int64, agg Aggregate, ok bool) {
 		return 0, Aggregate{}, false
 	}
 	return e.lastSlot, e.lastAgg, true
+}
+
+// ChildInfo is an observer's view of one cached child subtree in a
+// continuous aggregation, for invariant checking by test harnesses.
+type ChildInfo struct {
+	Addr   transport.Addr
+	Nodes  uint64
+	Height int
+	Seen   time.Duration
+}
+
+// ChildrenInfo returns the child-subtree cache for key, sorted by address
+// so output derived from it is deterministic. It returns nil when the key
+// has no continuous aggregation on this node.
+func (n *Node) ChildrenInfo(key ident.ID) []ChildInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.aggs[key]
+	if e == nil || len(e.children) == 0 {
+		return nil
+	}
+	out := make([]ChildInfo, 0, len(e.children))
+	for addr, cs := range e.children {
+		out = append(out, ChildInfo{Addr: addr, Nodes: cs.nodes, Height: cs.height, Seen: cs.seen})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // tickContinuous runs once per slot (at boundary + height*hold): fold the

@@ -1,0 +1,293 @@
+// Package datcheck is the repo's deterministic simulation-testing
+// harness, in the FoundationDB tradition: full-protocol chord.Node +
+// core.Node stacks run over transport.SimNetwork through randomized
+// scenario schedules — crashes, graceful leaves, rejoins, protocol
+// joins, link-level partitions and heals, and probabilistic message
+// drop/duplication/delay via transport.FaultPlan. After every quiescent
+// interval an invariant library checks the overlay (successor lists,
+// fingers, lookup routing) and the aggregation layer (tree structure,
+// §3 branching bounds, aggregate conservation against ground truth).
+//
+// Everything is derived from a single int64 seed: the same seed yields a
+// byte-identical trace, so any CI failure is replayed locally with
+//
+//	go test ./internal/datcheck -run TestDatcheckReplay -datcheck.seed=N -v
+//
+// See DESIGN.md §8 for the scenario grammar and the full invariant list.
+package datcheck
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// transportFaults maps an EvFaults event onto the transport fault plan.
+func transportFaults(ev Event) transport.FaultPlan {
+	return transport.ProbFaults{Drop: ev.Drop, Dup: ev.Dup, DelayJitter: ev.Jitter}
+}
+
+// Result is everything one scenario run produced.
+type Result struct {
+	Seed     int64
+	Scenario *Scenario
+	// Violations from every settle point, in schedule order.
+	Violations []Violation
+	// Trace is the deterministic event-by-event log; same seed, same
+	// bytes. It is the replay artifact.
+	Trace []byte
+	// Crashes and Partitions count events actually applied (not skipped),
+	// for corpus coverage assertions.
+	Crashes    int
+	Partitions int
+}
+
+// Run generates the scenario for seed and plays it to completion. A
+// returned error means the harness itself could not set up (the initial
+// clean cluster failed to converge) — never an invariant violation;
+// those are in Result.Violations.
+func Run(seed int64) (*Result, error) {
+	return RunScenario(Generate(seed))
+}
+
+// RunScenario plays an explicit scenario, which is how the shrinker
+// replays truncated schedules. The final settle is implicit: every run
+// ends with heal + convergence + the full invariant suite.
+func RunScenario(sc *Scenario) (*Result, error) {
+	res := &Result{Seed: sc.Seed, Scenario: sc}
+	var tr bytes.Buffer
+	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v events=%d\n",
+		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, len(sc.Events))
+
+	c, err := cluster.New(cluster.Options{
+		N:      sc.N,
+		Bits:   sc.Bits,
+		Seed:   sc.Seed,
+		Scheme: sc.Scheme,
+		Local: func(node int, _ time.Duration, _ ident.ID) (float64, bool) {
+			return float64(node + 1), true
+		},
+		ChildTTLSlots: 3,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datcheck seed %d: setup: %w", sc.Seed, err)
+	}
+	key := c.Space.HashString("datcheck")
+	latest, err := c.StartContinuousAll(key, sc.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("datcheck seed %d: start continuous: %w", sc.Seed, err)
+	}
+
+	h := &harness{sc: sc, c: c, key: key, latest: latest, tr: &tr, res: res}
+	for _, ev := range sc.Events {
+		c.RunFor(ev.Gap)
+		h.apply(ev)
+	}
+	if len(sc.Events) == 0 || sc.Events[len(sc.Events)-1].Kind != EvSettle {
+		h.settle()
+	}
+	fmt.Fprintf(&tr, "done violations=%d\n", len(res.Violations))
+	res.Trace = tr.Bytes()
+	return res, nil
+}
+
+type harness struct {
+	sc     *Scenario
+	c      *cluster.Cluster
+	key    ident.ID
+	latest func() (int64, core.Aggregate, bool)
+	tr     *bytes.Buffer
+	res    *Result
+}
+
+func (h *harness) tracef(format string, args ...any) {
+	fmt.Fprintf(h.tr, "t=%v %s\n", h.c.Engine.Now(), fmt.Sprintf(format, args...))
+}
+
+// apply plays one event. Invalid events (crash a dead node, rejoin a live
+// one, join with a mismatched index) are skipped with a trace line rather
+// than rejected: the shrinker removes events from the middle of a
+// schedule, and the suffix must still be playable.
+func (h *harness) apply(ev Event) {
+	c := h.c
+	switch ev.Kind {
+	case EvCrash, EvLeave:
+		if ev.A >= len(c.Chord) || !c.Chord[ev.A].Running() {
+			h.tracef("skip %v (not running)", ev)
+			return
+		}
+		if ev.Kind == EvCrash {
+			c.Crash(ev.A)
+			h.res.Crashes++
+		} else {
+			c.Leave(ev.A)
+		}
+		h.tracef("%v", ev)
+	case EvRejoin:
+		if ev.A >= len(c.Chord) {
+			h.tracef("skip %v (no such node)", ev)
+			return
+		}
+		h.rejoin(ev.A)
+		h.tracef("%v", ev)
+	case EvJoin:
+		if ev.A != len(c.Chord) {
+			h.tracef("skip %v (next index is %d)", ev, len(c.Chord))
+			return
+		}
+		id := h.freshID(ev.A)
+		idx := c.AddNode(id)
+		if err := c.DAT[idx].StartContinuous(h.key, h.sc.Slot, nil); err != nil {
+			h.tracef("join node=%d start continuous: %v", idx, err)
+			return
+		}
+		h.tracef("%v id=%v", ev, id)
+	case EvPartition:
+		if ev.A >= len(c.Chord) || ev.B >= len(c.Chord) {
+			h.tracef("skip %v (no such node)", ev)
+			return
+		}
+		addrs := c.Addrs()
+		c.Net.Partition(addrs[ev.A], addrs[ev.B])
+		h.res.Partitions++
+		h.tracef("%v", ev)
+	case EvHeal:
+		if ev.A >= len(c.Chord) || ev.B >= len(c.Chord) {
+			h.tracef("skip %v (no such node)", ev)
+			return
+		}
+		addrs := c.Addrs()
+		c.Net.Heal(addrs[ev.A], addrs[ev.B])
+		h.tracef("%v", ev)
+	case EvFaults:
+		c.Net.SetFaultPlan(transportFaults(ev))
+		h.tracef("%v", ev)
+	case EvSettle:
+		h.settle()
+	}
+}
+
+// rejoin restarts node i with fresh state. If a previous join attempt is
+// still limping along (node exists but never became Running), its
+// endpoint is torn down first so the address is free.
+func (h *harness) rejoin(i int) {
+	if h.c.Chord[i].Running() {
+		return
+	}
+	_ = h.c.Endpoint(i).Close()
+	h.c.Rejoin(i)
+	// Fresh core.Node: enroll it in the continuous aggregation. Ticks
+	// before the join completes are harmless (ParentFor abstains).
+	if err := h.c.DAT[i].StartContinuous(h.key, h.sc.Slot, nil); err != nil {
+		h.tracef("rejoin node=%d start continuous: %v", i, err)
+	}
+}
+
+// freshID derives a deterministic identifier for joined node idx that is
+// distinct from every current member.
+func (h *harness) freshID(idx int) ident.ID {
+	for salt := 0; ; salt++ {
+		id := h.c.Space.HashString(fmt.Sprintf("datcheck-join-%d-%d-%d", h.sc.Seed, idx, salt))
+		clash := false
+		for _, n := range h.c.Chord {
+			if n.Self().ID == id {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return id
+		}
+	}
+}
+
+// settle ends a chaos phase: heal every link, drop the fault plan,
+// re-kick any node that should be alive but is not, wait for the overlay
+// to converge, let child caches expire and refill, then run the full
+// invariant library. Violations are appended to the result and the trace.
+func (h *harness) settle() {
+	c := h.c
+	c.Net.HealAll()
+	c.Net.SetFaultPlan(nil)
+	h.tracef("settle")
+
+	// Re-kick dead nodes. A kick is a full protocol join with internal
+	// retries; give each round time to complete before re-kicking.
+	for attempt := 0; attempt < 5; attempt++ {
+		missing := false
+		for i := range c.Chord {
+			if !c.Chord[i].Running() {
+				missing = true
+				h.rejoin(i)
+			}
+		}
+		if !missing {
+			break
+		}
+		c.RunFor(8 * time.Second)
+	}
+	for i := range c.Chord {
+		if !c.Chord[i].Running() {
+			h.violate(Violation{Check: "liveness", Detail: fmt.Sprintf("node %d failed to rejoin during settle", i)})
+		}
+	}
+
+	if err := c.AwaitConverged(2 * time.Minute); err != nil {
+		h.violate(Violation{Check: "convergence", Detail: err.Error()})
+		// Without convergence every downstream check would re-report the
+		// same wreckage; dump who is stuck and stop at the root cause.
+		for _, line := range convergenceDiff(c) {
+			h.tracef("  %s", line)
+		}
+		return
+	}
+	h.tracef("converged n=%d", len(h.runningIdxs()))
+
+	// Quiesce past the child TTL so stale cache entries age out and the
+	// root's result reflects the settled membership.
+	c.RunFor(time.Duration(3+4) * h.sc.Slot)
+
+	// Calls issued during the chaos phase can time out during the quiesce,
+	// striking a healthy neighbor and transiently zeroing a finger until
+	// fixFingers cycles back around; wait for that repair before auditing.
+	if err := c.AwaitConverged(2 * time.Minute); err != nil {
+		h.violate(Violation{Check: "convergence", Detail: "post-quiesce: " + err.Error()})
+		for _, line := range convergenceDiff(c) {
+			h.tracef("  %s", line)
+		}
+		return
+	}
+
+	k := &checker{c: c, ring: c.Ring(), key: h.key}
+	k.checkRing()
+	k.checkLookups()
+	k.checkDAT(h.sc.Scheme)
+	k.checkAggregate(h.latest, h.sc.Slot)
+	for _, v := range k.out {
+		h.violate(v)
+	}
+	if len(k.out) == 0 {
+		slot, agg, _ := h.latest()
+		h.tracef("invariants ok slot=%d count=%d sum=%v", slot, agg.Count, agg.Sum)
+	}
+}
+
+func (h *harness) violate(v Violation) {
+	h.res.Violations = append(h.res.Violations, v)
+	h.tracef("%v", v)
+}
+
+func (h *harness) runningIdxs() []int {
+	var idxs []int
+	for i, n := range h.c.Chord {
+		if n.Running() {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}

@@ -1,0 +1,244 @@
+package datcheck
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Flags. CI logs always contain the failing seed; replay locally with
+//
+//	go test ./internal/datcheck -run TestDatcheckReplay -datcheck.seed=N -v
+var (
+	longMode = flag.Bool("datcheck.long", false,
+		"run the long random-seed sweep (nightly CI)")
+	longSeeds = flag.Int("datcheck.seeds", 25,
+		"number of seeds in the long sweep")
+	longBase = flag.Int64("datcheck.base", 1_000_000,
+		"first seed of the long sweep; nightly passes a date-derived base")
+	replaySeed = flag.Int64("datcheck.seed", 0,
+		"replay one seed under TestDatcheckReplay")
+	replayEvents = flag.Int("datcheck.events", -1,
+		"with -datcheck.seed: truncate the schedule to this many events")
+	artifactDir = flag.String("datcheck.artifacts", "",
+		"directory to write failing replay artifacts into")
+	shrinkOnFail = flag.Bool("datcheck.shrink", true,
+		"shrink failing scenarios to a minimal schedule before reporting")
+)
+
+// corpusSeeds is the fixed PR-gating corpus: deterministic, every seed
+// covering at least one crash and one partition (asserted below). Keep
+// additions append-only so historical failures stay replayable.
+var corpusSeeds = []int64{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+	11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+	42, 1007, 40437,
+}
+
+// runSeed executes one scenario and reports failures with a replay
+// recipe; on failure it optionally shrinks the schedule and writes an
+// artifact for CI to upload.
+func runSeed(t *testing.T, seed int64) {
+	t.Helper()
+	res, err := Run(seed)
+	if err != nil {
+		t.Fatalf("harness setup failed: %v", err)
+	}
+	if res.Crashes < 1 {
+		t.Errorf("seed %d: scenario applied no crashes", seed)
+	}
+	if res.Partitions < 1 {
+		t.Errorf("seed %d: scenario applied no partitions", seed)
+	}
+	if len(res.Violations) == 0 {
+		return
+	}
+	for _, v := range res.Violations {
+		t.Errorf("seed %d: %v", seed, v)
+	}
+	report := &bytes.Buffer{}
+	fmt.Fprintf(report, "replay: go test ./internal/datcheck -run TestDatcheckReplay -datcheck.seed=%d -v\n\n", seed)
+	report.Write(res.Trace)
+	if *shrinkOnFail {
+		small := Shrink(res.Scenario, func(sc *Scenario) bool {
+			r, err := RunScenario(sc)
+			return err != nil || len(r.Violations) > 0
+		})
+		fmt.Fprintf(report, "\nshrunk schedule: %d of %d events (replay with -datcheck.events=%d)\n",
+			len(small.Events), len(res.Scenario.Events), len(small.Events))
+		for i, ev := range small.Events {
+			fmt.Fprintf(report, "  [%d] %v\n", i, ev)
+		}
+	}
+	t.Logf("seed %d failure report:\n%s", seed, report.String())
+	if *artifactDir != "" {
+		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
+			t.Errorf("artifact dir: %v", err)
+			return
+		}
+		path := filepath.Join(*artifactDir, fmt.Sprintf("datcheck-seed-%d.txt", seed))
+		if err := os.WriteFile(path, report.Bytes(), 0o644); err != nil {
+			t.Errorf("write artifact: %v", err)
+		} else {
+			t.Logf("replay artifact written to %s", path)
+		}
+	}
+}
+
+// TestDatcheckCorpus is the PR gate: every fixed seed must run all
+// invariants clean.
+func TestDatcheckCorpus(t *testing.T) {
+	for _, seed := range corpusSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestDatcheckLong is the nightly sweep over fresh seeds.
+func TestDatcheckLong(t *testing.T) {
+	if !*longMode {
+		t.Skip("long sweep runs with -datcheck.long (nightly CI)")
+	}
+	for i := 0; i < *longSeeds; i++ {
+		seed := *longBase + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestDatcheckReplay re-runs one seed (optionally a schedule prefix) and
+// always prints the trace. It is the documented CI-failure replay path.
+func TestDatcheckReplay(t *testing.T) {
+	if *replaySeed == 0 {
+		t.Skip("replay runs with -datcheck.seed=N")
+	}
+	sc := Generate(*replaySeed)
+	if *replayEvents >= 0 && *replayEvents < len(sc.Events) {
+		sc.Events = sc.Events[:*replayEvents]
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatalf("harness setup failed: %v", err)
+	}
+	t.Logf("trace:\n%s", res.Trace)
+	for _, v := range res.Violations {
+		t.Errorf("seed %d: %v", *replaySeed, v)
+	}
+}
+
+// TestDatcheckDeterministic asserts the acceptance criterion directly:
+// the same seed produces a byte-identical trace.
+func TestDatcheckDeterministic(t *testing.T) {
+	const seed = 7
+	a, err := Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Trace, b.Trace) {
+		t.Fatalf("two runs of seed %d diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a.Trace, b.Trace)
+	}
+}
+
+// TestGeneratorGuarantees checks the scenario generator's contract over
+// many seeds: coverage floors, the concurrent-dead cap, and valid event
+// targets.
+func TestGeneratorGuarantees(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := Generate(seed)
+		if sc.N < 8 || sc.N > 24 {
+			t.Fatalf("seed %d: n=%d out of range", seed, sc.N)
+		}
+		crashes, partitions := sc.Counts()
+		if crashes < 1 || partitions < 1 {
+			t.Fatalf("seed %d: coverage floor broken (crashes=%d partitions=%d)", seed, crashes, partitions)
+		}
+		alive := make(map[int]bool, sc.N)
+		for i := 0; i < sc.N; i++ {
+			alive[i] = true
+		}
+		deadCount := 0
+		total := sc.N
+		for i, ev := range sc.Events {
+			switch ev.Kind {
+			case EvCrash, EvLeave:
+				if !alive[ev.A] {
+					t.Fatalf("seed %d event %d: %v targets dead node", seed, i, ev)
+				}
+				alive[ev.A] = false
+				deadCount++
+				if deadCount > maxConcurrentDead {
+					t.Fatalf("seed %d event %d: concurrent dead cap exceeded", seed, i)
+				}
+			case EvRejoin:
+				if alive[ev.A] {
+					t.Fatalf("seed %d event %d: %v targets live node", seed, i, ev)
+				}
+				alive[ev.A] = true
+				deadCount--
+			case EvJoin:
+				if ev.A != total {
+					t.Fatalf("seed %d event %d: join index %d, want %d", seed, i, ev.A, total)
+				}
+				alive[ev.A] = true
+				total++
+			case EvPartition, EvHeal:
+				if ev.A == ev.B || ev.A >= total || ev.B >= total {
+					t.Fatalf("seed %d event %d: bad link %v", seed, i, ev)
+				}
+			case EvSettle:
+				for n := range alive {
+					alive[n] = true
+				}
+				deadCount = 0
+			}
+		}
+		if sc.Events[len(sc.Events)-1].Kind != EvSettle {
+			t.Fatalf("seed %d: schedule does not end in a settle", seed)
+		}
+	}
+}
+
+// TestShrinker drives Shrink with a synthetic predicate (no cluster): the
+// scenario "fails" iff the schedule still contains its one poison event.
+// The shrinker must isolate exactly that event.
+func TestShrinker(t *testing.T) {
+	sc := Generate(3)
+	poison := -1
+	for i, ev := range sc.Events {
+		if ev.Kind == EvCrash {
+			poison = i
+			break
+		}
+	}
+	if poison < 0 {
+		t.Fatal("generated scenario has no crash (generator contract broken)")
+	}
+	target := sc.Events[poison]
+	isFailing := func(s *Scenario) bool {
+		for _, ev := range s.Events {
+			if ev == target {
+				return true
+			}
+		}
+		return false
+	}
+	small := Shrink(sc, isFailing)
+	if len(small.Events) != 1 || small.Events[0] != target {
+		t.Fatalf("shrunk to %d events %v, want just the poison event %v", len(small.Events), small.Events, target)
+	}
+	if !isFailing(small) {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+}

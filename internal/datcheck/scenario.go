@@ -1,0 +1,270 @@
+package datcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// EventKind enumerates the moves the scenario scheduler can make.
+type EventKind int
+
+// The scenario grammar (see DESIGN.md §8): a scenario is a flat sequence
+// of timed events, punctuated by Settle events that heal the network,
+// wait for convergence and run the invariant library. The harness always
+// appends a final settle, so a truncated prefix of any scenario is itself
+// a valid scenario — that is what makes shrinking sound.
+const (
+	// EvCrash fail-stops a node: maintenance stops, its endpoint goes
+	// silent, and nobody is told.
+	EvCrash EventKind = iota
+	// EvLeave departs a node gracefully (it notifies its neighbors).
+	EvLeave
+	// EvRejoin brings a dead node back under its old identifier and
+	// address with fresh state, via the real join protocol.
+	EvRejoin
+	// EvJoin adds a brand-new node (index A) through the join protocol.
+	EvJoin
+	// EvPartition severs the link between nodes A and B in both
+	// directions.
+	EvPartition
+	// EvHeal restores the link between nodes A and B.
+	EvHeal
+	// EvFaults installs a probabilistic fault plan (drop/dup/jitter) on
+	// the whole network.
+	EvFaults
+	// EvSettle ends a chaos phase: heal everything, clear the fault plan,
+	// re-kick dead-but-wanted nodes, await convergence, check invariants.
+	EvSettle
+)
+
+// String names the kind for traces.
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvLeave:
+		return "leave"
+	case EvRejoin:
+		return "rejoin"
+	case EvJoin:
+		return "join"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvFaults:
+		return "faults"
+	case EvSettle:
+		return "settle"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled move. Gap is simulated time run before the event
+// applies, so a scenario's wall layout is independent of how long each
+// apply takes.
+type Event struct {
+	Kind EventKind
+	Gap  time.Duration
+	// A is the target node index (crash/leave/rejoin/join) or one end of
+	// a link (partition/heal).
+	A int
+	// B is the other end of a link (partition/heal).
+	B int
+	// Drop/Dup/Jitter parameterize EvFaults.
+	Drop, Dup float64
+	Jitter    time.Duration
+}
+
+// String renders the event for traces; it must be deterministic.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash, EvLeave, EvRejoin, EvJoin:
+		return fmt.Sprintf("%v node=%d", e.Kind, e.A)
+	case EvPartition, EvHeal:
+		return fmt.Sprintf("%v a=%d b=%d", e.Kind, e.A, e.B)
+	case EvFaults:
+		return fmt.Sprintf("faults drop=%.3f dup=%.3f jitter=%v", e.Drop, e.Dup, e.Jitter)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Scenario is a complete randomized schedule plus the cluster shape it
+// runs against. Everything the harness does is derived from this value
+// and nothing else, so Seed fully determines the run.
+type Scenario struct {
+	Seed   int64
+	N      int
+	Bits   uint
+	Scheme core.Scheme
+	Slot   time.Duration
+	Events []Event
+}
+
+// maxConcurrentDead bounds how many nodes may be down at once. The
+// default successor list (length 4) tolerates three consecutive
+// successor deaths; beyond that a ring can split unrecoverably and every
+// invariant after it would report the same uninteresting wreckage.
+const maxConcurrentDead = 3
+
+// maxJoins bounds brand-new nodes per scenario.
+const maxJoins = 3
+
+// Generate derives a scenario from a seed. The generator maintains a
+// liveness model while scheduling so events are valid when generated
+// (crash only alive nodes, rejoin only dead ones, never exceed the dead
+// cap), and it guarantees at least one crash and one partition per
+// scenario — the coverage the corpus test asserts.
+func Generate(seed int64) *Scenario {
+	r := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Seed: seed,
+		N:    8 + r.Intn(17), // 8..24
+		Bits: 32,
+		Slot: 500 * time.Millisecond,
+	}
+	if r.Intn(2) == 0 {
+		sc.Scheme = core.Basic
+	} else {
+		sc.Scheme = core.BalancedLocal
+	}
+
+	alive := make([]bool, sc.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	joins := 0
+	dead := func() (idxs []int) {
+		for i, a := range alive {
+			if !a {
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+	aliveIdxs := func() (idxs []int) {
+		for i, a := range alive {
+			if a {
+				idxs = append(idxs, i)
+			}
+		}
+		return idxs
+	}
+	gap := func() time.Duration {
+		return 200*time.Millisecond + time.Duration(r.Intn(1300))*time.Millisecond
+	}
+	emit := func(e Event) {
+		e.Gap = gap()
+		sc.Events = append(sc.Events, e)
+	}
+	// open partitions, for heal events
+	type pair struct{ a, b int }
+	var open []pair
+
+	emitPartition := func() {
+		idxs := aliveIdxs()
+		if len(idxs) < 2 {
+			return
+		}
+		i := idxs[r.Intn(len(idxs))]
+		j := idxs[r.Intn(len(idxs))]
+		for j == i {
+			j = idxs[r.Intn(len(idxs))]
+		}
+		open = append(open, pair{i, j})
+		emit(Event{Kind: EvPartition, A: i, B: j})
+	}
+	emitCrash := func(kind EventKind) {
+		if len(dead()) >= maxConcurrentDead {
+			return
+		}
+		idxs := aliveIdxs()
+		if len(idxs) <= 4 {
+			return
+		}
+		i := idxs[r.Intn(len(idxs))]
+		alive[i] = false
+		emit(Event{Kind: kind, A: i})
+	}
+
+	phases := 2 + r.Intn(2)
+	for p := 0; p < phases; p++ {
+		if r.Float64() < 0.75 {
+			emit(Event{
+				Kind:   EvFaults,
+				Drop:   r.Float64() * 0.06,
+				Dup:    r.Float64() * 0.15,
+				Jitter: time.Duration(r.Intn(8)) * time.Millisecond,
+			})
+		}
+		if p == 0 {
+			// Coverage floor: every scenario partitions and crashes.
+			emitPartition()
+			emitCrash(EvCrash)
+		}
+		steps := 3 + r.Intn(4)
+		for s := 0; s < steps; s++ {
+			switch roll := r.Float64(); {
+			case roll < 0.20:
+				emitCrash(EvCrash)
+			case roll < 0.30:
+				emitCrash(EvLeave)
+			case roll < 0.50:
+				if d := dead(); len(d) > 0 {
+					i := d[r.Intn(len(d))]
+					alive[i] = true
+					emit(Event{Kind: EvRejoin, A: i})
+				} else {
+					emitPartition()
+				}
+			case roll < 0.60:
+				if joins < maxJoins {
+					idx := sc.N + joins
+					joins++
+					alive = append(alive, true)
+					emit(Event{Kind: EvJoin, A: idx})
+				} else {
+					emitPartition()
+				}
+			case roll < 0.85:
+				emitPartition()
+			default:
+				if len(open) > 0 {
+					k := r.Intn(len(open))
+					pr := open[k]
+					open = append(open[:k], open[k+1:]...)
+					emit(Event{Kind: EvHeal, A: pr.a, B: pr.b})
+				} else {
+					emitPartition()
+				}
+			}
+		}
+		// Settle ends the phase; every dead node is wanted back, so the
+		// liveness model marks them alive again (the harness re-kicks
+		// rejoins during settle).
+		for _, i := range dead() {
+			alive[i] = true
+		}
+		open = open[:0]
+		emit(Event{Kind: EvSettle})
+	}
+	return sc
+}
+
+// Counts tallies the coverage-relevant events, for corpus assertions.
+func (sc *Scenario) Counts() (crashes, partitions int) {
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case EvCrash:
+			crashes++
+		case EvPartition:
+			partitions++
+		}
+	}
+	return crashes, partitions
+}

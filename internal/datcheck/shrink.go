@@ -1,0 +1,60 @@
+package datcheck
+
+// Shrink reduces a failing scenario to a smaller one that still fails,
+// best-effort. isFailing must be a pure function of the scenario (the
+// harness guarantees this: a scenario fully determines its run).
+//
+// The strategy is two cheap passes, bounded at roughly 2*log2(E) + E
+// harness runs for E events:
+//
+//  1. binary-search the shortest failing prefix, assuming failure is
+//     monotonic in schedule length (usually true: more chaos, more
+//     failure) and verifying the result, then
+//  2. one greedy pass over the surviving events, dropping each one that
+//     is not needed to keep the scenario failing.
+//
+// The result is not guaranteed minimal — schedule shrinking is not
+// monotone in general — but in practice it cuts 20-event schedules to a
+// handful, which is the difference between staring at a wall of trace
+// and seeing the bug.
+func Shrink(sc *Scenario, isFailing func(*Scenario) bool) *Scenario {
+	events := sc.Events
+
+	// Pass 1: shortest failing prefix, by binary search.
+	lo, hi := 0, len(events) // invariant: prefix hi fails, prefix lo unknown/passes
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if isFailing(withEvents(sc, events[:mid])) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Binary search assumed monotonicity; verify, and fall back to the
+	// full schedule if the found prefix does not actually fail.
+	prefix := events[:hi]
+	if !isFailing(withEvents(sc, prefix)) {
+		prefix = events
+	}
+
+	// Pass 2: greedy single-event removal, from the end so earlier
+	// indices stay valid as we splice.
+	kept := append([]Event(nil), prefix...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := make([]Event, 0, len(kept)-1)
+		trial = append(trial, kept[:i]...)
+		trial = append(trial, kept[i+1:]...)
+		if isFailing(withEvents(sc, trial)) {
+			kept = trial
+		}
+	}
+	return withEvents(sc, kept)
+}
+
+// withEvents copies sc with a different schedule, leaving the cluster
+// shape (seed, size, scheme) untouched.
+func withEvents(sc *Scenario, events []Event) *Scenario {
+	out := *sc
+	out.Events = append([]Event(nil), events...)
+	return &out
+}

@@ -330,3 +330,70 @@ func TestIDString(t *testing.T) {
 		t.Errorf("String = %q, want 0xff", got)
 	}
 }
+
+// TestDistWrapAroundTable pins Dist at the identifier-space boundaries:
+// zero, the maximum identifier 2^m-1, equal IDs, and single-step wraps.
+func TestDistWrapAroundTable(t *testing.T) {
+	for _, tc := range []struct {
+		bits uint
+		a, b ID
+		want uint64
+	}{
+		{8, 0, 0, 0},                  // equal at origin
+		{8, 255, 255, 0},              // equal at max
+		{8, 0, 255, 255},              // full clockwise sweep
+		{8, 255, 0, 1},                // wrap across the origin
+		{8, 254, 1, 3},                // wrap spanning both boundaries
+		{8, 1, 254, 253},              // the complementary arc
+		{8, 128, 127, 255},            // one short of a full loop
+		{16, 0xffff, 0, 1},            // wrap at 16-bit max
+		{16, 0, 0xffff, 0xffff},       // sweep to 16-bit max
+		{16, 0x8000, 0x7fff, 0xffff},  // antipodal, one short
+		{63, 1<<63 - 1, 0, 1},         // wrap at the widest space
+		{63, 0, 1<<63 - 1, 1<<63 - 1}, // sweep in the widest space
+		{63, 1<<63 - 1, 1<<63 - 1, 0}, // equal at the widest max
+	} {
+		s := New(tc.bits)
+		if got := s.Dist(tc.a, tc.b); got != tc.want {
+			t.Errorf("bits=%d Dist(%v,%v) = %d, want %d", tc.bits, tc.a, tc.b, got, tc.want)
+		}
+		// Dist is a circle metric: the two directed arcs sum to the size,
+		// except when they coincide.
+		if tc.a != tc.b {
+			if back := s.Dist(tc.b, tc.a); tc.want+back != s.Size() {
+				t.Errorf("bits=%d Dist(%v,%v)+Dist(%v,%v) = %d, want size %d",
+					tc.bits, tc.a, tc.b, tc.b, tc.a, tc.want+back, s.Size())
+			}
+		}
+	}
+}
+
+// TestLessCompareTable pins the total order helpers at the same
+// boundaries. Less/Compare order raw identifiers (for canonical sorting,
+// not ring geometry), so 2^m-1 is greater than everything else and no
+// wrap occurs.
+func TestLessCompareTable(t *testing.T) {
+	for _, tc := range []struct {
+		a, b ID
+		cmp  int
+	}{
+		{0, 0, 0},                 // equal at origin
+		{255, 255, 0},             // equal at an 8-bit max
+		{0, 255, -1},              // origin below max
+		{255, 0, 1},               // max above origin: no wrap in Less
+		{0xffff, 0x8000, 1},       // 16-bit max above midpoint
+		{1<<63 - 1, 0, 1},         // widest max above origin
+		{1<<63 - 1, 1<<63 - 1, 0}, // equal at widest max
+		{0, 1<<63 - 1, -1},        // origin below widest max
+	} {
+		if got := Compare(tc.a, tc.b); got != tc.cmp {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.cmp)
+		}
+		if got, want := Less(tc.a, tc.b), tc.cmp < 0; got != want {
+			t.Errorf("Less(%v,%v) = %v, want %v", tc.a, tc.b, got, want)
+		}
+		if got, want := Less(tc.b, tc.a), tc.cmp > 0; got != want {
+			t.Errorf("Less(%v,%v) = %v, want %v", tc.b, tc.a, got, want)
+		}
+	}
+}

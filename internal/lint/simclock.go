@@ -27,7 +27,7 @@ var SimClock = &Analyzer{
 }
 
 // simScopedPkgs are the package-name scopes the rule applies to.
-var simScopedPkgs = []string{"sim", "core", "experiments", "transport"}
+var simScopedPkgs = []string{"sim", "core", "experiments", "transport", "datcheck"}
 
 // bannedTimeFuncs are the package-level time functions that read or
 // wait on the wall clock. Types and constants (time.Duration,

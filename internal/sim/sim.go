@@ -91,6 +91,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	rng     *rand.Rand
+	seed    int64
 	stopped bool
 	fired   uint64
 }
@@ -98,11 +99,15 @@ type Engine struct {
 // NewEngine returns an engine with its virtual clock at zero and a
 // deterministic random source derived from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was constructed with. Harnesses embed
+// it in failure artifacts so a run can be replayed bit-for-bit.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random source. Protocol code
 // running on the engine should draw all randomness from here so that runs

@@ -15,10 +15,15 @@ type SimConfig struct {
 	CallTimeout time.Duration
 	// DropProb is the probability that any single message (request,
 	// reply or one-way) is silently lost. Used for failure injection.
+	// Ignored while a FaultPlan is installed (SetFaultPlan).
 	DropProb float64
 	// DupProb is the probability that a delivered message is delivered a
-	// second time shortly afterwards. Used for failure injection.
+	// second time. Used for failure injection. Ignored while a FaultPlan
+	// is installed.
 	DupProb float64
+	// Faults, if non-nil, decides drops/duplicates/extra delay per
+	// message, superseding DropProb/DupProb. See FaultPlan.
+	Faults FaultPlan
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -42,17 +47,24 @@ type SimNetwork struct {
 	endpoints map[Addr]*simEndpoint
 	tap       Tap
 
+	// partitions holds the currently severed links; a message in either
+	// direction across a severed pair is dropped before the fault plan or
+	// probability knobs are consulted.
+	partitions map[pairKey]bool
+
 	// Counters for failure-injection assertions in tests.
-	dropped    uint64
-	duplicated uint64
+	dropped          uint64
+	duplicated       uint64
+	partitionDropped uint64
 }
 
 // NewSimNetwork creates a network on the given engine.
 func NewSimNetwork(engine *sim.Engine, cfg SimConfig) *SimNetwork {
 	return &SimNetwork{
-		engine:    engine,
-		cfg:       cfg.withDefaults(),
-		endpoints: make(map[Addr]*simEndpoint),
+		engine:     engine,
+		cfg:        cfg.withDefaults(),
+		endpoints:  make(map[Addr]*simEndpoint),
+		partitions: make(map[pairKey]bool),
 	}
 }
 
@@ -61,13 +73,43 @@ func (n *SimNetwork) SetTap(t Tap) { n.tap = t }
 
 // SetDropProb changes the message-loss probability at runtime, letting
 // experiments converge a clean overlay first and inject loss afterwards.
+// It has no effect while a FaultPlan is installed.
 func (n *SimNetwork) SetDropProb(p float64) { n.cfg.DropProb = p }
 
-// Dropped returns the number of messages lost to injected drops.
+// SetFaultPlan installs (or, with nil, removes) a pluggable fault plan.
+// While a plan is installed it fully supersedes DropProb/DupProb.
+func (n *SimNetwork) SetFaultPlan(p FaultPlan) { n.cfg.Faults = p }
+
+// Partition severs the link between a and b in both directions: every
+// message between them is dropped until Heal. Severing an already-severed
+// link is a no-op. Partitioning is orthogonal to the fault plan and is
+// applied first.
+func (n *SimNetwork) Partition(a, b Addr) { n.partitions[makePair(a, b)] = true }
+
+// Heal restores the link between a and b. Healing an intact link is a
+// no-op. Messages dropped while the link was severed are gone; only new
+// sends get through.
+func (n *SimNetwork) Heal(a, b Addr) { delete(n.partitions, makePair(a, b)) }
+
+// HealAll restores every severed link.
+func (n *SimNetwork) HealAll() {
+	for k := range n.partitions {
+		delete(n.partitions, k)
+	}
+}
+
+// Partitioned reports whether the link between a and b is severed.
+func (n *SimNetwork) Partitioned(a, b Addr) bool { return n.partitions[makePair(a, b)] }
+
+// Dropped returns the number of messages lost to injected drops
+// (probabilistic or fault-plan; partition losses are counted separately).
 func (n *SimNetwork) Dropped() uint64 { return n.dropped }
 
 // Duplicated returns the number of injected duplicate deliveries.
 func (n *SimNetwork) Duplicated() uint64 { return n.duplicated }
+
+// PartitionDropped returns the number of messages lost to severed links.
+func (n *SimNetwork) PartitionDropped() uint64 { return n.partitionDropped }
 
 // Engine returns the underlying simulation engine.
 func (n *SimNetwork) Engine() *sim.Engine { return n.engine }
@@ -87,14 +129,31 @@ func (n *SimNetwork) Endpoint(addr Addr) Endpoint {
 	return ep
 }
 
-// deliver schedules fn after a sampled latency, honoring drop and
-// duplicate injection. kind is reported to the tap on actual delivery.
+// deliver schedules fn after a sampled latency, honoring partitions and
+// drop/duplicate/delay injection. typ is reported to the tap on actual
+// delivery. A duplicated message's copy draws an independent latency
+// sample, so with a jittery latency model the copy can overtake the
+// original — that is what makes reordering exercisable.
 func (n *SimNetwork) deliver(from, to Addr, typ string, oneWay bool, fn func()) {
-	if n.cfg.DropProb > 0 && n.engine.Rand().Float64() < n.cfg.DropProb {
+	if n.partitions[makePair(from, to)] {
+		n.partitionDropped++
+		return
+	}
+	var f Fault
+	if n.cfg.Faults != nil {
+		f = n.cfg.Faults.Apply(n.engine.Rand(), from, to, typ)
+	} else {
+		// Legacy scalar knobs; rng draw order matches historic behavior
+		// so existing seeded experiments are unperturbed.
+		if n.cfg.DropProb > 0 && n.engine.Rand().Float64() < n.cfg.DropProb {
+			f.Drop = true
+		}
+	}
+	if f.Drop {
 		n.dropped++
 		return
 	}
-	d := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to))
+	d := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to)) + f.Delay
 	wrapped := func() {
 		if n.tap != nil {
 			n.tap.Message(from, to, typ, oneWay)
@@ -102,9 +161,19 @@ func (n *SimNetwork) deliver(from, to Addr, typ string, oneWay bool, fn func()) 
 		fn()
 	}
 	n.engine.Schedule(d, wrapped)
-	if n.cfg.DupProb > 0 && n.engine.Rand().Float64() < n.cfg.DupProb {
+	if n.cfg.Faults == nil && n.cfg.DupProb > 0 && n.engine.Rand().Float64() < n.cfg.DupProb {
+		f.Duplicate = true
+	}
+	if f.Duplicate {
 		n.duplicated++
-		n.engine.Schedule(d+d/2+time.Millisecond, wrapped)
+		d2 := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to)) + f.Delay
+		if d2 == d {
+			// Under a constant-latency model an independent sample ties
+			// exactly; nudge the copy so original and duplicate never
+			// collapse into the same instant.
+			d2 += time.Microsecond
+		}
+		n.engine.Schedule(d2, wrapped)
 	}
 }
 

@@ -520,3 +520,239 @@ func TestSetDropProbRuntime(t *testing.T) {
 		t.Fatalf("delivered %d after re-enabling, want 2", got)
 	}
 }
+
+// --- Fault injection: partitions, fault plans, duplicate reordering ---
+
+// TestSimDuplicateIndependentLatency is the regression test for the old
+// behavior where a duplicate was scheduled at a fixed offset after the
+// original (d + d/2 + 1ms), which meant the copy could never overtake the
+// original and reordering was unexercisable. With an independent latency
+// sample from a wide uniform model, the duplicate must sometimes arrive
+// first.
+func TestSimDuplicateIndependentLatency(t *testing.T) {
+	eng := sim.NewEngine(7)
+	net := NewSimNetwork(eng, SimConfig{
+		Latency: sim.UniformLatency{Min: time.Millisecond, Max: 100 * time.Millisecond},
+		DupProb: 1.0,
+	})
+	a := net.Endpoint("sim/dil-a")
+	b := net.Endpoint("sim/dil-b")
+
+	// Tag each send with a sequence number; record arrival order. If a
+	// later copy of message k arrives before its original would have
+	// (i.e. the two arrivals of one message are split by a different
+	// message, or the gap between the two arrivals of one message varies),
+	// reordering is live. The robust check: over many sends, at least one
+	// message's two arrivals must NOT be adjacent in the arrival log.
+	var arrivals []int
+	b.Handle(func(r *Request) { arrivals = append(arrivals, r.Payload.(int)) })
+	for i := 0; i < 50; i++ {
+		if err := a.Send(b.Addr(), "seq", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(arrivals) != 100 {
+		t.Fatalf("got %d arrivals, want 100", len(arrivals))
+	}
+	// If every message's two copies arrived back-to-back, walking the log
+	// two at a time always sees matching pairs; any mismatch means some
+	// copy overtook another message.
+	interleaved := false
+	for i := 0; i+1 < len(arrivals); i += 2 {
+		if arrivals[i] != arrivals[i+1] {
+			interleaved = true
+			break
+		}
+	}
+	if !interleaved {
+		t.Fatal("no interleaving across 50 duplicated messages; duplicates still ride the original's latency")
+	}
+}
+
+// TestSimDuplicateConstantLatencyDistinctTicks pins the tie-break: under a
+// constant latency model the independent sample is identical, and the copy
+// must be nudged off the original's instant rather than delivered in the
+// same engine event batch.
+func TestSimDuplicateConstantLatencyDistinctTicks(t *testing.T) {
+	eng := sim.NewEngine(8)
+	net := NewSimNetwork(eng, SimConfig{
+		Latency: sim.ConstantLatency(time.Millisecond),
+		DupProb: 1.0,
+	})
+	a := net.Endpoint("sim/dct-a")
+	b := net.Endpoint("sim/dct-b")
+	var times []sim.Time
+	b.Handle(func(r *Request) { times = append(times, eng.Now()) })
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("got %d arrivals, want 2", len(times))
+	}
+	if times[0] == times[1] {
+		t.Fatalf("original and duplicate both arrived at %v; want distinct instants", times[0])
+	}
+}
+
+func TestSimPartitionBlocksBothDirections(t *testing.T) {
+	eng := sim.NewEngine(9)
+	net := NewSimNetwork(eng, SimConfig{})
+	a := net.Endpoint("sim/part-a")
+	b := net.Endpoint("sim/part-b")
+	c := net.Endpoint("sim/part-c")
+	got := map[Addr]int{}
+	count := func(ep Endpoint) {
+		ep.Handle(func(r *Request) { got[ep.Addr()]++ })
+	}
+	count(a)
+	count(b)
+	count(c)
+
+	net.Partition(a.Addr(), b.Addr())
+	if !net.Partitioned(b.Addr(), a.Addr()) {
+		t.Fatal("Partitioned not symmetric")
+	}
+	// a<->b severed in both directions; a<->c untouched.
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(c.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got[a.Addr()] != 0 || got[b.Addr()] != 0 {
+		t.Fatalf("messages crossed a severed link: %v", got)
+	}
+	if got[c.Addr()] != 1 {
+		t.Fatalf("bystander link affected: %v", got)
+	}
+	if net.PartitionDropped() != 2 {
+		t.Fatalf("PartitionDropped = %d, want 2", net.PartitionDropped())
+	}
+
+	// Calls across the partition time out rather than hanging.
+	var callErr error
+	a.Call(b.Addr(), "ping", nil, func(_ any, err error) { callErr = err })
+	eng.Run()
+	if !errors.Is(callErr, ErrTimeout) {
+		t.Fatalf("call across partition: err = %v, want ErrTimeout", callErr)
+	}
+
+	// Heal restores delivery; HealAll clears everything.
+	net.Heal(b.Addr(), a.Addr())
+	if net.Partitioned(a.Addr(), b.Addr()) {
+		t.Fatal("still partitioned after Heal")
+	}
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got[b.Addr()] != 1 {
+		t.Fatalf("delivery not restored after heal: %v", got)
+	}
+
+	net.Partition(a.Addr(), b.Addr())
+	net.Partition(a.Addr(), c.Addr())
+	net.HealAll()
+	if net.Partitioned(a.Addr(), b.Addr()) || net.Partitioned(a.Addr(), c.Addr()) {
+		t.Fatal("links still severed after HealAll")
+	}
+}
+
+// TestSimPartitionAllowsReplyCut covers the asymmetric-failure shape the
+// harness relies on: the request crosses before the partition, the reply is
+// cut by it, and the caller times out.
+func TestSimPartitionCutsReply(t *testing.T) {
+	eng := sim.NewEngine(10)
+	net := NewSimNetwork(eng, SimConfig{CallTimeout: 50 * time.Millisecond})
+	a := net.Endpoint("sim/pcr-a")
+	b := net.Endpoint("sim/pcr-b")
+	b.Handle(func(r *Request) {
+		// Sever the link while the request is "being processed", then reply.
+		net.Partition(a.Addr(), b.Addr())
+		r.Reply("pong")
+	})
+	var callErr error
+	replied := false
+	a.Call(b.Addr(), "ping", nil, func(p any, err error) { replied = p != nil; callErr = err })
+	eng.Run()
+	if replied || !errors.Is(callErr, ErrTimeout) {
+		t.Fatalf("reply crossed a severed link: replied=%v err=%v", replied, callErr)
+	}
+}
+
+func TestSimFaultPlanSupersedesScalars(t *testing.T) {
+	eng := sim.NewEngine(11)
+	// Scalar knobs say drop everything; the installed plan says clean.
+	net := NewSimNetwork(eng, SimConfig{DropProb: 1.0, DupProb: 1.0, Faults: ProbFaults{}})
+	a := net.Endpoint("sim/fp-a")
+	b := net.Endpoint("sim/fp-b")
+	got := 0
+	b.Handle(func(r *Request) { got++ })
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("with clean plan installed got %d deliveries, want exactly 1", got)
+	}
+
+	// Swap in a drop-everything plan at runtime.
+	net.SetFaultPlan(ProbFaults{Drop: 1.0})
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("drop-all plan leaked a message: got %d", got)
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", net.Dropped())
+	}
+
+	// Remove the plan: scalar knobs are live again (DropProb=1 from cfg).
+	net.SetFaultPlan(nil)
+	if err := a.Send(b.Addr(), "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("scalar DropProb ignored after plan removal: got %d", got)
+	}
+}
+
+func TestProbFaultsDelayJitter(t *testing.T) {
+	eng := sim.NewEngine(12)
+	net := NewSimNetwork(eng, SimConfig{
+		Latency: sim.ConstantLatency(time.Millisecond),
+		Faults:  ProbFaults{DelayJitter: 50 * time.Millisecond},
+	})
+	a := net.Endpoint("sim/dj-a")
+	b := net.Endpoint("sim/dj-b")
+	var arrivals []int
+	b.Handle(func(r *Request) { arrivals = append(arrivals, r.Payload.(int)) })
+	for i := 0; i < 20; i++ {
+		if err := a.Send(b.Addr(), "seq", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(arrivals) != 20 {
+		t.Fatalf("got %d arrivals, want 20", len(arrivals))
+	}
+	reordered := false
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("DelayJitter wider than base latency produced no reordering across 20 sends")
+	}
+}
