@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz datcheck datcheck-long ci
+.PHONY: all build vet lint test race fuzz datcheck datcheck-long bench-json obs-smoke ci
 
 all: build
 
@@ -41,6 +41,17 @@ datcheck-long:
 		-datcheck.long -datcheck.seeds $(DATCHECK_SEEDS) -datcheck.base $(DATCHECK_BASE) \
 		-datcheck.artifacts $(CURDIR)/datcheck-artifacts -timeout 45m
 
+# Machine-readable benchmark summaries: one BENCH_<id>.json per
+# experiment table (ns/op, messages, imbalance factor) under BENCH_DIR.
+BENCH_DIR ?= bench
+bench-json:
+	$(GO) run ./cmd/datbench -quick -json $(BENCH_DIR)
+
+# Boot a live datnode with -obs.addr and verify /metrics, /healthz and
+# the debug pages respond with non-empty 200s (DESIGN.md §9).
+obs-smoke:
+	bash scripts/obs-smoke.sh
+
 # Short, bounded runs of every fuzz target — a smoke pass, not a soak.
 # Each -fuzz invocation must target a single package, hence the loop.
 fuzz:
@@ -49,4 +60,4 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
-ci: build vet lint test race fuzz
+ci: build vet lint test race fuzz obs-smoke

@@ -21,12 +21,21 @@
 // Whichever node owns the attribute's rendezvous key prints one line per
 // slot with the global aggregate. Any node can also poll on demand with
 // -query. Stop with Ctrl-C (the node departs gracefully).
+//
+// With -obs.addr the primary node serves its observability endpoints —
+// Prometheus /metrics, a JSON /healthz probe, /debug/dat (the node's
+// live aggregation view), /debug/spans, and net/http/pprof:
+//
+//	datnode -listen 127.0.0.1:9000 -create -obs.addr 127.0.0.1:8080
+//	curl -s http://127.0.0.1:8080/metrics
+//
+// Diagnostics go to stderr as structured logs; -log.level picks the
+// verbosity (debug shows per-join and per-parent-switch detail).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	dat "repro"
+	"repro/internal/obs"
 )
 
 // syntheticSensor returns a fake CPU reading source. Sensors are called
@@ -66,27 +76,53 @@ func main() {
 		announce  = flag.Duration("announce", 10*time.Second, "MAAN directory refresh interval")
 		synthetic = flag.Bool("synthetic", false, "use a synthetic CPU sensor instead of /proc/stat")
 		instances = flag.Int("instances", 1, "additional in-process instances joining through this node")
+		obsAddr   = flag.String("obs.addr", "", "serve /metrics, /healthz, /debug/dat and pprof on this address")
+		logLevel  = flag.String("log.level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if !*create && *join == "" {
-		log.Fatal("datnode: need -create or -join ADDR")
+		fatal("need -create or -join ADDR")
 	}
 
 	attrs := []dat.Attribute{
 		{Name: "cpu-usage", Min: 0, Max: 100},
 		{Name: "memory-size", Min: 0, Max: 1 << 20},
 	}
+	observer := obs.NewObserver(obs.DefaultSpanCapacity)
 	peer, err := dat.NewPeer(dat.PeerConfig{
 		Listen:     *listen,
 		Name:       *name,
 		Attributes: attrs,
+		Observer:   observer,
+		Logger:     logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("peer setup failed", "err", err)
 	}
 	defer peer.Close()
-	log.Printf("datnode %s id=%#x", peer.Addr(), peer.ID())
+	logger.Info("datnode up", "addr", peer.Addr(), "id", fmt.Sprintf("%#x", peer.ID()))
+
+	if *obsAddr != "" {
+		bound, stopObs, err := obs.Serve(*obsAddr, observer, logger)
+		if err != nil {
+			fatal("observability server failed", "addr", *obsAddr, "err", err)
+		}
+		defer stopObs()
+		logger.Info("observability endpoints up", "addr", bound,
+			"paths", "/metrics /healthz /debug/dat /debug/spans /debug/pprof/")
+	}
 
 	if *synthetic {
 		peer.AddSensor(*attr, syntheticSensor(0))
@@ -97,17 +133,17 @@ func main() {
 	switch {
 	case *create:
 		peer.Create()
-		log.Printf("created ring; bootstrap address: %s", peer.Addr())
+		logger.Info("created ring", "bootstrap", peer.Addr())
 	case *probe:
 		if err := peer.JoinProbed(*join); err != nil {
-			log.Fatal(err)
+			fatal("probed join failed", "bootstrap", *join, "err", err)
 		}
-		log.Printf("joined via probing, id=%#x", peer.ID())
+		logger.Info("joined via probing", "id", fmt.Sprintf("%#x", peer.ID()))
 	default:
 		if err := peer.Join(*join); err != nil {
-			log.Fatal(err)
+			fatal("join failed", "bootstrap", *join, "err", err)
 		}
-		log.Printf("joined ring via %s", *join)
+		logger.Info("joined ring", "bootstrap", *join)
 	}
 
 	err = peer.StartMonitor(*attr, *slot, func(s int64, agg dat.Aggregate) {
@@ -115,10 +151,10 @@ func main() {
 			s, agg.Count, agg.Sum, agg.Avg(), agg.Min, agg.Max)
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("start monitor failed", "attr", *attr, "err", err)
 	}
 	if err := peer.Announce(*announce); err != nil {
-		log.Printf("announce: %v", err)
+		logger.Warn("announce failed", "err", err)
 	}
 
 	stopQuery := make(chan struct{})
@@ -133,7 +169,7 @@ func main() {
 				case <-ticker.C:
 					agg, err := peer.Query(*attr, *slot)
 					if err != nil {
-						log.Printf("query: %v", err)
+						logger.Warn("query failed", "err", err)
 						continue
 					}
 					fmt.Printf("[query] nodes=%d total=%.1f avg=%.1f\n",
@@ -152,9 +188,10 @@ func main() {
 			Listen:     "127.0.0.1:0",
 			Name:       fmt.Sprintf("%s#%d", peer.Addr(), i),
 			Attributes: attrs,
+			Logger:     logger,
 		})
 		if err != nil {
-			log.Fatalf("instance %d: %v", i, err)
+			fatal("instance setup failed", "instance", i, "err", err)
 		}
 		defer extra.Close()
 		if *synthetic {
@@ -163,33 +200,33 @@ func main() {
 			extra.AddCPUSensor(*attr)
 		}
 		if err := extra.JoinProbed(peer.Addr()); err != nil {
-			log.Fatalf("instance %d join: %v", i, err)
+			fatal("instance join failed", "instance", i, "err", err)
 		}
 		tag := i
 		if err := extra.StartMonitor(*attr, *slot, func(s int64, agg dat.Aggregate) {
 			fmt.Printf("[root@#%d] slot=%d nodes=%d total=%.1f avg=%.1f\n",
 				tag, s, agg.Count, agg.Sum, agg.Avg())
 		}); err != nil {
-			log.Fatalf("instance %d monitor: %v", i, err)
+			fatal("instance monitor failed", "instance", i, "err", err)
 		}
 		if err := extra.Announce(*announce); err != nil {
-			log.Printf("instance %d announce: %v", i, err)
+			logger.Warn("instance announce failed", "instance", i, "err", err)
 		}
 		extras = append(extras, extra)
 	}
 	if len(extras) > 0 {
-		log.Printf("running %d extra in-process instances", len(extras))
+		logger.Info("running extra in-process instances", "count", len(extras))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stopQuery)
-	log.Print("leaving ring")
+	logger.Info("leaving ring")
 	for _, extra := range extras {
 		_ = extra.Leave()
 	}
 	if err := peer.Leave(); err != nil {
-		log.Printf("leave: %v", err)
+		logger.Warn("leave failed", "err", err)
 	}
 }

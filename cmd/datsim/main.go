@@ -12,11 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	dat "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,8 +31,20 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Minute, "simulated run length")
 		report   = flag.Int("report", 4, "print one aggregate line per this many slots")
 		churn    = flag.Float64("churn", 0, "crash this fraction of nodes halfway through")
+		logLevel = flag.String("log.level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	idStrategy := map[string]dat.IDStrategy{
 		"random": dat.RandomIDs, "probed": dat.ProbedIDs, "even": dat.EvenIDs,
@@ -41,10 +53,10 @@ func main() {
 		"basic": dat.Basic, "balanced": dat.Balanced, "balanced-local": dat.BalancedLocal,
 	}[*scheme]
 	if !ok {
-		log.Fatalf("datsim: unknown scheme %q", *scheme)
+		fatal("unknown scheme", "scheme", *scheme)
 	}
 
-	log.Printf("building %d-node simulated grid (%s ids, %s scheme)...", *n, *ids, *scheme)
+	logger.Info("building simulated grid", "n", *n, "ids", *ids, "scheme", *scheme)
 	start := time.Now()
 	traces := make([]*dat.Series, *n)
 	for i := range traces {
@@ -64,9 +76,9 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("grid setup failed", "err", err)
 	}
-	log.Printf("grid converged in %v wall time", time.Since(start).Round(time.Millisecond))
+	logger.Info("grid converged", "wall", time.Since(start).Round(time.Millisecond))
 
 	tree := grid.Tree(*attr, schemeVal)
 	fmt.Printf("tree: root=%v height=%d maxBranching=%d avgBranching=%.2f\n",
@@ -74,11 +86,11 @@ func main() {
 
 	latest, err := grid.Monitor(*attr, *slot)
 	if err != nil {
-		log.Fatal(err)
+		fatal("monitor failed", "attr", *attr, "err", err)
 	}
 	// Warm-up: the slot-synchronized tree enrolls one level per slot.
 	warmup := tree.Height() + 4
-	log.Printf("warming up %d slots (height %d)...", warmup, tree.Height())
+	logger.Info("warming up", "slots", warmup, "height", tree.Height())
 	grid.Run(time.Duration(warmup) * *slot)
 
 	slots := int(*duration / *slot)
@@ -91,7 +103,7 @@ func main() {
 			for i := 0; i < k; i++ {
 				grid.Crash(i)
 			}
-			log.Printf("crashed %d nodes at t=%v", k, grid.Now())
+			logger.Info("crashed nodes", "count", k, "t", grid.Now())
 		}
 		slotIdx, agg, ok := latest()
 		if !ok || slotIdx == lastSlot {

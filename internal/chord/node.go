@@ -3,11 +3,13 @@ package chord
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -40,6 +42,12 @@ type Config struct {
 	// simulated clock applies its own engine-seeded jitter, so this only
 	// matters for real transports. Default 1.
 	Seed int64
+	// Obs receives protocol telemetry: lookup hop counts, stabilization
+	// rounds, join latency, and failure-detector events. The zero value
+	// disables instrumentation (DESIGN.md §9).
+	Obs obs.ChordHooks
+	// Logger receives structured protocol logs. Nil means silent.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -294,6 +305,7 @@ func (n *Node) Create() {
 	n.running = true
 	n.joinedAt = n.clock.Now()
 	n.mu.Unlock()
+	n.cfg.Logger.Info("created ring", "id", n.Self().ID.String())
 	n.startMaintenance()
 }
 
@@ -323,9 +335,21 @@ func (n *Node) SeedState(pred NodeRef, succs, fingers []NodeRef) {
 // this node's identifier and adopts it, then lets stabilization weave in
 // the rest. cb receives nil on success.
 func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
+	start := n.clock.Now()
+	done := func(err error) {
+		if h := n.cfg.Obs.JoinDone; h != nil {
+			h(n.clock.Now()-start, err)
+		}
+		if err != nil {
+			n.cfg.Logger.Debug("join attempt failed", "bootstrap", string(bootstrap), "err", err)
+		} else {
+			n.cfg.Logger.Info("joined ring", "bootstrap", string(bootstrap), "id", n.Self().ID.String(), "took", n.clock.Now()-start)
+		}
+		cb(err)
+	}
 	n.lookupVia(bootstrap, n.Self().ID, func(succ NodeRef, err error) {
 		if err != nil {
-			cb(fmt.Errorf("chord: join via %s: %w", bootstrap, err))
+			done(fmt.Errorf("chord: join via %s: %w", bootstrap, err))
 			return
 		}
 		if succ.Addr == n.Self().Addr {
@@ -335,7 +359,7 @@ func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
 			// and never notifies a node it believes it already has), so
 			// refuse and let the caller retry once suspicion evicts the
 			// ghost.
-			cb(fmt.Errorf("chord: join via %s: %w", bootstrap, ErrStaleIncarnation))
+			done(fmt.Errorf("chord: join via %s: %w", bootstrap, ErrStaleIncarnation))
 			return
 		}
 		// Verify the successor is actually alive and adopt its successor
@@ -348,12 +372,12 @@ func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
 		// caller retry against a live ring.
 		n.ep.Call(succ.Addr, MsgGetState, GetStateReq{}, func(payload any, err error) {
 			if err != nil {
-				cb(fmt.Errorf("chord: join via %s: successor %s: %w", bootstrap, succ.Addr, err))
+				done(fmt.Errorf("chord: join via %s: successor %s: %w", bootstrap, succ.Addr, err))
 				return
 			}
 			resp, ok := payload.(StateResp)
 			if !ok {
-				cb(fmt.Errorf("chord: join via %s: successor %s: bad state reply %T", bootstrap, succ.Addr, payload))
+				done(fmt.Errorf("chord: join via %s: successor %s: bad state reply %T", bootstrap, succ.Addr, payload))
 				return
 			}
 			n.mu.Lock()
@@ -385,7 +409,7 @@ func (n *Node) Join(bootstrap transport.Addr, cb func(error)) {
 			// Kick stabilization immediately so the ring converges without
 			// waiting a full period.
 			n.stabilize()
-			cb(nil)
+			done(nil)
 		})
 	})
 }
@@ -758,16 +782,27 @@ func (n *Node) noteState(resp StateResp) {
 // exactly once.
 func (n *Node) Lookup(key ident.ID, cb func(NodeRef, error)) {
 	if !n.Running() {
-		cb(NodeRef{}, ErrNotRunning)
+		n.finishLookup(cb, NodeRef{}, ErrNotRunning, 0)
 		return
 	}
 	n.lookupAttempt(key, cb, n.cfg.LookupRetries)
 }
 
+// finishLookup is the single terminal path of every lookup: it reports
+// the outcome to the Obs hook (hops counts completed remote Step
+// exchanges; retried attempts report only the final attempt's hops)
+// and then invokes the caller's callback.
+func (n *Node) finishLookup(cb func(NodeRef, error), ref NodeRef, err error, hops int) {
+	if h := n.cfg.Obs.LookupDone; h != nil {
+		h(hops, err)
+	}
+	cb(ref, err)
+}
+
 func (n *Node) lookupAttempt(key ident.ID, cb func(NodeRef, error), retries int) {
 	step := n.localStep(key)
 	if step.Done {
-		cb(step.Next, nil)
+		n.finishLookup(cb, step.Next, nil, 0)
 		return
 	}
 	n.lookupLoop(step.Next, key, 0, retries, cb)
@@ -781,7 +816,7 @@ func (n *Node) lookupVia(start transport.Addr, key ident.ID, cb func(NodeRef, er
 
 func (n *Node) lookupLoop(at NodeRef, key ident.ID, hops, retries int, cb func(NodeRef, error)) {
 	if hops > n.cfg.MaxLookupHops {
-		cb(NodeRef{}, fmt.Errorf("%w: hop limit %d exceeded for key %v", ErrLookupFailed, n.cfg.MaxLookupHops, key))
+		n.finishLookup(cb, NodeRef{}, fmt.Errorf("%w: hop limit %d exceeded for key %v", ErrLookupFailed, n.cfg.MaxLookupHops, key), hops)
 		return
 	}
 	n.ep.Call(at.Addr, MsgStep, StepReq{Key: key}, func(payload any, err error) {
@@ -794,21 +829,21 @@ func (n *Node) lookupLoop(at NodeRef, key ident.ID, hops, retries int, cb func(N
 				n.lookupAttempt(key, cb, retries-1)
 				return
 			}
-			cb(NodeRef{}, fmt.Errorf("%w: %v unreachable: %v", ErrLookupFailed, at.Addr, err))
+			n.finishLookup(cb, NodeRef{}, fmt.Errorf("%w: %v unreachable: %v", ErrLookupFailed, at.Addr, err), hops)
 			return
 		}
 		n.exonerate(at.Addr)
 		resp, ok := payload.(StepResp)
 		if !ok {
-			cb(NodeRef{}, fmt.Errorf("%w: bad step reply %T", ErrLookupFailed, payload))
+			n.finishLookup(cb, NodeRef{}, fmt.Errorf("%w: bad step reply %T", ErrLookupFailed, payload), hops+1)
 			return
 		}
 		if resp.Done {
-			cb(resp.Next, nil)
+			n.finishLookup(cb, resp.Next, nil, hops+1)
 			return
 		}
 		if resp.Next.IsZero() || resp.Next.Addr == at.Addr {
-			cb(NodeRef{}, fmt.Errorf("%w: no progress at %v for key %v", ErrLookupFailed, at, key))
+			n.finishLookup(cb, NodeRef{}, fmt.Errorf("%w: no progress at %v for key %v", ErrLookupFailed, at, key), hops+1)
 			return
 		}
 		n.lookupLoop(resp.Next, key, hops+1, retries, cb)
@@ -830,6 +865,10 @@ func (n *Node) stabilize() {
 	self := n.self
 	pred := n.pred
 	n.mu.Unlock()
+
+	if h := n.cfg.Obs.StabilizeRound; h != nil {
+		h()
+	}
 
 	if succ.Addr == self.Addr {
 		// Alone. If someone notified us, adopt them to close a 2-ring.
@@ -976,14 +1015,25 @@ func (n *Node) send(to transport.Addr, typ string, payload any) {
 }
 
 // suspect records a failed exchange with addr; the second consecutive
-// failure removes the node from the routing tables.
+// failure removes the node from the routing tables. Obs hooks fire
+// after the lock is released so they can do arbitrary bookkeeping.
 func (n *Node) suspect(addr transport.Addr) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.strikes[addr]++
-	if n.strikes[addr] >= 2 {
+	evicted := n.strikes[addr] >= 2
+	if evicted {
 		delete(n.strikes, addr)
 		n.removeDeadLocked(addr)
+	}
+	n.mu.Unlock()
+	if h := n.cfg.Obs.Suspected; h != nil {
+		h(addr)
+	}
+	if evicted {
+		if h := n.cfg.Obs.Evicted; h != nil {
+			h(addr)
+		}
+		n.cfg.Logger.Info("evicted unresponsive peer", "peer", string(addr))
 	}
 }
 

@@ -12,11 +12,13 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -93,6 +95,15 @@ type Options struct {
 	SuccessorListLen int
 	// DropProb injects message loss.
 	DropProb float64
+	// Observer wires runtime telemetry through every node: the network
+	// tap feeds its message counters, and all chord/core hooks report to
+	// its instruments and span ring (DESIGN.md §9). Hooks never schedule
+	// events or draw randomness, so attaching one does not perturb the
+	// simulation. Optional.
+	Observer *obs.Observer
+	// Logger receives structured protocol logs from every node. Nil
+	// means silent (the usual choice for large runs).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -163,34 +174,11 @@ func New(opts Options) (*Cluster, error) {
 		Net:    net,
 		Space:  space,
 	}
-	chordCfg := chord.Config{
-		Space:            space,
-		StabilizeEvery:   opts.StabilizeEvery,
-		FixFingersEvery:  opts.FixFingersEvery,
-		FingersPerFix:    8,
-		PingEvery:        opts.PingEvery,
-		SuccessorListLen: opts.SuccessorListLen,
+	if opts.Observer != nil {
+		net.SetTap(opts.Observer.Tap())
 	}
 	for i := 0; i < opts.N; i++ {
-		ep := net.Endpoint(transport.Addr(fmt.Sprintf("node/%d", i)))
-		cn := chord.New(ep, net.Clock(), ids[i], chordCfg)
-		var local func(key ident.ID) (float64, bool)
-		if opts.Local != nil {
-			idx := i
-			clk := net.Clock()
-			local = func(key ident.ID) (float64, bool) { return opts.Local(idx, clk.Now(), key) }
-		}
-		dn := core.NewNode(cn, ep, net.Clock(), core.NodeConfig{
-			Scheme:        opts.Scheme,
-			Local:         local,
-			ChildTTLSlots: opts.ChildTTLSlots,
-			BatchDelay:    opts.BatchDelay,
-			HoldPerLevel:  opts.HoldPerLevel,
-			ShareResults:  opts.ShareResults,
-		})
-		c.eps = append(c.eps, ep)
-		c.Chord = append(c.Chord, cn)
-		c.DAT = append(c.DAT, dn)
+		c.buildNode(transport.Addr(fmt.Sprintf("node/%d", i)), ids[i], i)
 	}
 
 	if !opts.ProtocolJoin {
@@ -213,6 +201,57 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// newStack constructs one node's endpoint + Chord + DAT layers with the
+// cluster-wide configuration (the single source of truth for per-node
+// config — New, AddNode and Rejoin all build nodes through it).
+func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport.Endpoint, *chord.Node, *core.Node) {
+	ep := c.Net.Endpoint(addr)
+	logger := c.Opts.Logger
+	if logger != nil {
+		logger = logger.With("node", string(addr))
+	}
+	chordCfg := chord.Config{
+		Space:            c.Space,
+		StabilizeEvery:   c.Opts.StabilizeEvery,
+		FixFingersEvery:  c.Opts.FixFingersEvery,
+		FingersPerFix:    8,
+		PingEvery:        c.Opts.PingEvery,
+		SuccessorListLen: c.Opts.SuccessorListLen,
+		Logger:           logger,
+	}
+	if c.Opts.Observer != nil {
+		chordCfg.Obs = c.Opts.Observer.ChordHooks()
+	}
+	cn := chord.New(ep, c.Net.Clock(), id, chordCfg)
+	var local func(key ident.ID) (float64, bool)
+	if c.Opts.Local != nil {
+		clk := c.Net.Clock()
+		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(idx, clk.Now(), key) }
+	}
+	coreCfg := core.NodeConfig{
+		Scheme:        c.Opts.Scheme,
+		Local:         local,
+		ChildTTLSlots: c.Opts.ChildTTLSlots,
+		BatchDelay:    c.Opts.BatchDelay,
+		HoldPerLevel:  c.Opts.HoldPerLevel,
+		ShareResults:  c.Opts.ShareResults,
+		Logger:        logger,
+	}
+	if c.Opts.Observer != nil {
+		coreCfg.Obs = c.Opts.Observer.CoreHooks()
+	}
+	dn := core.NewNode(cn, ep, c.Net.Clock(), coreCfg)
+	return ep, cn, dn
+}
+
+// buildNode appends a freshly constructed node stack to the cluster.
+func (c *Cluster) buildNode(addr transport.Addr, id ident.ID, idx int) {
+	ep, cn, dn := c.newStack(addr, id, idx)
+	c.eps = append(c.eps, ep)
+	c.Chord = append(c.Chord, cn)
+	c.DAT = append(c.DAT, dn)
 }
 
 func (c *Cluster) runningCount() int {
@@ -372,30 +411,8 @@ func (c *Cluster) Addrs() []transport.Addr {
 // what churn experiments measure). It returns the new node's index.
 func (c *Cluster) AddNode(id ident.ID) int {
 	i := len(c.Chord)
-	ep := c.Net.Endpoint(transport.Addr(fmt.Sprintf("node/%d", i)))
-	chordCfg := chord.Config{
-		Space:            c.Space,
-		StabilizeEvery:   c.Opts.StabilizeEvery,
-		FixFingersEvery:  c.Opts.FixFingersEvery,
-		FingersPerFix:    8,
-		PingEvery:        c.Opts.PingEvery,
-		SuccessorListLen: c.Opts.SuccessorListLen,
-	}
-	cn := chord.New(ep, c.Net.Clock(), id, chordCfg)
-	var local func(key ident.ID) (float64, bool)
-	if c.Opts.Local != nil {
-		clk := c.Net.Clock()
-		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(i, clk.Now(), key) }
-	}
-	dn := core.NewNode(cn, ep, c.Net.Clock(), core.NodeConfig{
-		Scheme:        c.Opts.Scheme,
-		Local:         local,
-		ChildTTLSlots: c.Opts.ChildTTLSlots,
-		BatchDelay:    c.Opts.BatchDelay,
-	})
-	c.eps = append(c.eps, ep)
-	c.Chord = append(c.Chord, cn)
-	c.DAT = append(c.DAT, dn)
+	c.buildNode(transport.Addr(fmt.Sprintf("node/%d", i)), id, i)
+	cn := c.Chord[i]
 
 	// Bootstrap through any live node, retrying a few times: a join can
 	// transiently fail while the ring digests other churn.
@@ -434,30 +451,7 @@ func (c *Cluster) Rejoin(i int) {
 	}
 	id := old.Self().ID
 	addr := old.Self().Addr
-	ep := c.Net.Endpoint(addr)
-	chordCfg := chord.Config{
-		Space:            c.Space,
-		StabilizeEvery:   c.Opts.StabilizeEvery,
-		FixFingersEvery:  c.Opts.FixFingersEvery,
-		FingersPerFix:    8,
-		PingEvery:        c.Opts.PingEvery,
-		SuccessorListLen: c.Opts.SuccessorListLen,
-	}
-	cn := chord.New(ep, c.Net.Clock(), id, chordCfg)
-	var local func(key ident.ID) (float64, bool)
-	if c.Opts.Local != nil {
-		idx := i
-		clk := c.Net.Clock()
-		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(idx, clk.Now(), key) }
-	}
-	dn := core.NewNode(cn, ep, c.Net.Clock(), core.NodeConfig{
-		Scheme:        c.Opts.Scheme,
-		Local:         local,
-		ChildTTLSlots: c.Opts.ChildTTLSlots,
-		BatchDelay:    c.Opts.BatchDelay,
-		HoldPerLevel:  c.Opts.HoldPerLevel,
-		ShareResults:  c.Opts.ShareResults,
-	})
+	ep, cn, dn := c.newStack(addr, id, i)
 	c.eps[i] = ep
 	c.Chord[i] = cn
 	c.DAT[i] = dn

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/chord"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -53,6 +55,14 @@ type UpdateMsg struct {
 	Slot   int64  // slot duration in nanoseconds (lets relay nodes enroll)
 	Sender chord.NodeRef
 	Demand bool // true for on-demand collection traffic
+
+	// Trace is the aggregation-round trace ID (obs.RoundTrace of the
+	// key/epoch pair): every update in one round carries the same value,
+	// so a leaf's contribution can be followed hop by hop to the root.
+	Trace uint64
+	// SentAt is the sender's clock reading (nanoseconds) at send time;
+	// the receiver pairs it with its own delivery time in the hop span.
+	SentAt int64
 }
 
 // QueryReq asks the receiving node (the DAT root) to run an on-demand
@@ -125,6 +135,12 @@ type NodeConfig struct {
 	// staggering entirely (ablation: parents then relay cached values one
 	// slot behind their children).
 	HoldPerLevel time.Duration
+	// Obs receives aggregation telemetry: per-hop spans, round latency
+	// and fan-in, update dispositions, cache expiry. The zero value
+	// disables instrumentation (DESIGN.md §9).
+	Obs obs.CoreHooks
+	// Logger receives structured protocol logs. Nil means silent.
+	Logger *slog.Logger
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -143,6 +159,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 		c.HoldPerLevel = 10 * time.Millisecond
 	} else if c.HoldPerLevel < 0 {
 		c.HoldPerLevel = 0 // synchronization disabled
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -416,25 +435,45 @@ func (n *Node) tickContinuous(key ident.ID) {
 		}
 	}
 	height := 0
+	fanIn := 0
+	expired := 0
 	for addr, cs := range e.children {
 		if now-cs.seen > ttl {
 			delete(e.children, addr) // stale child: departed or re-parented
+			expired++
 			continue
 		}
 		agg.Merge(cs.agg)
 		nodes += cs.nodes
+		fanIn++
 		if cs.height+1 > height {
 			height = cs.height + 1
 		}
 	}
 	e.height = height
+	slotDur := e.slotDur
 	n.mu.Unlock()
+
+	if expired > 0 {
+		if h := n.cfg.Obs.ChildExpired; h != nil {
+			h(expired)
+		}
+	}
 
 	parent, isRoot, ok := n.ParentFor(key)
 	if !ok {
 		return // overlay not settled; try next slot
 	}
 	self := n.ch.Self()
+
+	// roundDone reports this node's part of the round: latency is
+	// measured from the slot boundary being reported to now on the
+	// node's clock (the height-proportional hold plus scheduling drift).
+	roundDone := func(root bool) {
+		if h := n.cfg.Obs.RoundDone; h != nil {
+			h(key, slot, root, fanIn, nodes, now-time.Duration(slot)*slotDur)
+		}
+	}
 
 	// On a parent switch, detach from the former parent so the subtree is
 	// not double-counted through two paths until the cache TTL expires.
@@ -448,6 +487,9 @@ func (n *Node) tickContinuous(key ident.ID) {
 	n.mu.Unlock()
 	if oldParent != "" && (isRoot || oldParent != parent.Addr) {
 		n.send(oldParent, MsgDetach, DetachMsg{Key: key, Sender: self})
+		if !isRoot {
+			n.cfg.Logger.Debug("switched aggregation parent", "key", key.String(), "old", string(oldParent), "new", string(parent.Addr))
+		}
 	}
 
 	if isRoot {
@@ -455,6 +497,7 @@ func (n *Node) tickContinuous(key ident.ID) {
 		e.lastAgg, e.lastSlot, e.haveLast = agg, slot, true
 		cb := e.onResult
 		n.mu.Unlock()
+		roundDone(true)
 		if cb != nil {
 			cb(slot, agg)
 		}
@@ -465,9 +508,11 @@ func (n *Node) tickContinuous(key ident.ID) {
 		}
 		return
 	}
+	roundDone(false)
 	n.send(parent.Addr, MsgUpdate, UpdateMsg{
 		Key: key, Epoch: slot, Agg: agg, Nodes: nodes, Height: height,
-		Slot: int64(e.slotDur), Sender: self,
+		Slot: int64(slotDur), Sender: self,
+		Trace: obs.RoundTrace(key, slot, false), SentAt: int64(n.clock.Now()),
 	})
 }
 
@@ -501,6 +546,16 @@ func (n *Node) handleUpdate(req *transport.Request) {
 	if !ok {
 		return
 	}
+	// Record the hop span first: the message travelled regardless of
+	// whether the update is accepted below.
+	if h := n.cfg.Obs.Span; h != nil {
+		h(obs.Span{
+			Trace: um.Trace, Key: um.Key, Epoch: um.Epoch,
+			From: req.From, To: n.ch.Self().Addr,
+			Height: um.Height, Demand: um.Demand,
+			Sent: time.Duration(um.SentAt), Recv: n.clock.Now(),
+		})
+	}
 	if um.Demand {
 		n.foldDemand(um)
 		return
@@ -510,8 +565,8 @@ func (n *Node) handleUpdate(req *transport.Request) {
 	// with n.mu held would re-enter n.mu through the scheme helpers.
 	parent, isRoot, okp := n.ParentFor(um.Key)
 	fromParent := okp && !isRoot && parent.Addr == req.From
+	enrolled := false
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	e := n.aggs[um.Key]
 	if e == nil || e.slotDur == 0 {
 		// A node that never initialized this aggregate locally (e.g. it
@@ -520,6 +575,10 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		// subtree would silently vanish from the global view. The slot
 		// duration rides along in the update.
 		if um.Slot <= 0 {
+			n.mu.Unlock()
+			if h := n.cfg.Obs.UpdateRejected; h != nil {
+				h("no-slot")
+			}
 			return
 		}
 		if e == nil {
@@ -531,6 +590,7 @@ func (n *Node) handleUpdate(req *transport.Request) {
 			n.aggs[um.Key] = e
 		}
 		e.slotDur = time.Duration(um.Slot)
+		enrolled = true
 		n.mu.Unlock()
 		n.scheduleTick(e)
 		n.mu.Lock()
@@ -539,9 +599,20 @@ func (n *Node) handleUpdate(req *transport.Request) {
 	// currently our parent, adopting it as a child would double-count the
 	// whole subtree.
 	if fromParent {
+		n.mu.Unlock()
+		if h := n.cfg.Obs.UpdateRejected; h != nil {
+			h("cycle")
+		}
 		return
 	}
 	e.children[req.From] = childState{agg: um.Agg, nodes: um.Nodes, height: um.Height, seen: n.clock.Now()}
+	n.mu.Unlock()
+	if h := n.cfg.Obs.UpdateApplied; h != nil {
+		h(false)
+	}
+	if enrolled {
+		n.cfg.Logger.Debug("enrolled in continuous aggregation", "key", um.Key.String(), "slot", time.Duration(um.Slot))
+	}
 }
 
 // --- on-demand mode ---
@@ -676,6 +747,9 @@ func (n *Node) foldDemand(um UpdateMsg) {
 	es.nodes += um.Nodes
 	n.armFlushLocked(es, um.Key, um.Epoch)
 	n.mu.Unlock()
+	if h := n.cfg.Obs.UpdateApplied; h != nil {
+		h(true)
+	}
 }
 
 // flushDemand pushes the accumulated epoch bucket one level up the DAT.
@@ -709,6 +783,7 @@ func (n *Node) flushDemand(key ident.ID, epoch int64) {
 	self := n.ch.Self()
 	n.send(parent.Addr, MsgUpdate, UpdateMsg{
 		Key: key, Epoch: epoch, Agg: agg, Nodes: nodes, Sender: self, Demand: true,
+		Trace: obs.RoundTrace(key, epoch, true), SentAt: int64(n.clock.Now()),
 	})
 }
 

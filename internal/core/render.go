@@ -4,9 +4,62 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/ident"
 )
+
+// WriteDebug renders this node's live view of its aggregation state:
+// overlay neighbors, then one block per active rendezvous key with the
+// node's role, subtree height, cached children, and last root result.
+// It is the node-local counterpart of the global Tree renderings below
+// (a live node cannot see the whole DAT), served at /debug/dat by the
+// observability layer.
+func (n *Node) WriteDebug(w io.Writer) {
+	self := n.ch.Self()
+	succ := n.ch.Successor()
+	pred := n.ch.Predecessor()
+	fmt.Fprintf(w, "self        %s @ %s\n", self.ID.String(), self.Addr)
+	fmt.Fprintf(w, "successor   %s @ %s\n", succ.ID.String(), succ.Addr)
+	if pred.IsZero() {
+		fmt.Fprintf(w, "predecessor (unknown)\n")
+	} else {
+		fmt.Fprintf(w, "predecessor %s @ %s\n", pred.ID.String(), pred.Addr)
+	}
+	fmt.Fprintf(w, "estimated network size %d\n", n.ch.EstimatedNetworkSize())
+
+	keys := n.ActiveKeys()
+	sort.Slice(keys, func(i, j int) bool { return ident.Less(keys[i], keys[j]) })
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "no active aggregations")
+		return
+	}
+	for _, key := range keys {
+		parent, isRoot, ok := n.ParentFor(key)
+		n.mu.Lock()
+		e := n.aggs[key]
+		height, slotDur := 0, time.Duration(0)
+		if e != nil {
+			height, slotDur = e.height, e.slotDur
+		}
+		n.mu.Unlock()
+		fmt.Fprintf(w, "\nkey %s height=%d slot=%v\n", key.String(), height, slotDur)
+		switch {
+		case !ok:
+			fmt.Fprintln(w, "  role: undecided (overlay not settled)")
+		case isRoot:
+			fmt.Fprintln(w, "  role: root")
+		default:
+			fmt.Fprintf(w, "  role: relay -> parent %s @ %s\n", parent.ID.String(), parent.Addr)
+		}
+		if slot, agg, haveLast := n.LastResult(key); haveLast {
+			fmt.Fprintf(w, "  last result: slot=%d count=%d sum=%g min=%g max=%g\n", slot, agg.Count, agg.Sum, agg.Min, agg.Max)
+		}
+		for _, c := range n.ChildrenInfo(key) {
+			fmt.Fprintf(w, "  child %s nodes=%d height=%d seen=%v\n", c.Addr, c.Nodes, c.Height, c.Seen)
+		}
+	}
+}
 
 // WriteDOT renders the tree in Graphviz DOT format: one node per ring
 // member labeled with its identifier, edges child -> parent, the root

@@ -24,8 +24,14 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
+
+// spanRingCapacity bounds the failure artifact: enough recent rounds to
+// see how the last updates travelled, small enough that a dumped trace
+// stays readable.
+const spanRingCapacity = 1024
 
 // transportFaults maps an EvFaults event onto the transport fault plan.
 func transportFaults(ev Event) transport.FaultPlan {
@@ -64,6 +70,10 @@ func RunScenario(sc *Scenario) (*Result, error) {
 	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v events=%d\n",
 		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, len(sc.Events))
 
+	// The observer's hooks never schedule events or draw engine
+	// randomness, so attaching it keeps traces byte-identical per seed;
+	// its span ring is dumped into the trace when invariants fail.
+	observer := obs.NewObserver(spanRingCapacity)
 	c, err := cluster.New(cluster.Options{
 		N:      sc.N,
 		Bits:   sc.Bits,
@@ -73,6 +83,7 @@ func RunScenario(sc *Scenario) (*Result, error) {
 			return float64(node + 1), true
 		},
 		ChildTTLSlots: 3,
+		Observer:      observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("datcheck seed %d: setup: %w", sc.Seed, err)
@@ -90,6 +101,12 @@ func RunScenario(sc *Scenario) (*Result, error) {
 	}
 	if len(sc.Events) == 0 || sc.Events[len(sc.Events)-1].Kind != EvSettle {
 		h.settle()
+	}
+	if len(res.Violations) > 0 {
+		// Failure artifact: how the last aggregation rounds actually
+		// travelled. Clean traces stay exactly as before.
+		fmt.Fprintln(&tr, "-- recent aggregation spans --")
+		observer.Spans.Dump(&tr)
 	}
 	fmt.Fprintf(&tr, "done violations=%d\n", len(res.Violations))
 	res.Trace = tr.Bytes()

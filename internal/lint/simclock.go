@@ -26,8 +26,11 @@ var SimClock = &Analyzer{
 	Run:  runSimClock,
 }
 
-// simScopedPkgs are the package-name scopes the rule applies to.
-var simScopedPkgs = []string{"sim", "core", "experiments", "transport", "datcheck"}
+// simScopedPkgs are the package-name scopes the rule applies to. obs is
+// included because its instruments and span ring are fed from both the
+// simulated and live stacks: all of its timestamps must arrive as
+// arguments from the caller's injected clock, never from the wall.
+var simScopedPkgs = []string{"sim", "core", "experiments", "transport", "datcheck", "obs"}
 
 // bannedTimeFuncs are the package-level time functions that read or
 // wait on the wall clock. Types and constants (time.Duration,

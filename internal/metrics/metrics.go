@@ -66,12 +66,18 @@ func (c *MessageCounter) Message(from, to transport.Addr, typ string, oneWay boo
 	c.total++
 }
 
-// Add credits count messages to a node directly (used by snapshot-based
-// experiments that do not run a transport).
-func (c *MessageCounter) Add(node transport.Addr, count uint64) {
+// Add credits count messages of the given type to a node directly (used
+// by snapshot-based experiments that do not run a transport). It applies
+// the same filter and updates the same tallies as Message, so ByType and
+// Total agree with per-node counts regardless of how messages arrive.
+func (c *MessageCounter) Add(node transport.Addr, typ string, count uint64) {
+	if c.filter != nil && !c.filter(typ) {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byNode[node] += count
+	c.byType[typ] += count
 	c.total += count
 }
 

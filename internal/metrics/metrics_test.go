@@ -57,8 +57,8 @@ func TestCounterWithFilter(t *testing.T) {
 
 func TestCounterAddAndLoads(t *testing.T) {
 	c := NewMessageCounter(nil)
-	c.Add("n1", 5)
-	c.Add("n2", 1)
+	c.Add("n1", "dat.update", 5)
+	c.Add("n2", "dat.update", 1)
 	loads := c.Loads([]transport.Addr{"n1", "n2", "n3"})
 	want := []uint64{5, 1, 0}
 	for i, w := range want {
@@ -68,6 +68,22 @@ func TestCounterAddAndLoads(t *testing.T) {
 	}
 	if c.Total() != 6 {
 		t.Fatalf("Total = %d", c.Total())
+	}
+	// Add feeds the per-type tally exactly like Message does.
+	if byType := c.ByType(); byType["dat.update"] != 6 {
+		t.Fatalf("ByType = %v, want dat.update=6", byType)
+	}
+}
+
+func TestCounterAddRespectsFilter(t *testing.T) {
+	c := NewMessageCounter(TypePrefixFilter("dat."))
+	c.Add("n1", "dat.update", 3)
+	c.Add("n1", "chord.ping", 7)
+	if c.Total() != 3 || c.ReceivedBy("n1") != 3 {
+		t.Fatalf("total=%d byNode=%d, want 3/3", c.Total(), c.ReceivedBy("n1"))
+	}
+	if byType := c.ByType(); len(byType) != 1 || byType["dat.update"] != 3 {
+		t.Fatalf("ByType = %v", byType)
 	}
 }
 
@@ -104,6 +120,15 @@ func TestAnalyze(t *testing.T) {
 	if allZero.Imbalance != 0 {
 		t.Fatalf("all-zero imbalance = %v", allZero.Imbalance)
 	}
+	// All-zero loads must not divide by zero and keep the zero min/max.
+	if allZero.Nodes != 2 || allZero.Total != 0 || allZero.Max != 0 || allZero.Min != 0 || allZero.Mean != 0 {
+		t.Fatalf("all-zero stats = %+v", allZero)
+	}
+	// A single node is its own max and mean: imbalance exactly 1.
+	single := Analyze([]uint64{7})
+	if single.Nodes != 1 || single.Max != 7 || single.Min != 7 || single.Mean != 7 || single.Imbalance != 1 {
+		t.Fatalf("single-node stats = %+v", single)
+	}
 }
 
 func TestRankDistribution(t *testing.T) {
@@ -118,5 +143,20 @@ func TestRankDistribution(t *testing.T) {
 	// Input untouched.
 	if in[0] != 1 || in[4] != 0 {
 		t.Fatal("input mutated")
+	}
+}
+
+func TestRankDistributionEdgeCases(t *testing.T) {
+	if out := RankDistribution(nil); len(out) != 0 {
+		t.Fatalf("RankDistribution(nil) = %v", out)
+	}
+	if out := RankDistribution([]uint64{3}); len(out) != 1 || out[0] != 3 {
+		t.Fatalf("single-node RankDistribution = %v", out)
+	}
+	allZero := RankDistribution([]uint64{0, 0, 0})
+	for i, v := range allZero {
+		if v != 0 {
+			t.Fatalf("all-zero rank %d = %d", i, v)
+		}
 	}
 }

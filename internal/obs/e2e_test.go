@@ -1,0 +1,155 @@
+package obs_test
+
+// End-to-end span-chain test: run a full simulated DAT deployment with
+// an Observer attached, follow one continuous-aggregation round's spans
+// from the leaves to the tree root, and check the exported chain against
+// the paper's §3 guarantees — the update reaches the root node within
+// ceil(log2 n) hops, with timestamps monotone along every edge.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/ident"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+func TestSpanChainReachesRootWithinHeightBound(t *testing.T) {
+	const n = 32
+	observer := obs.NewObserver(8192)
+	c, err := cluster.New(cluster.Options{
+		N:        n,
+		Seed:     7,
+		IDs:      cluster.EvenIDs,
+		Observer: observer,
+		Local: func(node int, _ time.Duration, _ ident.ID) (float64, bool) {
+			return 1, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := c.Space.HashString("e2e-span-chain")
+	slot := 200 * time.Millisecond
+	latest, err := c.StartContinuousAll(key, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slot-synchronized tree enrolls one level per slot; run long
+	// enough for full fan-in plus a few steady-state rounds.
+	c.RunFor(time.Duration(analysis.HeightBound(n)+6) * slot)
+	if _, agg, ok := latest(); !ok || agg.Count != n {
+		t.Fatalf("aggregation did not converge: ok=%v count=%d want %d", ok, func() uint64 {
+			_, a, _ := latest()
+			return a.Count
+		}(), n)
+	}
+
+	// The root owns the key's rendezvous point.
+	rootID := c.Ring().SuccessorOf(key)
+	var rootAddr transport.Addr
+	for i, ch := range c.Chord {
+		if ch.Self().ID == rootID {
+			rootAddr = c.Endpoint(i).Addr()
+		}
+	}
+	if rootAddr == "" {
+		t.Fatalf("no node owns root id %v", rootID)
+	}
+
+	// Pick the most recent fully-retained round: group retained spans by
+	// trace and take the last trace whose chain ends at the root (the
+	// newest trace may be mid-flight).
+	spans := observer.Spans.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no spans exported")
+	}
+	byTrace := make(map[uint64][]obs.Span)
+	var order []uint64
+	for _, s := range spans {
+		if s.Key != key {
+			continue
+		}
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	var chain []obs.Span
+	for i := len(order) - 1; i >= 0; i-- {
+		candidate := byTrace[order[i]]
+		full := len(candidate) >= n-1
+		reachesRoot := false
+		for _, s := range candidate {
+			if s.To == rootAddr {
+				reachesRoot = true
+			}
+		}
+		if full && reachesRoot {
+			chain = candidate
+			break
+		}
+	}
+	if chain == nil {
+		t.Fatalf("no retained round reaches the root; %d traces retained", len(order))
+	}
+
+	// Verify the trace ID matches the deterministic derivation.
+	if want := obs.RoundTrace(key, chain[0].Epoch, false); chain[0].Trace != want {
+		t.Fatalf("trace id %x does not match RoundTrace %x", chain[0].Trace, want)
+	}
+
+	// In a converged n-node tree every non-root node sends exactly one
+	// update per round: n-1 spans.
+	if len(chain) != n-1 {
+		t.Fatalf("round exported %d spans, want %d", len(chain), n-1)
+	}
+
+	// Per-edge sanity: the receiver records its own address and a
+	// delivery timestamp at or after the send.
+	parentOf := make(map[transport.Addr]obs.Span)
+	for _, s := range chain {
+		if s.Sent > s.Recv {
+			t.Fatalf("span %v -> %v sent=%v after recv=%v", s.From, s.To, s.Sent, s.Recv)
+		}
+		if s.Demand {
+			t.Fatalf("continuous round span flagged on-demand: %+v", s)
+		}
+		if _, dup := parentOf[s.From]; dup {
+			t.Fatalf("node %v sent twice in one round", s.From)
+		}
+		parentOf[s.From] = s
+	}
+
+	// Walk every leaf's chain upward: it must reach the root within the
+	// §3 height bound, with monotone timestamps hop over hop (the
+	// receiver of hop k is the sender of hop k+1, and it cannot forward
+	// before it has received).
+	bound := analysis.HeightBound(n)
+	for start := range parentOf {
+		hops := 0
+		prevRecv := time.Duration(-1)
+		cur := start
+		for {
+			s, ok := parentOf[cur]
+			if !ok {
+				break // cur sent nothing: it is the root
+			}
+			hops++
+			if hops > bound {
+				t.Fatalf("chain from %v exceeds height bound %d", start, bound)
+			}
+			if s.Sent < prevRecv {
+				t.Fatalf("chain from %v not monotone: hop %d sent=%v before previous recv=%v", start, hops, s.Sent, prevRecv)
+			}
+			prevRecv = s.Recv
+			cur = s.To
+		}
+		if cur != rootAddr {
+			t.Fatalf("chain from %v ends at %v, not root %v", start, cur, rootAddr)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// The hook structs below are the one-way seams between the protocol
+// layers and this package: chord, core, and the transports accept a
+// hooks value in their Config and invoke the non-nil fields at the
+// named events. The zero value disables everything, so un-instrumented
+// stacks pay only a nil check. Hooks are invoked outside the caller's
+// locks and must not block; Observer's implementations only bump
+// atomic instruments or append to the span ring.
+
+// ChordHooks receives overlay-protocol telemetry from internal/chord.
+type ChordHooks struct {
+	// LookupDone fires once per completed Lookup with the number of
+	// remote hops taken and the terminal error (nil on success).
+	LookupDone func(hops int, err error)
+	// StabilizeRound fires at the start of each stabilization round.
+	StabilizeRound func()
+	// JoinDone fires when a Join attempt completes, with its latency on
+	// the node's clock.
+	JoinDone func(d time.Duration, err error)
+	// Suspected fires when a peer earns a failure-detector strike;
+	// Evicted fires when the second strike removes it (DESIGN.md §4).
+	Suspected func(addr transport.Addr)
+	Evicted   func(addr transport.Addr)
+}
+
+// CoreHooks receives DAT aggregation telemetry from internal/core.
+type CoreHooks struct {
+	// Span fires at the receiver for every value-update hop.
+	Span func(s Span)
+	// RoundDone fires after a node finishes its part of a continuous
+	// round: root tells whether this node completed the round at the
+	// DAT root, fanIn is the number of child partials folded, nodes the
+	// contributing node count, latency the time from the slot boundary
+	// to completion on the node's clock.
+	RoundDone func(key ident.ID, slot int64, root bool, fanIn int, nodes uint64, latency time.Duration)
+	// UpdateApplied fires when an inbound child update is accepted into
+	// the child cache; UpdateRejected when it is discarded, with a
+	// short reason ("cycle", "no-slot").
+	UpdateApplied  func(demand bool)
+	UpdateRejected func(reason string)
+	// ChildExpired fires when TTL expiry drops n cached child entries.
+	ChildExpired func(n int)
+}
+
+// TransportHooks receives error-path telemetry from transport
+// implementations (rpcudp today).
+type TransportHooks struct {
+	// SendError fires when a packet write or send fails.
+	SendError func(typ string)
+	// DecodeError fires when an inbound packet fails to decode.
+	DecodeError func()
+	// Retransmit fires when a call attempt is retransmitted.
+	Retransmit func(typ string)
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// DefaultSpanCapacity is the span-ring size used when NewObserver is
+// given a non-positive capacity.
+const DefaultSpanCapacity = 4096
+
+// Standard bucket layouts. Hop buckets cover ceil(log2 n) for rings up
+// to 2^32; latency buckets span sub-millisecond sim rounds to
+// multi-second live joins.
+var (
+	HopBuckets     = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	FanInBuckets   = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+)
+
+// Observer owns one node's (or one simulated cluster's) instruments
+// and span ring, and hands bound hook structs to the protocol layers.
+// Create one per datnode / per cluster and wire it through
+// dat.PeerConfig.Observer or cluster.Options.Observer.
+type Observer struct {
+	Reg   *Registry
+	Spans *SpanRing
+
+	msgs         *CounterVec
+	sendErrors   *Counter
+	decodeErrors *Counter
+	retransmits  *Counter
+
+	lookups         *CounterVec
+	lookupHops      *Histogram
+	stabilizeRounds *Counter
+	joinSeconds     *Histogram
+	suspects        *Counter
+	evictions       *Counter
+
+	rounds       *CounterVec
+	roundLatency *Histogram
+	roundFanIn   *Histogram
+	roundNodes   *Gauge
+	updates      *CounterVec
+	childExpired *Counter
+	spansTotal   *Counter
+
+	mu     sync.Mutex
+	health func() Health
+	debug  []debugSection
+}
+
+type debugSection struct {
+	name string
+	fn   func(w io.Writer)
+}
+
+// NewObserver builds an Observer with every standard instrument
+// registered, and a span ring of the given capacity (<=0 means
+// DefaultSpanCapacity).
+func NewObserver(spanCapacity int) *Observer {
+	if spanCapacity <= 0 {
+		spanCapacity = DefaultSpanCapacity
+	}
+	r := NewRegistry()
+	return &Observer{
+		Reg:   r,
+		Spans: NewSpanRing(spanCapacity),
+
+		msgs:         r.CounterVec("dat_transport_messages_total", "Messages delivered, by message type (replies carry a :reply suffix).", "type"),
+		sendErrors:   r.Counter("dat_transport_send_errors_total", "Failed sends and reply writes."),
+		decodeErrors: r.Counter("dat_transport_decode_errors_total", "Inbound packets that failed to decode."),
+		retransmits:  r.Counter("dat_transport_retransmits_total", "Call attempts retransmitted after a timeout."),
+
+		lookups:         r.CounterVec("chord_lookups_total", "Completed Chord lookups, by result.", "result"),
+		lookupHops:      r.Histogram("chord_lookup_hops", "Remote hops taken per completed Chord lookup.", HopBuckets),
+		stabilizeRounds: r.Counter("chord_stabilize_rounds_total", "Chord stabilization rounds started."),
+		joinSeconds:     r.Histogram("chord_join_seconds", "Chord join latency in seconds.", SecondsBuckets),
+		suspects:        r.Counter("chord_suspects_total", "Failure-detector strikes recorded against peers."),
+		evictions:       r.Counter("chord_evictions_total", "Peers evicted after a second failure-detector strike."),
+
+		rounds:       r.CounterVec("dat_rounds_total", "Continuous aggregation rounds completed at this node, by role.", "role"),
+		roundLatency: r.Histogram("dat_round_latency_seconds", "Slot boundary to round completion, in seconds.", SecondsBuckets),
+		roundFanIn:   r.Histogram("dat_round_fanin", "Child partials folded per aggregation round.", FanInBuckets),
+		roundNodes:   r.Gauge("dat_round_nodes", "Contributing nodes reported by the most recent root round."),
+		updates:      r.CounterVec("dat_updates_total", "Inbound child value updates, by disposition.", "kind"),
+		childExpired: r.Counter("dat_children_expired_total", "Cached child entries dropped by TTL expiry."),
+		spansTotal:   r.Counter("dat_spans_total", "Aggregation-round spans recorded."),
+	}
+}
+
+// Tap returns the transport.Tap feeding the per-type message counter.
+// Attach it via SimNetwork.SetTap, MemNetwork.SetTap, or
+// rpcudp.Config.Tap.
+func (o *Observer) Tap() transport.Tap {
+	return transport.TapFunc(func(from, to transport.Addr, typ string, oneWay bool) {
+		o.msgs.With(typ).Inc()
+	})
+}
+
+// ChordHooks returns hooks bound to this observer's chord instruments.
+func (o *Observer) ChordHooks() ChordHooks {
+	return ChordHooks{
+		LookupDone: func(hops int, err error) {
+			if err != nil {
+				o.lookups.With("error").Inc()
+			} else {
+				o.lookups.With("ok").Inc()
+			}
+			o.lookupHops.Observe(float64(hops))
+		},
+		StabilizeRound: func() { o.stabilizeRounds.Inc() },
+		JoinDone: func(d time.Duration, err error) {
+			if err == nil {
+				o.joinSeconds.Observe(d.Seconds())
+			}
+		},
+		Suspected: func(transport.Addr) { o.suspects.Inc() },
+		Evicted:   func(transport.Addr) { o.evictions.Inc() },
+	}
+}
+
+// CoreHooks returns hooks bound to this observer's DAT instruments and
+// span ring.
+func (o *Observer) CoreHooks() CoreHooks {
+	return CoreHooks{
+		Span: func(s Span) {
+			o.Spans.Record(s)
+			o.spansTotal.Inc()
+		},
+		RoundDone: func(key ident.ID, slot int64, root bool, fanIn int, nodes uint64, latency time.Duration) {
+			role := "relay"
+			if root {
+				role = "root"
+			}
+			o.rounds.With(role).Inc()
+			o.roundLatency.Observe(latency.Seconds())
+			o.roundFanIn.Observe(float64(fanIn))
+			if root {
+				// Relays only see their subtree; the root's count is the
+				// network-wide figure the gauge advertises.
+				o.roundNodes.Set(float64(nodes))
+			}
+		},
+		UpdateApplied: func(demand bool) {
+			if demand {
+				o.updates.With("applied-demand").Inc()
+			} else {
+				o.updates.With("applied").Inc()
+			}
+		},
+		UpdateRejected: func(reason string) { o.updates.With("rejected-" + reason).Inc() },
+		ChildExpired:   func(n int) { o.childExpired.Add(uint64(n)) },
+	}
+}
+
+// TransportHooks returns hooks bound to this observer's transport
+// error counters.
+func (o *Observer) TransportHooks() TransportHooks {
+	return TransportHooks{
+		SendError:   func(string) { o.sendErrors.Inc() },
+		DecodeError: func() { o.decodeErrors.Inc() },
+		Retransmit:  func(string) { o.retransmits.Inc() },
+	}
+}
+
+// Health is the /healthz payload. Running=false yields HTTP 503.
+type Health struct {
+	Running       bool   `json:"running"`
+	Addr          string `json:"addr,omitempty"`
+	ID            string `json:"id,omitempty"`
+	Successor     string `json:"successor,omitempty"`
+	Predecessor   string `json:"predecessor,omitempty"`
+	EstimatedSize uint64 `json:"estimated_size,omitempty"`
+	ActiveKeys    int    `json:"active_keys,omitempty"`
+}
+
+// SetHealth installs the /healthz probe. fn is called per request and
+// must be safe for concurrent use.
+func (o *Observer) SetHealth(fn func() Health) {
+	o.mu.Lock()
+	o.health = fn
+	o.mu.Unlock()
+}
+
+// AddDebug registers a named section rendered by /debug/dat. Sections
+// appear in registration order.
+func (o *Observer) AddDebug(name string, fn func(w io.Writer)) {
+	o.mu.Lock()
+	o.debug = append(o.debug, debugSection{name: name, fn: fn})
+	o.mu.Unlock()
+}
+
+func (o *Observer) currentHealth() (Health, bool) {
+	o.mu.Lock()
+	fn := o.health
+	o.mu.Unlock()
+	if fn == nil {
+		return Health{Running: true}, false
+	}
+	return fn(), true
+}
+
+func (o *Observer) writeDebug(w io.Writer) {
+	o.mu.Lock()
+	sections := make([]debugSection, len(o.debug))
+	copy(sections, o.debug)
+	o.mu.Unlock()
+	if len(sections) == 0 {
+		fmt.Fprintln(w, "no debug sections registered")
+		return
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "== %s ==\n", s.name)
+		s.fn(w)
+	}
+}

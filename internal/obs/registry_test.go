@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fillRegistry registers one instrument of every kind with fixed values,
+// covering the whole encoder surface.
+func fillRegistry(r *Registry) {
+	r.Counter("test_counter", "A plain counter.").Add(42)
+	r.Gauge("test_gauge", "A plain gauge.").Set(3.5)
+	r.GaugeFunc("test_gauge_fn", "A callback gauge.", func() float64 { return 7 })
+	h := r.Histogram("test_hist", "A histogram.", []float64{0.5, 1, 2})
+	h.Observe(0.3)
+	h.Observe(1.0)
+	h.Observe(5.0)
+	v := r.CounterVec("test_msgs", "Messages by type.", "type")
+	v.With("dat.update").Add(5)
+	v.With("chord.ping").Add(2)
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two scrapes of an idle registry differ")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	// A sample exactly on an upper bound belongs to that bucket
+	// (Prometheus buckets are le, not lt).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	bounds, cum, sum, total := h.snapshot()
+	if len(bounds) != 2 || bounds[0] != 1 || bounds[1] != 2 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+	if sum != 6 || total != 3 {
+		t.Fatalf("sum=%v total=%d", sum, total)
+	}
+}
+
+func TestReRegisterMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "second")
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		0.5:  "0.5",
+		6.3:  "6.3",
+		1e-9: "1e-09",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "help with\nnewline and \\ slash", "label").With("quo\"te\n").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP esc_total help with\nnewline and \\ slash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{label="quo\"te\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+// TestConcurrentScrape hammers every instrument kind from writer
+// goroutines while scraping continuously. Run with -race (the CI race
+// target covers this package): the assertion is the absence of data
+// races plus monotone counter reads.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "counter")
+	v := r.CounterVec("cv_total", "vec", "type")
+	g := r.Gauge("cg", "gauge")
+	h := r.Histogram("ch", "hist", []float64{1, 10, 100})
+	r.GaugeFunc("cf", "fn", func() float64 { return 1 })
+
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				v.With([]string{"a", "b", "c"}[j%3]).Inc()
+				g.Add(1)
+				h.Observe(float64(j % 200))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty scrape")
+		}
+		select {
+		case <-done:
+			if got := c.Value(); got != writers*perWriter {
+				t.Fatalf("cc_total = %d, want %d", got, writers*perWriter)
+			}
+			if got := h.Count(); got != writers*perWriter {
+				t.Fatalf("ch count = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the HTTP mux for this observer:
+//
+//	/metrics        Prometheus text exposition of the Registry
+//	/healthz        JSON health probe (503 until the node reports running)
+//	/debug/dat      registered debug sections (the node's DAT table view)
+//	/debug/spans    human-readable span-ring dump
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// datnode serves it on -obs.addr; tests mount it on httptest servers.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the first byte are undetectable anyway; the
+		// encoder only fails when the client goes away mid-scrape.
+		_ = o.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h, _ := o.currentHealth()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Running {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/dat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.writeDebug(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.Spans.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler in a background goroutine.
+// It returns the bound address (useful with ":0") and a stop function
+// that closes the listener. Serve errors after stop are expected and
+// dropped; anything else is logged.
+func Serve(addr string, o *Observer, logger *slog.Logger) (bound string, stop func(), err error) {
+	if logger == nil {
+		logger = NopLogger()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			logger.Warn("obs http server stopped", "addr", ln.Addr().String(), "err", serr)
+		}
+	}()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// Span records one hop of an aggregation-round value update: a
+// MsgUpdate travelling from a child to its parent in the DAT. The
+// receiver records the span, pairing the sender's send timestamp
+// (carried in the message) with its own delivery timestamp. Following
+// all spans with the same Trace from a leaf upward reproduces the
+// paper's §3 update path: at most ceil(log2 n) hops to the root.
+//
+// Timestamps are clock readings from the injected transport.Clock —
+// virtual nanoseconds under the simulator, wall nanoseconds since
+// process start on the live stack. Sent and Recv come from two
+// different nodes' clocks; under the simulator these share one
+// timeline, while live clocks are only loosely aligned.
+type Span struct {
+	Trace  uint64         // round trace ID (RoundTrace)
+	Key    ident.ID       // aggregation key
+	Epoch  int64          // slot number (continuous) or query epoch (on-demand)
+	From   transport.Addr // sending child
+	To     transport.Addr // receiving parent
+	Height int            // sender's height in the DAT (leaf = 0)
+	Demand bool           // on-demand query path rather than continuous
+	Sent   time.Duration  // sender clock at send
+	Recv   time.Duration  // receiver clock at delivery
+}
+
+// RoundTrace derives the deterministic trace ID shared by every update
+// message belonging to one aggregation round: FNV-1a over the key, the
+// epoch (slot or query number), and the demand flag. Determinism
+// matters twice over — all nodes in a round agree on the ID without
+// coordination, and simulator traces stay byte-identical per seed.
+func RoundTrace(key ident.ID, epoch int64, demand bool) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(key))
+	mix(uint64(epoch))
+	if demand {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	return h
+}
+
+// SpanRing is a fixed-capacity concurrent ring buffer of spans: old
+// entries are overwritten once capacity is exceeded, so the exporter
+// is bounded no matter how long a node runs. Tests and datcheck
+// failures snapshot or dump it post hoc.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	wrap  bool
+	total uint64
+}
+
+// NewSpanRing returns a ring holding the last capacity spans
+// (minimum 1).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]Span, capacity)}
+}
+
+// Record appends a span, overwriting the oldest once full.
+func (r *SpanRing) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrap = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including
+// overwritten ones).
+func (r *SpanRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TraceSpans returns the retained spans for one trace ID, oldest first.
+func (r *SpanRing) TraceSpans(trace uint64) []Span {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable listing of the retained spans, grouped
+// by trace and ordered by receive time within each trace. datcheck
+// appends it to failure traces; /debug/spans serves it live.
+func (r *SpanRing) Dump(w io.Writer) {
+	all := r.Snapshot()
+	if len(all) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return
+	}
+	byTrace := make(map[uint64][]Span)
+	order := make([]uint64, 0)
+	for _, s := range all {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	fmt.Fprintf(w, "span ring: %d spans retained, %d recorded\n", len(all), r.Total())
+	for _, tr := range order {
+		spans := byTrace[tr]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Recv < spans[j].Recv })
+		first := spans[0]
+		mode := "continuous"
+		if first.Demand {
+			mode = "on-demand"
+		}
+		fmt.Fprintf(w, "trace %016x key=%v epoch=%d %s (%d hops)\n", tr, first.Key, first.Epoch, mode, len(spans))
+		for _, s := range spans {
+			fmt.Fprintf(w, "  h%-2d %s -> %s sent=%v recv=%v\n", s.Height, s.From, s.To, s.Sent, s.Recv)
+		}
+	}
+}

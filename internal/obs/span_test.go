@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+func TestRoundTraceDeterministic(t *testing.T) {
+	a := RoundTrace(ident.ID(42), 7, false)
+	if b := RoundTrace(ident.ID(42), 7, false); b != a {
+		t.Fatalf("same round, different trace: %x vs %x", a, b)
+	}
+	distinct := map[uint64]string{a: "base"}
+	for name, tr := range map[string]uint64{
+		"other key":   RoundTrace(ident.ID(43), 7, false),
+		"other epoch": RoundTrace(ident.ID(42), 8, false),
+		"demand":      RoundTrace(ident.ID(42), 7, true),
+	} {
+		if prev, clash := distinct[tr]; clash {
+			t.Fatalf("trace collision between %q and %q", prev, name)
+		}
+		distinct[tr] = name
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Span{Trace: uint64(i), Sent: time.Duration(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(snap))
+	}
+	for i, s := range snap {
+		if want := uint64(i + 2); s.Trace != want {
+			t.Fatalf("snapshot[%d].Trace = %d, want %d (oldest first)", i, s.Trace, want)
+		}
+	}
+}
+
+func TestSpanRingMinimumCapacity(t *testing.T) {
+	r := NewSpanRing(0)
+	r.Record(Span{Trace: 1})
+	r.Record(Span{Trace: 2})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Trace != 2 {
+		t.Fatalf("capacity-0 ring snapshot = %+v, want just the last span", snap)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	r := NewSpanRing(8)
+	for i := 0; i < 6; i++ {
+		r.Record(Span{Trace: uint64(i % 2), Height: i})
+	}
+	odd := r.TraceSpans(1)
+	if len(odd) != 3 {
+		t.Fatalf("TraceSpans(1) returned %d spans, want 3", len(odd))
+	}
+	for i, s := range odd {
+		if s.Trace != 1 {
+			t.Fatalf("span %d has trace %d", i, s.Trace)
+		}
+		if i > 0 && s.Height < odd[i-1].Height {
+			t.Fatal("TraceSpans not oldest-first")
+		}
+	}
+}
+
+func TestSpanDump(t *testing.T) {
+	r := NewSpanRing(8)
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	if !strings.Contains(buf.String(), "no spans recorded") {
+		t.Fatalf("empty dump = %q", buf.String())
+	}
+
+	tr := RoundTrace(ident.ID(9), 3, false)
+	r.Record(Span{Trace: tr, Key: ident.ID(9), Epoch: 3, From: "node/1", To: "node/0", Height: 0, Sent: 1 * time.Millisecond, Recv: 2 * time.Millisecond})
+	r.Record(Span{Trace: tr, Key: ident.ID(9), Epoch: 3, From: "node/0", To: "node/2", Height: 1, Sent: 3 * time.Millisecond, Recv: 4 * time.Millisecond})
+	buf.Reset()
+	r.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"2 spans retained", "epoch=3 continuous (2 hops)", "node/1 -> node/0", "node/0 -> node/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Hops listed in receive order, leaf before parent.
+	if strings.Index(out, "node/1 -> node/0") > strings.Index(out, "node/0 -> node/2") {
+		t.Errorf("dump not in receive order:\n%s", out)
+	}
+}

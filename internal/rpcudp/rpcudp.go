@@ -16,11 +16,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -34,9 +36,21 @@ type Config struct {
 	Retransmits int
 	// MaxPacket is the receive buffer size. Default 64KiB (max UDP).
 	MaxPacket int
-	// Logf, when set, receives transport diagnostics (decode failures,
-	// send errors). Default: log.Printf-compatible silence.
+	// Logger receives structured transport diagnostics (decode failures,
+	// send errors). Nil falls back to Logf, or silence when both are
+	// unset.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style diagnostic sink, kept for callers
+	// predating Logger. Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Tap, when set, observes every inbound delivery — requests,
+	// one-ways, and replies (reported with a ":reply" type suffix) —
+	// mirroring the simulated networks' taps. Must be safe for
+	// concurrent use.
+	Tap transport.Tap
+	// Obs receives error-path telemetry (send errors, decode errors,
+	// retransmits). The zero value disables it.
+	Obs obs.TransportHooks
 }
 
 func (c Config) withDefaults() Config {
@@ -51,8 +65,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxPacket <= 0 {
 		c.MaxPacket = 64 << 10
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = obs.LogfLogger(c.Logf)
+		} else {
+			c.Logger = obs.NopLogger()
+		}
 	}
 	return c
 }
@@ -162,7 +180,22 @@ func (e *Endpoint) Send(to transport.Addr, typ string, payload any) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	return e.write(to, envelope{Kind: kindOneWay, Type: typ, From: string(e.addr), Payload: payload})
+	err := e.write(to, envelope{Kind: kindOneWay, Type: typ, From: string(e.addr), Payload: payload})
+	if err != nil {
+		if h := e.cfg.Obs.SendError; h != nil {
+			h(typ)
+		}
+	}
+	return err
+}
+
+// PendingCalls returns the number of in-flight requests awaiting a
+// reply or timeout — the endpoint's outbound queue depth, exported as
+// a gauge by the observability layer.
+func (e *Endpoint) PendingCalls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
 }
 
 // Call implements transport.Endpoint: request/response with
@@ -205,8 +238,16 @@ func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport
 			cb(nil, transport.ErrTimeout)
 			return
 		}
+		if attempts > 1 {
+			if h := e.cfg.Obs.Retransmit; h != nil {
+				h(typ)
+			}
+		}
 		if err := e.write(to, env); err != nil {
-			e.cfg.Logf("rpcudp: send %s to %s: %v", typ, to, err)
+			if h := e.cfg.Obs.SendError; h != nil {
+				h(typ)
+			}
+			e.cfg.Logger.Warn("rpcudp: send failed", "type", typ, "to", string(to), "err", err)
 		}
 	}
 	attempt()
@@ -237,12 +278,15 @@ func (e *Endpoint) readLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			e.cfg.Logf("rpcudp: read: %v", err)
+			e.cfg.Logger.Warn("rpcudp: read failed", "err", err)
 			continue
 		}
 		var env envelope
 		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&env); err != nil {
-			e.cfg.Logf("rpcudp: decode from %s: %v", from, err)
+			if h := e.cfg.Obs.DecodeError; h != nil {
+				h()
+			}
+			e.cfg.Logger.Warn("rpcudp: decode failed", "from", from.String(), "err", err)
 			continue
 		}
 		e.handle(env)
@@ -250,6 +294,16 @@ func (e *Endpoint) readLoop() {
 }
 
 func (e *Endpoint) handle(env envelope) {
+	if t := e.cfg.Tap; t != nil {
+		switch env.Kind {
+		case kindOneWay:
+			t.Message(transport.Addr(env.From), e.addr, env.Type, true)
+		case kindCall:
+			t.Message(transport.Addr(env.From), e.addr, env.Type, false)
+		case kindReply, kindError:
+			t.Message(transport.Addr(env.From), e.addr, env.Type+":reply", false)
+		}
+	}
 	switch env.Kind {
 	case kindOneWay, kindCall:
 		e.mu.Lock()
@@ -273,7 +327,10 @@ func (e *Endpoint) handle(env envelope) {
 					resp.Payload = payload
 				}
 				if werr := e.write(to, resp); werr != nil {
-					e.cfg.Logf("rpcudp: reply %s to %s: %v", typ, to, werr)
+					if h := e.cfg.Obs.SendError; h != nil {
+						h(typ)
+					}
+					e.cfg.Logger.Warn("rpcudp: reply failed", "type", typ, "to", string(to), "err", werr)
 				}
 			}
 		}
@@ -298,7 +355,7 @@ func (e *Endpoint) handle(env envelope) {
 			p.cb(env.Payload, nil)
 		}
 	default:
-		e.cfg.Logf("rpcudp: unknown envelope kind %d", env.Kind)
+		e.cfg.Logger.Warn("rpcudp: unknown envelope kind", "kind", env.Kind)
 	}
 }
 

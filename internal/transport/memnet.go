@@ -6,6 +6,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +43,7 @@ type MemNetwork struct {
 	mu        sync.RWMutex
 	endpoints map[Addr]*memEndpoint
 	tap       Tap
+	drops     atomic.Uint64
 }
 
 // NewMemNetwork creates an empty in-memory network.
@@ -60,6 +62,11 @@ func (n *MemNetwork) SetTap(t Tap) {
 // Clock returns a real-time clock suitable for protocol timers alongside
 // this transport.
 func (n *MemNetwork) Clock() Clock { return &RealClock{} }
+
+// Dropped returns the number of messages dropped because the
+// destination was missing or its inbox was full (the UDP-style loss
+// this transport models).
+func (n *MemNetwork) Dropped() uint64 { return n.drops.Load() }
 
 // Endpoint creates the endpoint with the given address. It panics if the
 // address is already live (a wiring bug).
@@ -161,12 +168,14 @@ func (e *memEndpoint) enqueue(to Addr, req *Request) bool {
 	deliver := func() bool {
 		dst := e.net.lookup(to)
 		if dst == nil {
+			e.net.drops.Add(1)
 			return false
 		}
 		select {
 		case dst.inbox <- req:
 			return true
 		default:
+			e.net.drops.Add(1)
 			return false // inbox full: drop
 		}
 	}

@@ -1,0 +1,132 @@
+package dat_test
+
+// Live observability test: boots a small ring of real UDP peers with an
+// Observer attached to the bootstrap node, then scrapes the observer's
+// HTTP endpoints the way Prometheus and an operator would — /metrics
+// must expose the chord lookup-hop histogram and the DAT aggregation
+// counters with live (non-zero) values, /healthz must report the node
+// running, and the pprof and debug pages must render.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	dat "repro"
+	"repro/internal/obs"
+)
+
+func TestLivePeerObservabilityEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time UDP test")
+	}
+	attrs := []dat.Attribute{{Name: "cpu-usage", Min: 0, Max: 100}}
+	observer := obs.NewObserver(1024)
+	mk := func(name string, o *obs.Observer) *dat.Peer {
+		p, err := dat.NewPeer(dat.PeerConfig{
+			Listen:     "127.0.0.1:0",
+			Name:       name,
+			Attributes: attrs,
+			Stabilize:  40 * time.Millisecond,
+			FixFingers: 60 * time.Millisecond,
+			Ping:       100 * time.Millisecond,
+			Observer:   o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		p.AddSensor("cpu-usage", func() (float64, bool) { return 25, true })
+		return p
+	}
+
+	boot := mk("host0", observer)
+	boot.Create()
+	peers := []*dat.Peer{boot}
+	for i := 1; i < 4; i++ {
+		p := mk("host"+string(rune('0'+i)), nil)
+		if err := p.Join(boot.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	for _, p := range peers {
+		if err := p.StartMonitor("cpu-usage", 100*time.Millisecond, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	covered := false
+	for !covered {
+		for _, p := range peers {
+			if agg, ok := p.LatestResult("cpu-usage"); ok && agg.Count == 4 {
+				covered = true
+			}
+		}
+		if covered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aggregate never covered all peers")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Drive a lookup on the observed node so the hop histogram has a
+	// live sample (joins run their lookups on the joining side).
+	if _, err := boot.Query("cpu-usage", 400*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(observer.Handler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, metrics := get("/metrics")
+	if code != http.StatusOK || len(metrics) == 0 {
+		t.Fatalf("/metrics: code=%d len=%d", code, len(metrics))
+	}
+	for _, want := range []string{
+		"# TYPE chord_lookup_hops histogram",
+		"# TYPE dat_rounds_total counter",
+		"# TYPE dat_transport_messages_total counter",
+		`dat_transport_messages_total{type="dat.update"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Live values, not just registered families.
+	if strings.Contains(metrics, "chord_lookup_hops_count 0\n") {
+		t.Error("chord_lookup_hops has no samples after a query")
+	}
+	if observer.Spans.Total() == 0 {
+		t.Error("no aggregation spans recorded on the observed node")
+	}
+
+	code, health := get("/healthz")
+	if code != http.StatusOK || !strings.Contains(health, `"running":true`) {
+		t.Fatalf("/healthz: code=%d body=%s", code, health)
+	}
+
+	code, debug := get("/debug/dat")
+	if code != http.StatusOK || !strings.Contains(debug, "self") {
+		t.Fatalf("/debug/dat: code=%d body=%q", code, debug)
+	}
+
+	code, pprofIdx := get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}

@@ -3,6 +3,7 @@ package dat
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/gma"
 	"repro/internal/ident"
 	"repro/internal/maan"
+	"repro/internal/obs"
 	"repro/internal/rpcudp"
 	"repro/internal/transport"
 )
@@ -45,6 +47,14 @@ type PeerConfig struct {
 	// RPCTimeout bounds blocking convenience calls (Join, Query...).
 	// Default 10s.
 	RPCTimeout time.Duration
+	// Observer wires runtime telemetry — Prometheus instruments,
+	// aggregation-round spans, the /healthz probe, and the /debug/dat
+	// view — through the whole stack (DESIGN.md §9). Use one Observer
+	// per peer; instruments are process-wide names, not per-peer ones.
+	Observer *obs.Observer
+	// Logger receives structured logs from the transport and protocol
+	// layers. Nil means silent.
+	Logger *slog.Logger
 }
 
 // Peer is one live DAT node over real UDP sockets: the full P-GMA stack
@@ -79,7 +89,16 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		cfg.RPCTimeout = 10 * time.Second
 	}
 	space := ident.New(cfg.Bits)
-	ep, err := rpcudp.Listen(cfg.Listen, rpcudp.Config{CallTimeout: cfg.CallTimeout})
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	rpcCfg := rpcudp.Config{CallTimeout: cfg.CallTimeout, Logger: logger.With("layer", "rpcudp")}
+	if cfg.Observer != nil {
+		rpcCfg.Tap = cfg.Observer.Tap()
+		rpcCfg.Obs = cfg.Observer.TransportHooks()
+	}
+	ep, err := rpcudp.Listen(cfg.Listen, rpcCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -93,12 +112,24 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	// distinct per node (no lock-step maintenance across a deployment)
 	// yet fully determined by the bound address, so runs replay.
 	clock := transport.NewRealClock(int64(id))
-	cn := chord.New(ep, clock, id, chord.Config{
+	nodeLogger := logger.With("node", string(ep.Addr()))
+	chordCfg := chord.Config{
 		Space:           space,
 		StabilizeEvery:  cfg.Stabilize,
 		FixFingersEvery: cfg.FixFingers,
 		PingEvery:       cfg.Ping,
-	})
+		Logger:          nodeLogger.With("layer", "chord"),
+	}
+	coreCfg := core.NodeConfig{
+		Scheme:       cfg.Scheme,
+		ShareResults: cfg.ShareResults,
+		Logger:       nodeLogger.With("layer", "dat"),
+	}
+	if cfg.Observer != nil {
+		chordCfg.Obs = cfg.Observer.ChordHooks()
+		coreCfg.Obs = cfg.Observer.CoreHooks()
+	}
+	cn := chord.New(ep, clock, id, chordCfg)
 	p := &Peer{
 		cfg:     cfg,
 		space:   space,
@@ -108,11 +139,8 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		results: make(map[string]Aggregate),
 	}
 	p.producer = gma.NewProducer(cfg.Name, space, clock)
-	p.dat = core.NewNode(cn, ep, clock, core.NodeConfig{
-		Scheme:       cfg.Scheme,
-		Local:        p.producer.Local,
-		ShareResults: cfg.ShareResults,
-	})
+	coreCfg.Local = p.producer.Local
+	p.dat = core.NewNode(cn, ep, clock, coreCfg)
 	if len(cfg.Attributes) > 0 {
 		schema, err := maan.NewSchema(space, cfg.Attributes...)
 		if err != nil {
@@ -121,7 +149,34 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		}
 		p.maan = maan.NewService(cn, ep, clock, schema)
 	}
+	if o := cfg.Observer; o != nil {
+		o.Reg.GaugeFunc("dat_transport_pending_calls",
+			"In-flight UDP requests awaiting a reply or timeout.",
+			func() float64 { return float64(ep.PendingCalls()) })
+		o.SetHealth(p.health)
+		o.AddDebug("dat node "+string(ep.Addr()), p.dat.WriteDebug)
+	}
 	return p, nil
+}
+
+// health is the /healthz probe: the peer reports running once its chord
+// node participates in a ring.
+func (p *Peer) health() obs.Health {
+	self := p.chord.Self()
+	h := obs.Health{
+		Running:       p.chord.Running(),
+		Addr:          string(self.Addr),
+		ID:            self.ID.String(),
+		EstimatedSize: p.chord.EstimatedNetworkSize(),
+		ActiveKeys:    len(p.dat.ActiveKeys()),
+	}
+	if s := p.chord.Successor(); !s.IsZero() {
+		h.Successor = string(s.Addr)
+	}
+	if pred := p.chord.Predecessor(); !pred.IsZero() {
+		h.Predecessor = string(pred.Addr)
+	}
+	return h
 }
 
 // Addr returns the peer's bound UDP address — what other peers pass as

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot one live datnode with -obs.addr, scrape
+# /metrics and /healthz, and fail on a non-200 status or empty body.
+# CI runs this after the unit suites; run it locally with `make obs-smoke`.
+set -euo pipefail
+
+OBS_ADDR=${OBS_ADDR:-127.0.0.1:19090}
+NODE_ADDR=${NODE_ADDR:-127.0.0.1:19000}
+BIN=$(mktemp -d)/datnode
+LOG=$(mktemp)
+
+cleanup() {
+    [[ -n "${NODE_PID:-}" ]] && kill "$NODE_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/datnode
+"$BIN" -listen "$NODE_ADDR" -create -synthetic -slot 1s -obs.addr "$OBS_ADDR" 2>"$LOG" &
+NODE_PID=$!
+
+# Wait for the endpoint to come up (the node binds it before joining).
+for _ in $(seq 1 50); do
+    if curl -sf -o /dev/null "http://$OBS_ADDR/healthz"; then
+        break
+    fi
+    if ! kill -0 "$NODE_PID" 2>/dev/null; then
+        echo "obs-smoke: datnode exited early" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+check() {
+    local path=$1 must_contain=$2
+    local body
+    if ! body=$(curl -sf "http://$OBS_ADDR$path"); then
+        echo "obs-smoke: GET $path returned non-200" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if [[ -z "$body" ]]; then
+        echo "obs-smoke: GET $path returned an empty body" >&2
+        exit 1
+    fi
+    if [[ -n "$must_contain" ]] && ! grep -q "$must_contain" <<<"$body"; then
+        echo "obs-smoke: GET $path missing \"$must_contain\":" >&2
+        echo "$body" >&2
+        exit 1
+    fi
+    echo "obs-smoke: $path ok"
+}
+
+check /healthz '"running":true'
+check /metrics '# TYPE chord_lookup_hops histogram'
+check /metrics '# TYPE dat_rounds_total counter'
+check /debug/dat 'self'
+check /debug/pprof/ goroutine
+
+echo "obs-smoke: all endpoints healthy"
