@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz datcheck datcheck-long bench-json obs-smoke ci
+.PHONY: all build vet lint test race fuzz datcheck datcheck-faults datcheck-long bench-json obs-smoke ci
 
 all: build
 
@@ -35,6 +35,14 @@ DATCHECK_SEEDS ?= 25
 DATCHECK_BASE ?= 1000000
 datcheck:
 	$(GO) test ./internal/datcheck -v -run TestDatcheckCorpus
+
+# datcheck-faults: the delivery-fault profile — targeted mid-round
+# parent/root crashes with in-chaos no-lost-subtrees probes, swept over
+# DATCHECK_FAULT_SEEDS seeds above datcheck.FaultSeedBase.
+DATCHECK_FAULT_SEEDS ?= 8
+datcheck-faults:
+	$(GO) test ./internal/datcheck -v -run TestDatcheckFaults \
+		-datcheck.faultseeds $(DATCHECK_FAULT_SEEDS)
 
 datcheck-long:
 	$(GO) test -race ./internal/datcheck -v -run TestDatcheckLong \

@@ -77,6 +77,7 @@ func main() {
 		synthetic = flag.Bool("synthetic", false, "use a synthetic CPU sensor instead of /proc/stat")
 		instances = flag.Int("instances", 1, "additional in-process instances joining through this node")
 		obsAddr   = flag.String("obs.addr", "", "serve /metrics, /healthz, /debug/dat and pprof on this address")
+		failover  = flag.Bool("failover", true, "acked updates with parent failover and root handover (false: fire-and-forget)")
 		logLevel  = flag.String("log.level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -100,11 +101,13 @@ func main() {
 		{Name: "cpu-usage", Min: 0, Max: 100},
 		{Name: "memory-size", Min: 0, Max: 1 << 20},
 	}
+	delivery := dat.DeliveryConfig{Disable: !*failover}
 	observer := obs.NewObserver(obs.DefaultSpanCapacity)
 	peer, err := dat.NewPeer(dat.PeerConfig{
 		Listen:     *listen,
 		Name:       *name,
 		Attributes: attrs,
+		Delivery:   delivery,
 		Observer:   observer,
 		Logger:     logger,
 	})
@@ -188,6 +191,7 @@ func main() {
 			Listen:     "127.0.0.1:0",
 			Name:       fmt.Sprintf("%s#%d", peer.Addr(), i),
 			Attributes: attrs,
+			Delivery:   delivery,
 			Logger:     logger,
 		})
 		if err != nil {

@@ -60,6 +60,11 @@ type Aggregate = core.Aggregate
 // Tree is a DAT computed over a converged overlay snapshot.
 type Tree = core.Tree
 
+// DeliveryConfig tunes the delivery-assurance layer for DAT updates:
+// ack timeouts, retry backoff, and parent/root failover. See
+// PeerConfig.Delivery.
+type DeliveryConfig = core.DeliveryConfig
+
 // Attribute declares a numeric resource attribute and its value range
 // for MAAN's locality-preserving hash.
 type Attribute = maan.Attribute

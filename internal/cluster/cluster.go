@@ -93,6 +93,11 @@ type Options struct {
 	ShareResults bool
 	// SuccessorListLen passes through to the Chord layer. Default 4.
 	SuccessorListLen int
+	// Delivery passes the delivery-assurance policy (acked updates,
+	// backoff, failover — DESIGN.md §10) through to the DAT layer. The
+	// zero value enables it with defaults; set Delivery.Disable to fall
+	// back to fire-and-forget updates.
+	Delivery core.DeliveryConfig
 	// DropProb injects message loss.
 	DropProb float64
 	// Observer wires runtime telemetry through every node: the network
@@ -237,6 +242,7 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 		BatchDelay:    c.Opts.BatchDelay,
 		HoldPerLevel:  c.Opts.HoldPerLevel,
 		ShareResults:  c.Opts.ShareResults,
+		Delivery:      c.Opts.Delivery,
 		Logger:        logger,
 	}
 	if c.Opts.Observer != nil {

@@ -20,6 +20,18 @@ type Aggregate struct {
 	Count uint64
 	Min   float64
 	Max   float64
+
+	// Degraded marks an aggregate at least part of which travelled a
+	// repaired path: a delivery-assurance failover re-routed it around an
+	// unreachable parent or root (DESIGN.md §10). Merging a degraded
+	// aggregate into a clean one taints the result, so the flag at the
+	// root means "this slot's value survived a failure", not that data
+	// was lost.
+	Degraded bool
+	// Coverage is filled by the root only: the contributing node count
+	// over the root's network-size estimate, clamped to [0,1]. Relays
+	// leave it zero; it is not merged.
+	Coverage float64
 }
 
 // AddSample folds one local sample into the aggregate.
@@ -43,11 +55,16 @@ func (a *Aggregate) AddSample(v float64) {
 // associative with the zero Aggregate as identity — the algebraic
 // requirements for computing it over any tree shape.
 func (a *Aggregate) Merge(b Aggregate) {
+	// Degradation taints across the merge even when one side carries no
+	// samples, so a failover on an empty subtree is still surfaced.
+	a.Degraded = a.Degraded || b.Degraded
 	if b.Count == 0 {
 		return
 	}
 	if a.Count == 0 {
+		degraded := a.Degraded
 		*a = b
+		a.Degraded = degraded
 		return
 	}
 	a.Sum += b.Sum

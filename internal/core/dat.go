@@ -63,6 +63,18 @@ type UpdateMsg struct {
 	// SentAt is the sender's clock reading (nanoseconds) at send time;
 	// the receiver pairs it with its own delivery time in the hop span.
 	SentAt int64
+
+	// Seq orders a sender's on-demand flushes within one epoch so acked
+	// retries whose ack (not request) was lost are not double-folded.
+	// Zero on continuous updates, which are idempotent cache overwrites.
+	Seq uint64
+	// Handover marks an update redirected around an unreachable root:
+	// the receiver assumes rootship for Key until the overlay catches up
+	// (DESIGN.md §10).
+	Handover bool
+	// FailedRoot is the unreachable root's address on a handover update;
+	// the receiver feeds it to the failure detector to speed eviction.
+	FailedRoot transport.Addr
 }
 
 // QueryReq asks the receiving node (the DAT root) to run an on-demand
@@ -77,6 +89,15 @@ type QueryResp struct {
 	Key   ident.ID
 	Epoch int64
 	Agg   Aggregate
+	// Nodes is the number of distinct contributors folded into Agg.
+	Nodes uint64
+	// Coverage is Nodes over the root's network-size estimate, clamped
+	// to [0,1] — the graceful-degradation signal: how much of the ring
+	// this answer is believed to represent.
+	Coverage float64
+	// Degraded reports that some contribution travelled a repaired path
+	// (parent failover or root handover) this epoch.
+	Degraded bool
 }
 
 // collectMsg is the broadcast payload starting an on-demand epoch.
@@ -97,6 +118,7 @@ type resultMsg struct {
 func init() {
 	gob.Register(UpdateMsg{})
 	gob.Register(DetachMsg{})
+	gob.Register(UpdateAck{})
 	gob.Register(QueryReq{})
 	gob.Register(QueryResp{})
 	gob.Register(collectMsg{})
@@ -135,6 +157,11 @@ type NodeConfig struct {
 	// staggering entirely (ablation: parents then relay cached values one
 	// slot behind their children).
 	HoldPerLevel time.Duration
+	// Delivery tunes the delivery-assurance layer: acked updates with
+	// backoff, in-slot parent failover, root handover (DESIGN.md §10).
+	// The zero value enables it with defaults; set Disable for the
+	// fire-and-forget ablation.
+	Delivery DeliveryConfig
 	// Obs receives aggregation telemetry: per-hop spans, round latency
 	// and fan-in, update dispositions, cache expiry. The zero value
 	// disables instrumentation (DESIGN.md §9).
@@ -160,6 +187,7 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	} else if c.HoldPerLevel < 0 {
 		c.HoldPerLevel = 0 // synchronization disabled
 	}
+	c.Delivery = c.Delivery.withDefaults()
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -208,6 +236,15 @@ type aggEntry struct {
 	lastSlot   int64
 	haveLast   bool
 
+	// Delivery-assurance state: the key's pending acked update (a new
+	// slot supersedes it), the monotone on-demand flush sequence, and —
+	// after receiving a handover update — the deadline until which this
+	// node acts as the key's root even though its own tables say
+	// otherwise (the old root is dead; the ring has not elected us yet).
+	pending         *delivery
+	demandSeq       uint64
+	forcedRootUntil time.Duration
+
 	// On-demand epochs in flight at this node.
 	epochs map[int64]*epochState
 }
@@ -215,6 +252,10 @@ type aggEntry struct {
 type epochState struct {
 	pending Aggregate
 	nodes   uint64
+	// applied records the highest Seq folded per sender, so an acked
+	// retry whose previous attempt actually arrived (the ack, not the
+	// request, was lost) is not double-counted.
+	applied map[transport.Addr]uint64
 	// cancelFlush is the pending debounced flush (nil when idle): each
 	// arriving contribution re-arms it, so a node flushes only after its
 	// inflow quiets down — leaves flush first, parents consolidate whole
@@ -255,55 +296,8 @@ func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
 // predecessor is unknown right after joining): callers should skip this
 // round and retry after stabilization.
 func (n *Node) ParentFor(key ident.ID) (parent chord.NodeRef, isRoot, ok bool) {
-	self := n.ch.Self()
-	succ := n.ch.Successor()
-	pred := n.ch.Predecessor()
-	space := n.ch.Space()
-
-	if succ.Addr == self.Addr {
-		return self, true, true // alone: we are every tree's root
-	}
-	if pred.IsZero() {
-		// Without a predecessor we cannot rule out being the root, and
-		// guessing wrong would loop aggregates around the ring.
-		return chord.NodeRef{}, false, false
-	}
-	if space.InHalfOpen(key, pred.ID, self.ID) {
-		return self, true, true
-	}
-	if space.InHalfOpen(key, self.ID, succ.ID) {
-		return succ, false, true // the successor is the root
-	}
-
-	fingers := n.ch.Fingers()
-	maxJ := uint(len(fingers) - 1)
-	if n.cfg.Scheme == BalancedLocal || n.cfg.Scheme == Balanced {
-		x := space.Dist(self.ID, key)
-		g := ident.FingerLimit(x, n.ch.EstimatedGap())
-		if g < maxJ {
-			maxJ = g
-		}
-	}
-	var best chord.NodeRef
-	var bestRemaining uint64
-	for j := uint(0); j <= maxJ; j++ {
-		f := fingers[j]
-		if f.IsZero() || f.Addr == self.Addr {
-			continue
-		}
-		if !space.InHalfOpen(f.ID, self.ID, key) {
-			continue
-		}
-		remaining := space.Dist(f.ID, key)
-		if best.IsZero() || remaining < bestRemaining {
-			best, bestRemaining = f, remaining
-		}
-	}
-	if best.IsZero() {
-		// Fingers not resolved yet; the successor always makes progress.
-		best = succ
-	}
-	return best, false, true
+	parent, isRoot, _, ok = n.parentForExcluding(key, nil)
+	return parent, isRoot, ok
 }
 
 // --- continuous mode ---
@@ -367,7 +361,15 @@ func (n *Node) StopContinuous(key ident.ID) {
 	n.mu.Lock()
 	e := n.aggs[key]
 	delete(n.aggs, key)
+	var pend *delivery
+	if e != nil {
+		pend = e.pending
+		e.pending = nil
+	}
 	n.mu.Unlock()
+	if pend != nil {
+		pend.cancel()
+	}
 	if e != nil && e.stop != nil {
 		e.stop()
 	}
@@ -460,11 +462,25 @@ func (n *Node) tickContinuous(key ident.ID) {
 		}
 	}
 
-	parent, isRoot, ok := n.ParentFor(key)
+	parent, isRoot, parentIsKeyRoot, ok := n.parentForExcluding(key, nil)
 	if !ok {
 		return // overlay not settled; try next slot
 	}
 	self := n.ch.Self()
+
+	// Root-handover bridge: a node that received a handover update acts
+	// as the key's root until the ring elects a real successor(key) (or
+	// the window lapses), even though its own tables still point at the
+	// dead root's neighborhood.
+	forced := false
+	if !isRoot {
+		n.mu.Lock()
+		forced = now < e.forcedRootUntil
+		n.mu.Unlock()
+		if forced {
+			isRoot = true
+		}
+	}
 
 	// roundDone reports this node's part of the round: latency is
 	// measured from the slot boundary being reported to now on the
@@ -486,14 +502,19 @@ func (n *Node) tickContinuous(key ident.ID) {
 	}
 	n.mu.Unlock()
 	if oldParent != "" && (isRoot || oldParent != parent.Addr) {
-		n.send(oldParent, MsgDetach, DetachMsg{Key: key, Sender: self})
+		n.deliverDetach(oldParent, DetachMsg{Key: key, Sender: self})
 		if !isRoot {
 			n.cfg.Logger.Debug("switched aggregation parent", "key", key.String(), "old", string(oldParent), "new", string(parent.Addr))
 		}
 	}
 
 	if isRoot {
+		if forced {
+			agg.Degraded = true // serving in the dead root's stead
+		}
+		est := n.ch.EstimatedNetworkSize()
 		n.mu.Lock()
+		agg.Coverage = coverage(nodes, e.clampEstimateLocked(est))
 		e.lastAgg, e.lastSlot, e.haveLast = agg, slot, true
 		cb := e.onResult
 		n.mu.Unlock()
@@ -509,27 +530,63 @@ func (n *Node) tickContinuous(key ident.ID) {
 		return
 	}
 	roundDone(false)
-	n.send(parent.Addr, MsgUpdate, UpdateMsg{
+	um := UpdateMsg{
 		Key: key, Epoch: slot, Agg: agg, Nodes: nodes, Height: height,
 		Slot: int64(slotDur), Sender: self,
 		Trace: obs.RoundTrace(key, slot, false), SentAt: int64(n.clock.Now()),
-	})
+	}
+	if n.cfg.Delivery.Disable {
+		n.send(parent.Addr, MsgUpdate, um)
+		return
+	}
+	n.deliverUpdate(e, parent, parentIsKeyRoot, um, false)
 }
 
-// send fires a best-effort datagram. Delivery failures feed the chord
-// layer's two-strike failure detector, so a dead parent discovered on
-// the aggregation path is evicted from the routing tables (and a new
-// parent chosen) without waiting for overlay maintenance to notice.
+// clampEstimateLocked bounds the density-based network-size estimate by
+// the last full count delivered for this key (the node's own previous
+// root result, or a ShareResults broadcast it cached). The gap estimate
+// from successor-list density is unbiased but noisy at small n, and an
+// overestimated denominator would mask a genuinely lost subtree behind
+// estimator variance; the last delivered count is an exact record of
+// what the tree recently reached, so coverage is measured against
+// whichever bound is tighter. Caller must hold n.mu.
+func (e *aggEntry) clampEstimateLocked(est uint64) uint64 {
+	if e.haveLast && e.lastAgg.Count > 0 && e.lastAgg.Count < est {
+		est = e.lastAgg.Count
+	}
+	return est
+}
+
+// coverage clamps nodes/estimate to [0,1]. A zero estimate (overlay not
+// settled) reports full coverage rather than dividing by zero: with no
+// size estimate there is nothing to degrade against.
+func coverage(nodes, estimate uint64) float64 {
+	if estimate == 0 || nodes >= estimate {
+		return 1
+	}
+	return float64(nodes) / float64(estimate)
+}
+
+// send fires a best-effort datagram. Only a *local* send error (closed
+// endpoint, unresolvable peer) feeds chord.Suspect here — over real UDP
+// a write to a dead host succeeds locally, so this path alone cannot
+// detect remote failures. Remote suspicion rides the delivery-assurance
+// ack timeouts (delivery.go); this helper remains for the result/detach
+// fallbacks and for DeliveryConfig.Disable mode, where the old
+// fire-and-forget semantics are exactly what is asked for.
 func (n *Node) send(to transport.Addr, typ string, payload any) {
 	if err := n.ep.Send(to, typ, payload); err != nil {
 		n.ch.Suspect(to)
 	}
 }
 
-// handleDetach drops a former child's cached aggregate.
+// handleDetach drops a former child's cached aggregate. Detaches arrive
+// both as one-way datagrams (Disable mode) and as acked calls; Reply is
+// a no-op on the former.
 func (n *Node) handleDetach(req *transport.Request) {
 	dm, ok := req.Payload.(DetachMsg)
 	if !ok {
+		req.ReplyError(fmt.Errorf("core: bad detach payload %T", req.Payload))
 		return
 	}
 	n.mu.Lock()
@@ -537,13 +594,19 @@ func (n *Node) handleDetach(req *transport.Request) {
 		delete(e.children, req.From)
 	}
 	n.mu.Unlock()
+	req.Reply(UpdateAck{OK: true})
 }
 
 // handleUpdate stores a child's subtree aggregate (continuous) or folds
-// an on-demand contribution into the epoch bucket.
+// an on-demand contribution into the epoch bucket. Updates arrive both
+// as one-way datagrams (Disable mode) and as acked calls; every path
+// below replies exactly once — OK acks confirm delivery, not-OK acks
+// ("cycle", "no-slot") tell a live sender to route elsewhere without
+// charging this node a failure-detector strike.
 func (n *Node) handleUpdate(req *transport.Request) {
 	um, ok := req.Payload.(UpdateMsg)
 	if !ok {
+		req.ReplyError(fmt.Errorf("core: bad update payload %T", req.Payload))
 		return
 	}
 	// Record the hop span first: the message travelled regardless of
@@ -557,7 +620,8 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		})
 	}
 	if um.Demand {
-		n.foldDemand(um)
+		n.foldDemand(um, req.From)
+		req.Reply(UpdateAck{OK: true})
 		return
 	}
 	// Compute the 2-cycle guard before taking the lock: ParentFor only
@@ -579,6 +643,7 @@ func (n *Node) handleUpdate(req *transport.Request) {
 			if h := n.cfg.Obs.UpdateRejected; h != nil {
 				h("no-slot")
 			}
+			req.Reply(UpdateAck{OK: false, Reason: "no-slot"})
 			return
 		}
 		if e == nil {
@@ -603,16 +668,33 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		if h := n.cfg.Obs.UpdateRejected; h != nil {
 			h("cycle")
 		}
+		req.Reply(UpdateAck{OK: false, Reason: "cycle"})
 		return
 	}
 	e.children[req.From] = childState{agg: um.Agg, nodes: um.Nodes, height: um.Height, seen: n.clock.Now()}
+	if um.Handover {
+		// A child routed around its dead root and chose us from its
+		// successor list: assume rootship for the key. The dead root's
+		// children table rebuilds itself from updates like this one — DAT
+		// membership is implicit, no state transfer needed. The window is
+		// renewed per handover update and lapses once the ring has elected
+		// a proper successor(key).
+		e.forcedRootUntil = n.clock.Now() + handoverSlots*e.slotDur
+	}
 	n.mu.Unlock()
+	if um.Handover {
+		if um.FailedRoot != "" && um.FailedRoot != n.ep.Addr() {
+			n.ch.Suspect(um.FailedRoot) // hasten the dead root's eviction
+		}
+		n.cfg.Logger.Debug("assumed rootship via handover", "key", um.Key.String(), "failed", string(um.FailedRoot), "child", string(req.From))
+	}
 	if h := n.cfg.Obs.UpdateApplied; h != nil {
 		h(false)
 	}
 	if enrolled {
 		n.cfg.Logger.Debug("enrolled in continuous aggregation", "key", um.Key.String(), "slot", time.Duration(um.Slot))
 	}
+	req.Reply(UpdateAck{OK: true})
 }
 
 // --- on-demand mode ---
@@ -677,9 +759,11 @@ func (n *Node) handleQuery(req *transport.Request) {
 	n.ch.Broadcast(CollectType, payload)
 
 	n.clock.AfterFunc(qr.Window, func() {
+		est := n.ch.EstimatedNetworkSize()
 		n.mu.Lock()
 		es := e.epochs[epoch]
 		delete(e.epochs, epoch)
+		est = e.clampEstimateLocked(est)
 		n.mu.Unlock()
 		if es == nil {
 			req.ReplyError(ErrNoLocalValue)
@@ -689,7 +773,11 @@ func (n *Node) handleQuery(req *transport.Request) {
 			req.ReplyError(ErrNoLocalValue)
 			return
 		}
-		req.Reply(QueryResp{Key: qr.Key, Epoch: epoch, Agg: es.pending})
+		req.Reply(QueryResp{
+			Key: qr.Key, Epoch: epoch, Agg: es.pending, Nodes: es.nodes,
+			Coverage: coverage(es.nodes, est),
+			Degraded: es.pending.Degraded,
+		})
 	})
 }
 
@@ -734,14 +822,26 @@ func (n *Node) armFlushLocked(es *epochState, key ident.ID, epoch int64) {
 }
 
 // foldDemand accumulates an on-demand child update and (re-)arms the
-// flush timer.
-func (n *Node) foldDemand(um UpdateMsg) {
+// flush timer. Acked retries are deduplicated per sender via Seq: when
+// only the ack was lost, the retry must not fold the same bucket twice.
+func (n *Node) foldDemand(um UpdateMsg, from transport.Addr) {
 	e := n.entry(um.Key)
 	n.mu.Lock()
 	es := e.epochs[um.Epoch]
 	if es == nil {
 		es = &epochState{}
 		e.epochs[um.Epoch] = es
+	}
+	if um.Seq != 0 {
+		if last, seen := es.applied[from]; seen && um.Seq <= last {
+			n.armFlushLocked(es, um.Key, um.Epoch)
+			n.mu.Unlock()
+			return // duplicate of an already-folded flush: just re-ack
+		}
+		if es.applied == nil {
+			es.applied = make(map[transport.Addr]uint64)
+		}
+		es.applied[from] = um.Seq
 	}
 	es.pending.Merge(um.Agg)
 	es.nodes += um.Nodes
@@ -764,11 +864,13 @@ func (n *Node) flushDemand(key ident.ID, epoch int64) {
 	agg, nodes := es.pending, es.nodes
 	es.pending, es.nodes = Aggregate{}, 0
 	es.cancelFlush = nil
+	e.demandSeq++
+	seq := e.demandSeq
 	n.mu.Unlock()
 	if agg.Count == 0 {
 		return
 	}
-	parent, isRoot, ok := n.ParentFor(key)
+	parent, isRoot, keyRoot, ok := n.parentForExcluding(key, nil)
 	if !ok || isRoot {
 		// isRoot should not happen for a non-root epoch holder unless the
 		// ring churned; fold back into the bucket as root-side state.
@@ -781,10 +883,15 @@ func (n *Node) flushDemand(key ident.ID, epoch int64) {
 		return
 	}
 	self := n.ch.Self()
-	n.send(parent.Addr, MsgUpdate, UpdateMsg{
-		Key: key, Epoch: epoch, Agg: agg, Nodes: nodes, Sender: self, Demand: true,
+	um := UpdateMsg{
+		Key: key, Epoch: epoch, Agg: agg, Nodes: nodes, Sender: self, Demand: true, Seq: seq,
 		Trace: obs.RoundTrace(key, epoch, true), SentAt: int64(n.clock.Now()),
-	})
+	}
+	if n.cfg.Delivery.Disable {
+		n.send(parent.Addr, MsgUpdate, um)
+		return
+	}
+	n.deliverUpdate(nil, parent, keyRoot, um, true)
 }
 
 // entry returns (creating if needed) the aggregation table entry for key.

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// TestBackoffDelayGrowsWithBoundedJitter pins the delivery backoff as a
+// pure function: delays are deterministic per (addr, key, epoch,
+// attempt), land in [base*2^k, 1.5*base*2^k), and grow strictly across
+// attempts because the next band's floor exceeds this band's ceiling.
+func TestBackoffDelayGrowsWithBoundedJitter(t *testing.T) {
+	base := 25 * time.Millisecond
+	key := ident.ID(0x9e3779b9)
+	var prev time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		h := core.JitterHashForTest("10.0.0.1:1", key, 42, attempt)
+		d := core.BackoffDelayForTest(base, attempt, h)
+		if d2 := core.BackoffDelayForTest(base, attempt, core.JitterHashForTest("10.0.0.1:1", key, 42, attempt)); d2 != d {
+			t.Fatalf("attempt %d: non-deterministic delay %v vs %v", attempt, d, d2)
+		}
+		shift := attempt - 1
+		if shift > 5 {
+			shift = 5
+		}
+		lo := base << shift
+		hi := lo + lo/2
+		if d < lo || d >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+		if attempt > 1 && attempt <= 6 && d <= prev && shift > 0 {
+			t.Fatalf("attempt %d: delay %v did not grow past %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Distinct senders de-phase: two addresses retrying the same key in
+	// the same slot must not share a full schedule.
+	varied := false
+	for attempt := 1; attempt <= 4; attempt++ {
+		a := core.BackoffDelayForTest(base, attempt, core.JitterHashForTest("10.0.0.1:1", key, 42, attempt))
+		b := core.BackoffDelayForTest(base, attempt, core.JitterHashForTest("10.0.0.2:1", key, 42, attempt))
+		if a != b {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("distinct senders produced identical backoff schedules")
+	}
+}
+
+// TestParentForExcludingRoutesAroundFailures checks the candidate
+// enumeration that drives in-slot failover: with no exclusions it
+// matches ParentFor; excluding the chosen parent yields a different live
+// candidate; excluding everything yields no candidate.
+func TestParentForExcludingRoutesAroundFailures(t *testing.T) {
+	c := newCluster(t, cluster.Options{N: 24, Seed: 17, Local: localByIndex})
+	key := c.Space.HashString("cpu-usage")
+	root := c.Ring().SuccessorOf(key)
+
+	checked := 0
+	for i, dn := range c.DAT {
+		if c.Chord[i].Self().ID == root {
+			continue
+		}
+		parent, isRoot, ok := dn.ParentFor(key)
+		if !ok || isRoot {
+			continue
+		}
+		p2, isRoot2, keyRoot2, ok2 := dn.ParentForExcluding(key, nil)
+		if !ok2 || isRoot2 || p2.Addr != parent.Addr {
+			t.Fatalf("node %d: empty exclusion diverged from ParentFor: %v vs %v", i, p2.Addr, parent.Addr)
+		}
+		_ = keyRoot2
+		excl := map[transport.Addr]bool{parent.Addr: true}
+		alt, altRoot, _, altOK := dn.ParentForExcluding(key, excl)
+		if altOK && !altRoot {
+			if alt.Addr == parent.Addr {
+				t.Fatalf("node %d: excluded parent %v returned again", i, parent.Addr)
+			}
+			if alt.Addr == c.Chord[i].Self().Addr {
+				t.Fatalf("node %d: failover chose self", i)
+			}
+		}
+		// Excluding every other node leaves nothing to fail over to.
+		all := make(map[transport.Addr]bool)
+		for _, a := range c.Addrs() {
+			all[a] = true
+		}
+		if _, _, _, anyOK := dn.ParentForExcluding(key, all); anyOK {
+			t.Fatalf("node %d: produced a candidate with every address excluded", i)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d relay nodes checked; ring did not converge as expected", checked)
+	}
+}
+
+// TestAckTimeoutFeedsSuspect is the send-suspect-semantics regression
+// test: over a transport where writes to a dead peer succeed locally
+// (exactly what real UDP does), killing a parent's endpoint must still
+// drive chord.Suspect — via the delivery layer's ack timeouts — within
+// one retry budget, and two strikes must evict it.
+func TestAckTimeoutFeedsSuspect(t *testing.T) {
+	const n = 24
+	o := obs.NewObserver(16)
+	slot := 500 * time.Millisecond
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 19, Local: localByIndex, Observer: o,
+		// Slow the ping-based detector far past the test horizon so any
+		// strike observed below is attributable to ack timeouts alone.
+		PingEvery:       time.Hour,
+		StabilizeEvery:  time.Hour,
+		FixFingersEvery: time.Hour,
+	})
+	key := c.Space.HashString("cpu-usage")
+	if _, err := c.StartContinuousAll(key, slot); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(6 * slot)
+
+	// Pick the non-root node with the most cached children: a mid-tree
+	// parent whose death strands a real subtree.
+	root := c.Ring().SuccessorOf(key)
+	parent := -1
+	best := 0
+	for i := range c.DAT {
+		if !c.Chord[i].Running() || c.Chord[i].Self().ID == root {
+			continue
+		}
+		if kids := len(c.DAT[i].ChildrenInfo(key)); kids > best {
+			best, parent = kids, i
+		}
+	}
+	if parent < 0 || best == 0 {
+		t.Fatal("no mid-tree parent with children found")
+	}
+
+	suspects := o.Reg.Counter("chord_suspects_total", "").Value()
+	evictions := o.Reg.Counter("chord_evictions_total", "").Value()
+	retries := o.Reg.Counter("dat_update_retries_total", "").Value()
+
+	c.Crash(parent)
+	// One slot tick puts the orphans' updates on the wire; one retry
+	// budget is Attempts ack timeouts plus the backoff between them.
+	budget := slot + 2*150*time.Millisecond + 2*40*time.Millisecond
+	c.RunFor(budget)
+
+	if got := o.Reg.Counter("chord_suspects_total", "").Value(); got <= suspects {
+		t.Errorf("no Suspect within one retry budget of killing the parent endpoint (%d -> %d)", suspects, got)
+	}
+	if got := o.Reg.Counter("chord_evictions_total", "").Value(); got <= evictions {
+		t.Errorf("dead parent not evicted within one retry budget (%d -> %d)", evictions, got)
+	}
+	if got := o.Reg.Counter("dat_update_retries_total", "").Value(); got <= retries {
+		t.Errorf("no delivery retries recorded (%d -> %d)", retries, got)
+	}
+}

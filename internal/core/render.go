@@ -39,12 +39,16 @@ func (n *Node) WriteDebug(w io.Writer) {
 		n.mu.Lock()
 		e := n.aggs[key]
 		height, slotDur := 0, time.Duration(0)
+		forced := false
 		if e != nil {
 			height, slotDur = e.height, e.slotDur
+			forced = n.clock.Now() < e.forcedRootUntil
 		}
 		n.mu.Unlock()
 		fmt.Fprintf(w, "\nkey %s height=%d slot=%v\n", key.String(), height, slotDur)
 		switch {
+		case forced && !isRoot:
+			fmt.Fprintln(w, "  role: root (handover standby for a failed root)")
 		case !ok:
 			fmt.Fprintln(w, "  role: undecided (overlay not settled)")
 		case isRoot:
@@ -53,7 +57,8 @@ func (n *Node) WriteDebug(w io.Writer) {
 			fmt.Fprintf(w, "  role: relay -> parent %s @ %s\n", parent.ID.String(), parent.Addr)
 		}
 		if slot, agg, haveLast := n.LastResult(key); haveLast {
-			fmt.Fprintf(w, "  last result: slot=%d count=%d sum=%g min=%g max=%g\n", slot, agg.Count, agg.Sum, agg.Min, agg.Max)
+			fmt.Fprintf(w, "  last result: slot=%d count=%d sum=%g min=%g max=%g coverage=%.2f degraded=%v\n",
+				slot, agg.Count, agg.Sum, agg.Min, agg.Max, agg.Coverage, agg.Degraded)
 		}
 		for _, c := range n.ChildrenInfo(key) {
 			fmt.Fprintf(w, "  child %s nodes=%d height=%d seen=%v\n", c.Addr, c.Nodes, c.Height, c.Seen)

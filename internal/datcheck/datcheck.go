@@ -186,7 +186,91 @@ func (h *harness) apply(ev Event) {
 		h.tracef("%v", ev)
 	case EvSettle:
 		h.settle()
+	case EvCrashParent, EvCrashRoot:
+		idx := h.pickVictim(ev.Kind)
+		if idx < 0 {
+			h.tracef("skip %v (no victim)", ev)
+			return
+		}
+		h.alignMidRound()
+		c.Crash(idx)
+		h.res.Crashes++
+		h.tracef("%v victim=%d", ev, idx)
+	case EvProbe:
+		h.probeNoLostSubtrees()
 	}
+}
+
+// pickVictim resolves a targeted crash against the cluster's current
+// state: the root kind yields the running owner of the aggregation key;
+// the parent kind yields the running non-root caching the most children
+// (lowest index wins ties, so replays are deterministic), falling back
+// to any running non-root when no caches have formed yet.
+func (h *harness) pickVictim(kind EventKind) int {
+	rootID := h.c.Ring().SuccessorOf(h.key)
+	victim, best := -1, -1
+	for i := range h.c.Chord {
+		if !h.c.Chord[i].Running() {
+			continue
+		}
+		isRoot := h.c.Chord[i].Self().ID == rootID
+		if kind == EvCrashRoot {
+			if isRoot {
+				return i
+			}
+			continue
+		}
+		if isRoot {
+			continue
+		}
+		if kids := len(h.c.DAT[i].ChildrenInfo(h.key)); kids > best {
+			best, victim = kids, i
+		}
+	}
+	return victim
+}
+
+// alignMidRound runs the clock to a quarter past the next slot boundary,
+// so the following crash lands while holds are pending and sends are in
+// flight — the window where lost updates actually hurt.
+func (h *harness) alignMidRound() {
+	now := time.Duration(h.c.Engine.Now())
+	next := (now/h.sc.Slot + 1) * h.sc.Slot
+	h.c.RunFor(next + h.sc.Slot/4 - now)
+}
+
+// probeNoLostSubtrees is the mid-chaos invariant behind EvProbe: within
+// five slots of the probe, some fresh root result must count at least
+// every running node. Five slots accommodates a chained failover (a
+// crashed bystander sitting on the re-route path costs a second retry
+// budget) while staying far below what settle-time healing would need. Unlike the settle-time aggregate check this runs
+// while the damage is live, so it is satisfied only if the delivery
+// layer re-homed the orphaned subtrees rather than waiting for ring
+// maintenance to repair the overlay.
+func (h *harness) probeNoLostSubtrees() {
+	startSlot, _, started := h.latest()
+	if !started {
+		startSlot = -1
+	}
+	running := len(h.runningIdxs())
+	step := h.sc.Slot / 5
+	var lastCount uint64
+	var lastSlot int64
+	for elapsed := time.Duration(0); elapsed < 5*h.sc.Slot; elapsed += step {
+		h.c.RunFor(step)
+		s, agg, ok := h.latest()
+		if !ok {
+			continue
+		}
+		lastSlot, lastCount = s, agg.Count
+		if s > startSlot && agg.Count >= uint64(running) {
+			h.tracef("probe ok slot=%d count=%d running=%d", s, agg.Count, running)
+			return
+		}
+	}
+	h.violate(Violation{Check: "no-lost-subtrees", Detail: fmt.Sprintf(
+		"no fresh result covering all %d running nodes within 5 slots of the probe (last slot=%d count=%d, pre-probe slot=%d)",
+		running, lastSlot, lastCount, startSlot)})
 }
 
 // rejoin restarts node i with fresh state. If a previous join attempt is

@@ -27,6 +27,8 @@ var (
 		"directory to write failing replay artifacts into")
 	shrinkOnFail = flag.Bool("datcheck.shrink", true,
 		"shrink failing scenarios to a minimal schedule before reporting")
+	faultSeeds = flag.Int("datcheck.faultseeds", 8,
+		"number of delivery-fault seeds swept by TestDatcheckFaults")
 )
 
 // corpusSeeds is the fixed PR-gating corpus: deterministic, every seed
@@ -36,6 +38,10 @@ var corpusSeeds = []int64{
 	1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
 	11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
 	42, 1007, 40437,
+	// Delivery-fault family (>= FaultSeedBase): targeted mid-round parent
+	// and root crashes with in-chaos no-lost-subtrees probes.
+	FaultSeedBase + 1, FaultSeedBase + 2, FaultSeedBase + 3,
+	FaultSeedBase + 4, FaultSeedBase + 5,
 }
 
 // runSeed executes one scenario and reports failures with a replay
@@ -97,6 +103,54 @@ func TestDatcheckCorpus(t *testing.T) {
 			t.Parallel()
 			runSeed(t, seed)
 		})
+	}
+}
+
+// TestDatcheckFaults sweeps the delivery-fault seed family: every
+// scenario crashes aggregation parents and roots mid-round and probes
+// for lost subtrees while the damage is live. This is the make
+// datcheck-faults entry point.
+func TestDatcheckFaults(t *testing.T) {
+	for i := 1; i <= *faultSeeds; i++ {
+		seed := FaultSeedBase + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestFaultGeneratorGuarantees checks the delivery-fault generator's
+// contract: cluster size in range, at least one targeted crash of each
+// flavor across phases, a partition for the corpus coverage floor, a
+// probe inside every chaos phase, and a terminating settle.
+func TestFaultGeneratorGuarantees(t *testing.T) {
+	for i := int64(1); i <= 200; i++ {
+		sc := Generate(FaultSeedBase + i)
+		if sc.N < 12 || sc.N > 24 {
+			t.Fatalf("seed +%d: n=%d out of range", i, sc.N)
+		}
+		crashes, partitions := sc.Counts()
+		if crashes < 2 || partitions < 1 {
+			t.Fatalf("seed +%d: coverage floor broken (crashes=%d partitions=%d)", i, crashes, partitions)
+		}
+		var parentCrashes, rootCrashes, probes int
+		for _, ev := range sc.Events {
+			switch ev.Kind {
+			case EvCrashParent:
+				parentCrashes++
+			case EvCrashRoot:
+				rootCrashes++
+			case EvProbe:
+				probes++
+			}
+		}
+		if parentCrashes < 1 || rootCrashes < 1 || probes < 3 {
+			t.Fatalf("seed +%d: parentCrashes=%d rootCrashes=%d probes=%d", i, parentCrashes, rootCrashes, probes)
+		}
+		if sc.Events[len(sc.Events)-1].Kind != EvSettle {
+			t.Fatalf("seed +%d: schedule does not end in a settle", i)
+		}
 	}
 }
 

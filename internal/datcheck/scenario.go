@@ -38,6 +38,19 @@ const (
 	// EvSettle ends a chaos phase: heal everything, clear the fault plan,
 	// re-kick dead-but-wanted nodes, await convergence, check invariants.
 	EvSettle
+	// EvCrashParent fail-stops the mid-tree aggregation parent with the
+	// most cached children, chosen at apply time, aligned mid-round so
+	// in-flight holds and sends die with it. New kinds append here so
+	// historical seeds keep their event encodings.
+	EvCrashParent
+	// EvCrashRoot fail-stops the node currently owning the aggregation
+	// key (the tree root), chosen at apply time, aligned mid-round.
+	EvCrashRoot
+	// EvProbe runs the no-lost-subtrees check mid-chaos: within three
+	// slots a fresh root result must count every running node — the
+	// delivery layer's failover has to re-home orphans without waiting
+	// for a settle.
+	EvProbe
 )
 
 // String names the kind for traces.
@@ -59,6 +72,12 @@ func (k EventKind) String() string {
 		return "faults"
 	case EvSettle:
 		return "settle"
+	case EvCrashParent:
+		return "parent-crash-mid-round"
+	case EvCrashRoot:
+		return "root-crash-mid-round"
+	case EvProbe:
+		return "probe"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -115,12 +134,22 @@ const maxConcurrentDead = 3
 // maxJoins bounds brand-new nodes per scenario.
 const maxJoins = 3
 
+// FaultSeedBase partitions the seed space: seeds at or above it derive
+// their schedule from the delivery-fault generator (targeted mid-round
+// parent and root crashes with in-chaos probes) instead of the general
+// chaos generator. Seeds below it are byte-identical to what they
+// always produced, so the historical corpus stays replayable.
+const FaultSeedBase = 9_000_000_000
+
 // Generate derives a scenario from a seed. The generator maintains a
 // liveness model while scheduling so events are valid when generated
 // (crash only alive nodes, rejoin only dead ones, never exceed the dead
 // cap), and it guarantees at least one crash and one partition per
 // scenario — the coverage the corpus test asserts.
 func Generate(seed int64) *Scenario {
+	if seed >= FaultSeedBase {
+		return generateFaults(seed)
+	}
 	r := rand.New(rand.NewSource(seed))
 	sc := &Scenario{
 		Seed: seed,
@@ -256,11 +285,75 @@ func Generate(seed int64) *Scenario {
 	return sc
 }
 
+// generateFaults derives a delivery-fault scenario: three phases that
+// respectively crash a mid-tree parent mid-round, crash the key root
+// mid-round, and mix a partition with a random crash — each followed by
+// an in-chaos no-lost-subtrees probe before the settle. Victims for the
+// targeted crashes are chosen at apply time (the tree shape is a
+// runtime property); each phase kills at most two nodes, safely under
+// the concurrent-dead cap, and every settle revives the fallen.
+func generateFaults(seed int64) *Scenario {
+	r := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Seed: seed,
+		N:    12 + r.Intn(13), // 12..24: deep enough for a real mid-tree parent
+		Bits: 32,
+		Slot: 500 * time.Millisecond,
+	}
+	if r.Intn(2) == 0 {
+		sc.Scheme = core.Basic
+	} else {
+		sc.Scheme = core.BalancedLocal
+	}
+	gap := func() time.Duration {
+		return 200*time.Millisecond + time.Duration(r.Intn(1300))*time.Millisecond
+	}
+	emit := func(e Event) {
+		e.Gap = gap()
+		sc.Events = append(sc.Events, e)
+	}
+
+	// Phase 1: kill the busiest aggregation parent mid-round; the probe
+	// demands the orphans re-home in-slot, with no settle to help them.
+	emit(Event{Kind: EvCrashParent})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 2: kill the root mid-round, optionally alongside a random
+	// bystander crash, and demand a handover root serve the probe.
+	if r.Float64() < 0.5 {
+		emit(Event{Kind: EvCrash, A: r.Intn(sc.N)})
+	}
+	emit(Event{Kind: EvCrashRoot})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 3: a partition plus a targeted crash under the cap — the
+	// coverage floor the corpus asserts (>=1 crash, >=1 partition) — then
+	// heal before probing so the probe measures failover, not the
+	// partition itself.
+	a := r.Intn(sc.N)
+	b := r.Intn(sc.N)
+	for b == a {
+		b = r.Intn(sc.N)
+	}
+	emit(Event{Kind: EvPartition, A: a, B: b})
+	if r.Intn(2) == 0 {
+		emit(Event{Kind: EvCrashParent})
+	} else {
+		emit(Event{Kind: EvCrashRoot})
+	}
+	emit(Event{Kind: EvHeal, A: a, B: b})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+	return sc
+}
+
 // Counts tallies the coverage-relevant events, for corpus assertions.
 func (sc *Scenario) Counts() (crashes, partitions int) {
 	for _, e := range sc.Events {
 		switch e.Kind {
-		case EvCrash:
+		case EvCrash, EvCrashParent, EvCrashRoot:
 			crashes++
 		case EvPartition:
 			partitions++

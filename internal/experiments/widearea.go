@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/ident"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -93,6 +94,14 @@ func runWideArea(cfg WideAreaConfig, hold time.Duration) (AccuracyStats, float64
 			Median: cfg.MedianRTT / 2, Sigma: 0.5,
 			Floor: time.Millisecond, Ceil: 2 * time.Second,
 		},
+		// This experiment measures hold-interval accuracy with no failures
+		// injected, so delivery assurance is pinned off: the paper-exact
+		// fire-and-forget update path keeps the seeded latency stream (and
+		// hence the measured series) comparable with the §7 baseline. With
+		// it on, ack timeouts would also need to clear the latency
+		// ceiling's round trip, or slow-but-live parents would read as dead
+		// and spurious failovers would double-count subtrees.
+		Delivery:        core.DeliveryConfig{Disable: true},
 		HoldPerLevel:    hold,
 		StabilizeEvery:  cfg.Slot / 2,
 		FixFingersEvery: cfg.Slot,

@@ -39,3 +39,49 @@ func (n *Node) GoodReturned() error {
 func (n *Node) Justified() {
 	n.ep.Send(n.succ, "gossip", nil) //datlint:ignore senderr fixture: best-effort gossip, loss is priced in
 }
+
+// BadCallBlankErr discards the response error with the blank
+// identifier: an ack timeout would vanish without a detector strike.
+func (n *Node) BadCallBlankErr() {
+	n.ep.Call(n.succ, "ping", nil, func(resp any, _ error) { // want `Call response error ignored by the callback`
+		use(resp)
+	})
+}
+
+// BadCallUnnamedErr elides the parameter names entirely.
+func (n *Node) BadCallUnnamedErr() {
+	n.ep.Call(n.succ, "ping", nil, func(any, error) {}) // want `Call response error ignored by the callback`
+}
+
+// BadCallUnusedErr names the error but never reads it — legal Go, but
+// the timeout signal still goes nowhere.
+func (n *Node) BadCallUnusedErr() {
+	n.ep.Call(n.succ, "ping", nil, func(resp any, err error) { // want `Call response error err is never read in the callback`
+		use(resp)
+	})
+}
+
+// GoodCallHandled feeds the callback error to the failure detector.
+func (n *Node) GoodCallHandled() {
+	n.ep.Call(n.succ, "ping", nil, func(resp any, err error) {
+		if err != nil {
+			n.suspect(n.succ)
+			return
+		}
+		use(resp)
+	})
+}
+
+// GoodCallShadow reads the error through a shadowing use.
+func (n *Node) GoodCallShadow() {
+	n.ep.Call(n.succ, "ping", nil, func(resp any, err error) {
+		use(err)
+	})
+}
+
+// JustifiedCall documents a reply-agnostic probe with the pragma.
+func (n *Node) JustifiedCall() {
+	n.ep.Call(n.succ, "probe", nil, func(any, error) {}) //datlint:ignore senderr fixture: liveness probe, reply content irrelevant
+}
+
+func use(...any) {}

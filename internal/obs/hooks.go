@@ -48,6 +48,19 @@ type CoreHooks struct {
 	UpdateRejected func(reason string)
 	// ChildExpired fires when TTL expiry drops n cached child entries.
 	ChildExpired func(n int)
+	// UpdateRetried fires for every delivery attempt after the first of
+	// an acked update (retry of the same parent or a failover re-send).
+	UpdateRetried func()
+	// ParentFailover fires when an ack timeout makes a child re-route a
+	// pending update to a different parent candidate (DESIGN.md §10).
+	ParentFailover func()
+	// RootHandover fires when an update destined for an unreachable key
+	// root is re-routed to the next live successor-list entry.
+	RootHandover func()
+	// DeliveryDone fires when a delivery attempt chain ends: ok tells
+	// whether any parent acked, attempts is the total send count, and
+	// latency the time from first send to the terminal event.
+	DeliveryDone func(ok bool, attempts int, latency time.Duration)
 }
 
 // TransportHooks receives error-path telemetry from transport

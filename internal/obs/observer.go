@@ -51,6 +51,12 @@ type Observer struct {
 	childExpired *Counter
 	spansTotal   *Counter
 
+	updateRetries   *Counter
+	parentFailovers *Counter
+	rootHandovers   *Counter
+	deliveries      *CounterVec
+	retryLatency    *Histogram
+
 	mu     sync.Mutex
 	health func() Health
 	debug  []debugSection
@@ -92,6 +98,12 @@ func NewObserver(spanCapacity int) *Observer {
 		updates:      r.CounterVec("dat_updates_total", "Inbound child value updates, by disposition.", "kind"),
 		childExpired: r.Counter("dat_children_expired_total", "Cached child entries dropped by TTL expiry."),
 		spansTotal:   r.Counter("dat_spans_total", "Aggregation-round spans recorded."),
+
+		updateRetries:   r.Counter("dat_update_retries_total", "Acked-update send attempts beyond the first (retries and failover re-sends)."),
+		parentFailovers: r.Counter("dat_parent_failovers_total", "Pending updates re-routed to a different parent candidate after an ack timeout."),
+		rootHandovers:   r.Counter("dat_root_handovers_total", "Updates re-routed from an unreachable key root to a successor-list standby."),
+		deliveries:      r.CounterVec("dat_update_deliveries_total", "Completed acked-update delivery chains, by outcome.", "outcome"),
+		retryLatency:    r.Histogram("dat_update_retry_latency_seconds", "First send to terminal ack/abandon for deliveries that needed more than one attempt.", SecondsBuckets),
 	}
 }
 
@@ -157,6 +169,19 @@ func (o *Observer) CoreHooks() CoreHooks {
 		},
 		UpdateRejected: func(reason string) { o.updates.With("rejected-" + reason).Inc() },
 		ChildExpired:   func(n int) { o.childExpired.Add(uint64(n)) },
+		UpdateRetried:  func() { o.updateRetries.Inc() },
+		ParentFailover: func() { o.parentFailovers.Inc() },
+		RootHandover:   func() { o.rootHandovers.Inc() },
+		DeliveryDone: func(ok bool, attempts int, latency time.Duration) {
+			if ok {
+				o.deliveries.With("ok").Inc()
+			} else {
+				o.deliveries.With("abandoned").Inc()
+			}
+			if attempts > 1 {
+				o.retryLatency.Observe(latency.Seconds())
+			}
+		},
 	}
 }
 

@@ -1,0 +1,90 @@
+package rpcudp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// TestRetransmitDelayGrowsDeterministically pins the backoff policy as a
+// pure function: same (seed, seq, attempt) always yields the same delay,
+// every delay lands in [base*2^k, 1.5*base*2^k), and consecutive attempts
+// are spaced with strictly growing gaps — the minimum of attempt k+1
+// (2^k*base) exceeds the maximum of attempt k (1.5*2^(k-1)*base).
+func TestRetransmitDelayGrowsDeterministically(t *testing.T) {
+	base := 50 * time.Millisecond
+	e := &Endpoint{cfg: Config{CallTimeout: base}.withDefaults(), jitterSeed: 42}
+	var prev time.Duration
+	for attempt := 1; attempt <= 5; attempt++ {
+		d := e.retransmitDelay(7, attempt)
+		if d2 := e.retransmitDelay(7, attempt); d2 != d {
+			t.Fatalf("attempt %d: non-deterministic delay %v vs %v", attempt, d, d2)
+		}
+		lo := base << (attempt - 1)
+		hi := lo + lo/2
+		if d < lo || d >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+		if d <= prev {
+			t.Fatalf("attempt %d: delay %v did not grow past %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// A different seed or sequence de-phases the jitter somewhere in the
+	// attempt range (the whole point of seeding from the endpoint).
+	o := &Endpoint{cfg: e.cfg, jitterSeed: 43}
+	varied := false
+	for attempt := 1; attempt <= 5; attempt++ {
+		if o.retransmitDelay(7, attempt) != e.retransmitDelay(7, attempt) {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("distinct jitter seeds produced identical schedules")
+	}
+}
+
+// TestRetransmitGapsGrow drives a real socket call against a dead
+// address and checks the observed retransmit spacing: each gap's lower
+// bound doubles, so attempts are spaced with growing gaps. Only lower
+// bounds are asserted — timers fire late under load, never early.
+func TestRetransmitGapsGrow(t *testing.T) {
+	var mu sync.Mutex
+	var marks []time.Time
+	a := listen(t, Config{
+		CallTimeout: 40 * time.Millisecond,
+		Retransmits: 3,
+		JitterSeed:  1,
+		Obs: obs.TransportHooks{Retransmit: func(string) {
+			mu.Lock()
+			marks = append(marks, time.Now())
+			mu.Unlock()
+		}},
+	})
+	start := time.Now()
+	done := make(chan error, 1)
+	a.Call("127.0.0.1:1", "x", testPayload{}, func(_ any, err error) { done <- err })
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(marks) != 3 {
+		t.Fatalf("saw %d retransmits, want 3", len(marks))
+	}
+	gaps := []time.Duration{marks[0].Sub(start), marks[1].Sub(marks[0]), marks[2].Sub(marks[1])}
+	for i, min := range []time.Duration{40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond} {
+		if gaps[i] < min {
+			t.Errorf("gap %d = %v, want >= %v", i+1, gaps[i], min)
+		}
+	}
+}

@@ -12,9 +12,11 @@ package rpcudp
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"log/slog"
 	"net"
@@ -28,12 +30,19 @@ import (
 
 // Config parameterizes a UDP endpoint.
 type Config struct {
-	// CallTimeout bounds one request attempt (including retransmits it is
-	// CallTimeout * (1 + Retransmits)). Default 500ms.
+	// CallTimeout bounds the first request attempt. Retransmit k waits
+	// CallTimeout*2^(k-1) plus a deterministic jitter of up to half that,
+	// so the worst-case Call latency is roughly
+	// CallTimeout * 1.5 * (2^(1+Retransmits) - 1). Default 500ms.
 	CallTimeout time.Duration
 	// Retransmits is how many times an unanswered request is resent.
 	// Default 2.
 	Retransmits int
+	// JitterSeed seeds the deterministic retransmit jitter. Zero derives
+	// the seed from the bound socket address at Listen time; callers that
+	// replay traces (datcheck) pass an explicit seed so schedules stay
+	// byte-identical across runs.
+	JitterSeed int64
 	// MaxPacket is the receive buffer size. Default 64KiB (max UDP).
 	MaxPacket int
 	// Logger receives structured transport diagnostics (decode failures,
@@ -103,8 +112,9 @@ type Endpoint struct {
 	pending map[uint64]*pendingCall
 	closed  bool
 
-	seq atomic.Uint64
-	wg  sync.WaitGroup
+	seq        atomic.Uint64
+	jitterSeed int64
+	wg         sync.WaitGroup
 }
 
 type pendingCall struct {
@@ -132,6 +142,12 @@ func Listen(addr string, cfg Config) (*Endpoint, error) {
 		conn:    conn,
 		addr:    transport.Addr(conn.LocalAddr().String()),
 		pending: make(map[uint64]*pendingCall),
+	}
+	e.jitterSeed = e.cfg.JitterSeed
+	if e.jitterSeed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(e.addr))
+		e.jitterSeed = int64(h.Sum64())
 	}
 	e.wg.Add(1)
 	go e.readLoop()
@@ -226,19 +242,20 @@ func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport
 			return
 		}
 		attempts++
-		give := attempts > e.cfg.Retransmits+1
+		n := attempts // snapshot: the next timer fire mutates attempts
+		give := n > e.cfg.Retransmits+1
 		if give {
 			delete(e.pending, seq)
 			cur.done = true
 		} else {
-			cur.timer = time.AfterFunc(e.cfg.CallTimeout, attempt)
+			cur.timer = time.AfterFunc(e.retransmitDelay(seq, n), attempt)
 		}
 		e.mu.Unlock()
 		if give {
 			cb(nil, transport.ErrTimeout)
 			return
 		}
-		if attempts > 1 {
+		if n > 1 {
 			if h := e.cfg.Obs.Retransmit; h != nil {
 				h(typ)
 			}
@@ -251,6 +268,32 @@ func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport
 		}
 	}
 	attempt()
+}
+
+// retransmitDelay is how long attempt number `attempt` (1-based) of
+// request seq waits before the next retransmit: CallTimeout doubled per
+// attempt (capped at 2^5), plus a deterministic jitter of up to half
+// the backed-off base so synchronized peers don't retransmit in
+// lockstep. The jitter hashes (seed, seq, attempt), so schedules are
+// reproducible for a fixed JitterSeed.
+func (e *Endpoint) retransmitDelay(seq uint64, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	d := e.cfg.CallTimeout << shift
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(e.jitterSeed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	if half := uint64(d / 2); half > 0 {
+		d += time.Duration(h.Sum64() % half)
+	}
+	return d
 }
 
 func (e *Endpoint) write(to transport.Addr, env envelope) error {

@@ -44,6 +44,11 @@ type PeerConfig struct {
 	ShareResults bool
 	// CallTimeout bounds one RPC attempt. Default 500ms.
 	CallTimeout time.Duration
+	// Delivery configures the DAT delivery-assurance layer (acked
+	// updates, backoff, parent failover, root handover — DESIGN.md §10).
+	// The zero value enables it with defaults; set Delivery.Disable for
+	// fire-and-forget updates.
+	Delivery DeliveryConfig
 	// RPCTimeout bounds blocking convenience calls (Join, Query...).
 	// Default 10s.
 	RPCTimeout time.Duration
@@ -123,6 +128,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	coreCfg := core.NodeConfig{
 		Scheme:       cfg.Scheme,
 		ShareResults: cfg.ShareResults,
+		Delivery:     cfg.Delivery,
 		Logger:       nodeLogger.With("layer", "dat"),
 	}
 	if cfg.Observer != nil {

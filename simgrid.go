@@ -86,6 +86,9 @@ func NewSimGrid(cfg SimGridConfig) (*SimGrid, error) {
 			Median: cfg.LatencyMedian, Sigma: 0.4,
 			Floor: time.Millisecond / 10, Ceil: time.Second,
 		}
+		// Keep ack timeouts above the latency ceiling's round trip so
+		// slow-but-live parents are not mistaken for dead ones.
+		opts.Delivery.AckTimeout = 2500 * time.Millisecond
 	}
 	if cfg.Sensor != nil {
 		opts.Local = func(node int, now time.Duration, key ident.ID) (float64, bool) {
