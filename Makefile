@@ -15,7 +15,8 @@ vet:
 	$(GO) vet ./...
 
 # datlint: the project-specific analyzer suite (ringcmp, locksafe,
-# simclock, senderr). See DESIGN.md §7. Exits non-zero on any finding.
+# simclock, senderr, wirereg). See DESIGN.md §7. Exits non-zero on any
+# finding.
 lint:
 	$(GO) run ./cmd/datlint ./...
 
@@ -67,5 +68,6 @@ fuzz:
 	$(GO) test ./internal/ident -run '^$$' -fuzz FuzzLocalityHashMonotone -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
 ci: build vet lint test race fuzz obs-smoke

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ident"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // NodeRef identifies a Chord peer: its ring identifier plus its transport
@@ -142,7 +143,9 @@ func DecodeMessage(data []byte) (any, error) {
 }
 
 func init() {
-	// Register every wire payload for the gob-encoded UDP transport.
+	// Register every wire payload with encoding/gob too: the compact
+	// codec's fallback path, the mid-rollout Legacy codec, and the
+	// codec-equivalence tests all still speak gob.
 	gob.Register(StepReq{})
 	gob.Register(StepResp{})
 	gob.Register(GetStateReq{})
@@ -155,4 +158,187 @@ func init() {
 	gob.Register(ProbeSplitResp{})
 	gob.Register(LeaveReq{})
 	gob.Register(BroadcastMsg{})
+}
+
+// Compact-codec payload codes (DESIGN.md §11). The chord layer owns
+// wire.CodeChordBase..+15; codes are wire-format constants — never
+// renumber a shipped one.
+const (
+	codeStepReq        = wire.CodeChordBase + 0
+	codeStepResp       = wire.CodeChordBase + 1
+	codeGetStateReq    = wire.CodeChordBase + 2
+	codeAckResp        = wire.CodeChordBase + 3
+	codeStateResp      = wire.CodeChordBase + 4
+	codeNotifyReq      = wire.CodeChordBase + 5
+	codePingReq        = wire.CodeChordBase + 6
+	codePingResp       = wire.CodeChordBase + 7
+	codeProbeSplitReq  = wire.CodeChordBase + 8
+	codeProbeSplitResp = wire.CodeChordBase + 9
+	codeLeaveReq       = wire.CodeChordBase + 10
+	codeBroadcastMsg   = wire.CodeChordBase + 11
+)
+
+// EncodeNodeRef appends a NodeRef's fields (ID as uvarint, Addr
+// length-prefixed). Shared with the core layer, whose messages embed
+// sender references.
+func EncodeNodeRef(e *wire.Encoder, r NodeRef) {
+	e.Uvarint(uint64(r.ID))
+	e.String(string(r.Addr))
+}
+
+// DecodeNodeRef is the inverse of EncodeNodeRef.
+func DecodeNodeRef(d *wire.Decoder) NodeRef {
+	id := ident.ID(d.Uvarint())
+	addr := transport.Addr(d.String())
+	return NodeRef{ID: id, Addr: addr}
+}
+
+func encodeNodeRefs(e *wire.Encoder, refs []NodeRef) {
+	e.Uvarint(uint64(len(refs)))
+	for _, r := range refs {
+		EncodeNodeRef(e, r)
+	}
+}
+
+func decodeNodeRefs(d *wire.Decoder) []NodeRef {
+	n := d.Uvarint()
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	// Cap the pre-allocation by what the frame could possibly hold
+	// (2 bytes minimum per ref), so a forged length prefix cannot
+	// balloon memory; overlong lengths then fail field-by-field.
+	if max := uint64(len(d.Buf)-d.Off)/2 + 1; n > max {
+		n = max
+	}
+	refs := make([]NodeRef, 0, n)
+	for i := uint64(0); d.Err == nil && i < n; i++ {
+		refs = append(refs, DecodeNodeRef(d))
+	}
+	if d.Err != nil {
+		return nil
+	}
+	return refs
+}
+
+func init() {
+	// Hand-written compact codecs, one per payload (DESIGN.md §11).
+	// Every encoder writes fields in declaration order; every decoder
+	// mirrors it exactly. The FuzzWireRoundTrip harness in
+	// internal/wire proves each against the gob path.
+	wire.Register(codeStepReq,
+		StepReq{},
+		func(e *wire.Encoder, v any) {
+			m := v.(StepReq)
+			e.Uvarint(uint64(m.Key))
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m StepReq
+			m.Key = ident.ID(d.Uvarint())
+			return m, nil
+		})
+	wire.Register(codeStepResp,
+		StepResp{},
+		func(e *wire.Encoder, v any) {
+			m := v.(StepResp)
+			e.Bool(m.Done)
+			EncodeNodeRef(e, m.Next)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m StepResp
+			m.Done = d.Bool()
+			m.Next = DecodeNodeRef(d)
+			return m, nil
+		})
+	wire.Register(codeGetStateReq,
+		GetStateReq{},
+		func(*wire.Encoder, any) {},
+		func(*wire.Decoder) (any, error) { return GetStateReq{}, nil })
+	wire.Register(codeAckResp,
+		AckResp{},
+		func(*wire.Encoder, any) {},
+		func(*wire.Decoder) (any, error) { return AckResp{}, nil })
+	wire.Register(codeStateResp,
+		StateResp{},
+		func(e *wire.Encoder, v any) {
+			m := v.(StateResp)
+			EncodeNodeRef(e, m.Self)
+			EncodeNodeRef(e, m.Predecessor)
+			encodeNodeRefs(e, m.Successors)
+			encodeNodeRefs(e, m.Fingers)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m StateResp
+			m.Self = DecodeNodeRef(d)
+			m.Predecessor = DecodeNodeRef(d)
+			m.Successors = decodeNodeRefs(d)
+			m.Fingers = decodeNodeRefs(d)
+			return m, nil
+		})
+	wire.Register(codeNotifyReq,
+		NotifyReq{},
+		func(e *wire.Encoder, v any) {
+			EncodeNodeRef(e, v.(NotifyReq).Candidate)
+		},
+		func(d *wire.Decoder) (any, error) {
+			return NotifyReq{Candidate: DecodeNodeRef(d)}, nil
+		})
+	wire.Register(codePingReq,
+		PingReq{},
+		func(*wire.Encoder, any) {},
+		func(*wire.Decoder) (any, error) { return PingReq{}, nil })
+	wire.Register(codePingResp,
+		PingResp{},
+		func(e *wire.Encoder, v any) {
+			EncodeNodeRef(e, v.(PingResp).Self)
+		},
+		func(d *wire.Decoder) (any, error) {
+			return PingResp{Self: DecodeNodeRef(d)}, nil
+		})
+	wire.Register(codeProbeSplitReq,
+		ProbeSplitReq{},
+		func(*wire.Encoder, any) {},
+		func(*wire.Decoder) (any, error) { return ProbeSplitReq{}, nil })
+	wire.Register(codeProbeSplitResp,
+		ProbeSplitResp{},
+		func(e *wire.Encoder, v any) {
+			e.Uvarint(uint64(v.(ProbeSplitResp).AssignedID))
+		},
+		func(d *wire.Decoder) (any, error) {
+			return ProbeSplitResp{AssignedID: ident.ID(d.Uvarint())}, nil
+		})
+	wire.Register(codeLeaveReq,
+		LeaveReq{},
+		func(e *wire.Encoder, v any) {
+			m := v.(LeaveReq)
+			EncodeNodeRef(e, m.Departing)
+			EncodeNodeRef(e, m.Predecessor)
+			encodeNodeRefs(e, m.Successors)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m LeaveReq
+			m.Departing = DecodeNodeRef(d)
+			m.Predecessor = DecodeNodeRef(d)
+			m.Successors = decodeNodeRefs(d)
+			return m, nil
+		})
+	wire.Register(codeBroadcastMsg,
+		BroadcastMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(BroadcastMsg)
+			EncodeNodeRef(e, m.Origin)
+			e.Uvarint(uint64(m.Limit))
+			e.String(m.Type)
+			e.Bytes(m.Payload)
+			e.Varint(int64(m.Hops))
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BroadcastMsg
+			m.Origin = DecodeNodeRef(d)
+			m.Limit = ident.ID(d.Uvarint())
+			m.Type = d.String()
+			m.Payload = d.Bytes()
+			m.Hops = int(d.Varint())
+			return m, nil
+		})
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ident"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // DAT message types. The "dat." prefix lets metrics taps isolate
@@ -927,8 +928,8 @@ func (n *Node) ActiveKeys() []ident.ID {
 // handleResultBroadcast caches a disseminated slot result so local
 // consumers read it from LastResult.
 func (n *Node) handleResultBroadcast(from chord.NodeRef, payload []byte) {
-	var rm resultMsg
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rm); err != nil {
+	rm, err := decodeResult(payload)
+	if err != nil {
 		return
 	}
 	e := n.entry(rm.Key)
@@ -939,23 +940,48 @@ func (n *Node) handleResultBroadcast(from chord.NodeRef, payload []byte) {
 	n.mu.Unlock()
 }
 
+// The broadcast blobs (collect/result) ride inside BroadcastMsg.Payload
+// as opaque bytes; they are encoded with the compact payload codec
+// (DESIGN.md §11) and decoded with a legacy-gob fallback, so a mixed
+// ring keeps serving on-demand queries during a rollout. (Pre-wire
+// nodes gob-encoded the bare struct here, not an interface, hence the
+// direct gob decode rather than wire's tagGob path.)
+
 func encodeResult(rm resultMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rm); err != nil {
+	b, err := wire.EncodePayload(rm)
+	if err != nil {
 		return nil, fmt.Errorf("core: encode result: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
+}
+
+func decodeResult(b []byte) (resultMsg, error) {
+	if v, err := wire.DecodePayload(b); err == nil {
+		if rm, ok := v.(resultMsg); ok {
+			return rm, nil
+		}
+	}
+	var rm resultMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rm); err != nil {
+		return rm, fmt.Errorf("core: decode result: %w", err)
+	}
+	return rm, nil
 }
 
 func encodeCollect(cm collectMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cm); err != nil {
+	b, err := wire.EncodePayload(cm)
+	if err != nil {
 		return nil, fmt.Errorf("core: encode collect: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 func decodeCollect(b []byte) (collectMsg, error) {
+	if v, err := wire.DecodePayload(b); err == nil {
+		if cm, ok := v.(collectMsg); ok {
+			return cm, nil
+		}
+	}
 	var cm collectMsg
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cm); err != nil {
 		return cm, fmt.Errorf("core: decode collect: %w", err)

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Compact-codec payload codes (DESIGN.md §11). The core layer owns
+// wire.CodeCoreBase..+15; codes are wire-format constants — never
+// renumber a shipped one.
+const (
+	codeUpdateMsg  = wire.CodeCoreBase + 0
+	codeDetachMsg  = wire.CodeCoreBase + 1
+	codeUpdateAck  = wire.CodeCoreBase + 2
+	codeQueryReq   = wire.CodeCoreBase + 3
+	codeQueryResp  = wire.CodeCoreBase + 4
+	codeCollectMsg = wire.CodeCoreBase + 5
+	codeResultMsg  = wire.CodeCoreBase + 6
+)
+
+func encodeAggregate(e *wire.Encoder, a Aggregate) {
+	e.Float64(a.Sum)
+	e.Float64(a.SumSq)
+	e.Uvarint(a.Count)
+	e.Float64(a.Min)
+	e.Float64(a.Max)
+	e.Bool(a.Degraded)
+	e.Float64(a.Coverage)
+}
+
+func decodeAggregate(d *wire.Decoder) Aggregate {
+	var a Aggregate
+	a.Sum = d.Float64()
+	a.SumSq = d.Float64()
+	a.Count = d.Uvarint()
+	a.Min = d.Float64()
+	a.Max = d.Float64()
+	a.Degraded = d.Bool()
+	a.Coverage = d.Float64()
+	return a
+}
+
+func init() {
+	// Hand-written compact codecs for the DAT aggregation messages —
+	// MsgUpdate is the single hottest payload on the wire, so its
+	// encoding is the one the allocation-regression test and
+	// BenchmarkWireVsGob pin down.
+	wire.Register(codeUpdateMsg,
+		UpdateMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(UpdateMsg)
+			e.Uvarint(uint64(m.Key))
+			e.Varint(m.Epoch)
+			encodeAggregate(e, m.Agg)
+			e.Uvarint(m.Nodes)
+			e.Varint(int64(m.Height))
+			e.Varint(m.Slot)
+			chord.EncodeNodeRef(e, m.Sender)
+			e.Bool(m.Demand)
+			e.Uvarint(m.Trace)
+			e.Varint(m.SentAt)
+			e.Uvarint(m.Seq)
+			e.Bool(m.Handover)
+			e.String(string(m.FailedRoot))
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m UpdateMsg
+			m.Key = ident.ID(d.Uvarint())
+			m.Epoch = d.Varint()
+			m.Agg = decodeAggregate(d)
+			m.Nodes = d.Uvarint()
+			m.Height = int(d.Varint())
+			m.Slot = d.Varint()
+			m.Sender = chord.DecodeNodeRef(d)
+			m.Demand = d.Bool()
+			m.Trace = d.Uvarint()
+			m.SentAt = d.Varint()
+			m.Seq = d.Uvarint()
+			m.Handover = d.Bool()
+			m.FailedRoot = transport.Addr(d.String())
+			return m, nil
+		})
+	wire.Register(codeDetachMsg,
+		DetachMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(DetachMsg)
+			e.Uvarint(uint64(m.Key))
+			chord.EncodeNodeRef(e, m.Sender)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DetachMsg
+			m.Key = ident.ID(d.Uvarint())
+			m.Sender = chord.DecodeNodeRef(d)
+			return m, nil
+		})
+	wire.Register(codeUpdateAck,
+		UpdateAck{},
+		func(e *wire.Encoder, v any) {
+			m := v.(UpdateAck)
+			e.Bool(m.OK)
+			e.String(m.Reason)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m UpdateAck
+			m.OK = d.Bool()
+			m.Reason = d.String()
+			return m, nil
+		})
+	wire.Register(codeQueryReq,
+		QueryReq{},
+		func(e *wire.Encoder, v any) {
+			m := v.(QueryReq)
+			e.Uvarint(uint64(m.Key))
+			e.Varint(int64(m.Window))
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m QueryReq
+			m.Key = ident.ID(d.Uvarint())
+			m.Window = time.Duration(d.Varint())
+			return m, nil
+		})
+	wire.Register(codeQueryResp,
+		QueryResp{},
+		func(e *wire.Encoder, v any) {
+			m := v.(QueryResp)
+			e.Uvarint(uint64(m.Key))
+			e.Varint(m.Epoch)
+			encodeAggregate(e, m.Agg)
+			e.Uvarint(m.Nodes)
+			e.Float64(m.Coverage)
+			e.Bool(m.Degraded)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m QueryResp
+			m.Key = ident.ID(d.Uvarint())
+			m.Epoch = d.Varint()
+			m.Agg = decodeAggregate(d)
+			m.Nodes = d.Uvarint()
+			m.Coverage = d.Float64()
+			m.Degraded = d.Bool()
+			return m, nil
+		})
+	wire.Register(codeCollectMsg,
+		collectMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(collectMsg)
+			e.Uvarint(uint64(m.Key))
+			e.Varint(m.Epoch)
+			chord.EncodeNodeRef(e, m.Root)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m collectMsg
+			m.Key = ident.ID(d.Uvarint())
+			m.Epoch = d.Varint()
+			m.Root = chord.DecodeNodeRef(d)
+			return m, nil
+		})
+	wire.Register(codeResultMsg,
+		resultMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(resultMsg)
+			e.Uvarint(uint64(m.Key))
+			e.Varint(m.Slot)
+			encodeAggregate(e, m.Agg)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m resultMsg
+			m.Key = ident.ID(d.Uvarint())
+			m.Slot = d.Varint()
+			m.Agg = decodeAggregate(d)
+			return m, nil
+		})
+}

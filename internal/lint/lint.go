@@ -1,8 +1,9 @@
 // Package lint implements datlint, a project-specific static-analysis
 // suite for invariants the Go compiler cannot see: modular ring
 // arithmetic (ringcmp), lock discipline around the network (locksafe),
-// virtual-time discipline in simulation code (simclock), and transport
-// send-error handling (senderr). See DESIGN.md §7 for the rationale
+// virtual-time discipline in simulation code (simclock), transport
+// send-error handling (senderr), and wire-codec registration of
+// transport payloads (wirereg). See DESIGN.md §7 for the rationale
 // behind each rule and how it connects to the paper's math.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
@@ -74,7 +75,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is the full datlint suite in reporting order.
-var All = []*Analyzer{RingCmp, LockSafe, SimClock, SendErr}
+var All = []*Analyzer{RingCmp, LockSafe, SimClock, SendErr, WireReg}
 
 // Run applies the analyzers to each package and returns the surviving
 // (non-suppressed) findings sorted by position.

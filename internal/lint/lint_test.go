@@ -31,6 +31,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"chord", LockSafe},
 		{"sim", SimClock},
 		{"senderr", SendErr},
+		{"wirereg", WireReg},
 	}
 	root := filepath.Join("testdata", "src")
 	for _, tc := range cases {

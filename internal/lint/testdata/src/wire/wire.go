@@ -1,0 +1,23 @@
+// Package wire is a fixture standing in for repro/internal/wire; the
+// wirereg analyzer recognizes its Register function by the bare package
+// path "wire".
+package wire
+
+// Encoder appends fields to a buffer.
+type Encoder struct{ Buf []byte }
+
+// Decoder reads fields back.
+type Decoder struct {
+	Buf []byte
+	Off int
+	Err error
+}
+
+// EncodeFunc writes one payload value's fields.
+type EncodeFunc func(e *Encoder, v any)
+
+// DecodeFunc reads the fields back.
+type DecodeFunc func(d *Decoder) (any, error)
+
+// Register binds a payload code to a concrete message type.
+func Register(code byte, sample any, enc EncodeFunc, dec DecodeFunc) {}

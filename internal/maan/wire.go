@@ -1,0 +1,226 @@
+package maan
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Compact-codec payload codes (DESIGN.md §11). The MAAN layer owns
+// wire.CodeMAANBase..+15; codes are wire-format constants — never
+// renumber a shipped one. These messages also carry the gma layer's
+// Resource descriptions (a producer's sensor snapshot), so the nested
+// codecs below are the gma service's wire format too.
+const (
+	codeStoreReq     = wire.CodeMAANBase + 0
+	codeRangeReq     = wire.CodeMAANBase + 1
+	codeResultMsg    = wire.CodeMAANBase + 2
+	codeReplicateMsg = wire.CodeMAANBase + 3
+)
+
+// encodeResource writes a Resource with its maps in sorted key order,
+// so encoding is deterministic (taps, tests, and traces all see stable
+// bytes for one value).
+func encodeResource(e *wire.Encoder, r Resource) {
+	e.String(r.Name)
+	e.Uvarint(uint64(len(r.Values)))
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.String(k)
+		e.Float64(r.Values[k])
+	}
+	e.Uvarint(uint64(len(r.Strings)))
+	keys = keys[:0]
+	for k := range r.Strings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.String(k)
+		e.String(r.Strings[k])
+	}
+}
+
+func decodeResource(d *wire.Decoder) Resource {
+	var r Resource
+	r.Name = d.String()
+	if n := d.Uvarint(); d.Err == nil && n > 0 {
+		r.Values = make(map[string]float64, mapSizeHint(d, n))
+		for i := uint64(0); d.Err == nil && i < n; i++ {
+			k := d.String()
+			r.Values[k] = d.Float64()
+		}
+	}
+	if n := d.Uvarint(); d.Err == nil && n > 0 {
+		r.Strings = make(map[string]string, mapSizeHint(d, n))
+		for i := uint64(0); d.Err == nil && i < n; i++ {
+			k := d.String()
+			r.Strings[k] = d.String()
+		}
+	}
+	return r
+}
+
+// mapSizeHint caps a length prefix by what the remaining frame could
+// possibly hold (1 byte per entry at minimum), so a forged prefix
+// cannot pre-allocate unbounded memory.
+func mapSizeHint(d *wire.Decoder, n uint64) int {
+	if max := uint64(len(d.Buf)-d.Off) + 1; n > max {
+		n = max
+	}
+	return int(n)
+}
+
+func encodePredicate(e *wire.Encoder, p Predicate) {
+	e.String(p.Attr)
+	e.Float64(p.Lo)
+	e.Float64(p.Hi)
+	e.String(p.Equal)
+	e.Bool(p.Exact)
+}
+
+func decodePredicate(d *wire.Decoder) Predicate {
+	var p Predicate
+	p.Attr = d.String()
+	p.Lo = d.Float64()
+	p.Hi = d.Float64()
+	p.Equal = d.String()
+	p.Exact = d.Bool()
+	return p
+}
+
+func encodeResources(e *wire.Encoder, rs []Resource) {
+	e.Uvarint(uint64(len(rs)))
+	for _, r := range rs {
+		encodeResource(e, r)
+	}
+}
+
+func decodeResources(d *wire.Decoder) []Resource {
+	n := d.Uvarint()
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	rs := make([]Resource, 0, mapSizeHint(d, n))
+	for i := uint64(0); d.Err == nil && i < n; i++ {
+		rs = append(rs, decodeResource(d))
+	}
+	if d.Err != nil {
+		return nil
+	}
+	return rs
+}
+
+func init() {
+	// Hand-written compact codecs for the MAAN directory messages.
+	wire.Register(codeStoreReq,
+		StoreReq{},
+		func(e *wire.Encoder, v any) {
+			m := v.(StoreReq)
+			e.String(m.Attr)
+			e.Float64(m.Value)
+			e.Uvarint(uint64(m.Key))
+			encodeResource(e, m.Res)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m StoreReq
+			m.Attr = d.String()
+			m.Value = d.Float64()
+			m.Key = ident.ID(d.Uvarint())
+			m.Res = decodeResource(d)
+			return m, nil
+		})
+	wire.Register(codeRangeReq,
+		RangeReq{},
+		func(e *wire.Encoder, v any) {
+			m := v.(RangeReq)
+			e.Uvarint(m.QueryID)
+			e.String(string(m.Origin))
+			encodePredicate(e, m.Pred)
+			e.Uvarint(uint64(len(m.Filter)))
+			for _, p := range m.Filter {
+				encodePredicate(e, p)
+			}
+			e.Uvarint(uint64(m.LoKey))
+			e.Uvarint(uint64(m.HiKey))
+			e.String(string(m.Start))
+			encodeResources(e, m.Found)
+			e.Varint(int64(m.Hops))
+			e.Bool(m.Final)
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m RangeReq
+			m.QueryID = d.Uvarint()
+			m.Origin = transport.Addr(d.String())
+			m.Pred = decodePredicate(d)
+			if n := d.Uvarint(); d.Err == nil && n > 0 {
+				m.Filter = make([]Predicate, 0, mapSizeHint(d, n))
+				for i := uint64(0); d.Err == nil && i < n; i++ {
+					m.Filter = append(m.Filter, decodePredicate(d))
+				}
+				if d.Err != nil {
+					m.Filter = nil
+				}
+			}
+			m.LoKey = ident.ID(d.Uvarint())
+			m.HiKey = ident.ID(d.Uvarint())
+			m.Start = transport.Addr(d.String())
+			m.Found = decodeResources(d)
+			m.Hops = int(d.Varint())
+			m.Final = d.Bool()
+			return m, nil
+		})
+	wire.Register(codeResultMsg,
+		ResultMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(ResultMsg)
+			e.Uvarint(m.QueryID)
+			encodeResources(e, m.Found)
+			e.Varint(int64(m.Hops))
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ResultMsg
+			m.QueryID = d.Uvarint()
+			m.Found = decodeResources(d)
+			m.Hops = int(d.Varint())
+			return m, nil
+		})
+	wire.Register(codeReplicateMsg,
+		ReplicateMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(ReplicateMsg)
+			e.String(string(m.Owner))
+			e.Uvarint(uint64(len(m.Entries)))
+			for _, en := range m.Entries {
+				e.String(en.Attr)
+				e.Uvarint(uint64(en.Key))
+				e.Float64(en.Value)
+				encodeResource(e, en.Res)
+			}
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ReplicateMsg
+			m.Owner = transport.Addr(d.String())
+			if n := d.Uvarint(); d.Err == nil && n > 0 {
+				m.Entries = make([]WireEntry, 0, mapSizeHint(d, n))
+				for i := uint64(0); d.Err == nil && i < n; i++ {
+					var en WireEntry
+					en.Attr = d.String()
+					en.Key = ident.ID(d.Uvarint())
+					en.Value = d.Float64()
+					en.Res = decodeResource(d)
+					m.Entries = append(m.Entries, en)
+				}
+				if d.Err != nil {
+					m.Entries = nil
+				}
+			}
+			return m, nil
+		})
+}

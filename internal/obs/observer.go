@@ -35,6 +35,9 @@ type Observer struct {
 	sendErrors   *Counter
 	decodeErrors *Counter
 	retransmits  *Counter
+	wireBytes    *CounterVec
+	wireFallback *Counter
+	wireLegacy   *Counter
 
 	lookups         *CounterVec
 	lookupHops      *Histogram
@@ -83,6 +86,9 @@ func NewObserver(spanCapacity int) *Observer {
 		sendErrors:   r.Counter("dat_transport_send_errors_total", "Failed sends and reply writes."),
 		decodeErrors: r.Counter("dat_transport_decode_errors_total", "Inbound packets that failed to decode."),
 		retransmits:  r.Counter("dat_transport_retransmits_total", "Call attempts retransmitted after a timeout."),
+		wireBytes:    r.CounterVec("rpcudp_wire_bytes_total", "Encoded UDP frame bytes, by direction.", "dir"),
+		wireFallback: r.Counter("rpcudp_wire_fallback_total", "Outbound payloads encoded through the gob fallback (unregistered type or Legacy codec)."),
+		wireLegacy:   r.Counter("rpcudp_wire_legacy_frames_total", "Inbound whole-envelope gob frames from pre-wire peers."),
 
 		lookups:         r.CounterVec("chord_lookups_total", "Completed Chord lookups, by result.", "result"),
 		lookupHops:      r.Histogram("chord_lookup_hops", "Remote hops taken per completed Chord lookup.", HopBuckets),
@@ -192,6 +198,18 @@ func (o *Observer) TransportHooks() TransportHooks {
 		SendError:   func(string) { o.sendErrors.Inc() },
 		DecodeError: func() { o.decodeErrors.Inc() },
 		Retransmit:  func(string) { o.retransmits.Inc() },
+		WireSent: func(n int, fallback bool) {
+			o.wireBytes.With("tx").Add(uint64(n))
+			if fallback {
+				o.wireFallback.Inc()
+			}
+		},
+		WireReceived: func(n int, legacy bool) {
+			o.wireBytes.With("rx").Add(uint64(n))
+			if legacy {
+				o.wireLegacy.Inc()
+			}
+		},
 	}
 }
 

@@ -5,15 +5,17 @@
 // number; unanswered requests are retransmitted a configurable number of
 // times before failing with transport.ErrTimeout.
 //
-// Payloads are gob-encoded; every concrete payload type must be
-// registered with encoding/gob (the chord and core packages do so in
-// their init functions).
+// Frames are serialized by a wire.Codec (DESIGN.md §11) — by default
+// the compact codec, which encodes registered payload types with
+// hand-written field codecs and falls back to gob for unregistered
+// ones. Every concrete payload type should be registered with
+// internal/wire (the chord, core, and maan packages do so in their
+// init functions; the wirereg datlint analyzer enforces it) and with
+// encoding/gob, which backs the fallback and legacy-interop paths.
 package rpcudp
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -26,6 +28,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a UDP endpoint.
@@ -58,8 +61,14 @@ type Config struct {
 	// concurrent use.
 	Tap transport.Tap
 	// Obs receives error-path telemetry (send errors, decode errors,
-	// retransmits). The zero value disables it.
+	// retransmits) and wire-level byte counts. The zero value disables
+	// it.
 	Obs obs.TransportHooks
+	// Codec serializes frames. Nil means wire.Default (the compact
+	// codec). Set wire.Legacy{} during a rollout alongside pre-wire
+	// nodes: it emits the old whole-envelope gob frames while still
+	// decoding both formats.
+	Codec wire.Codec
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +90,9 @@ func (c Config) withDefaults() Config {
 			c.Logger = obs.NopLogger()
 		}
 	}
+	if c.Codec == nil {
+		c.Codec = wire.Default
+	}
 	return c
 }
 
@@ -90,16 +102,6 @@ const (
 	kindReply  byte = 3
 	kindError  byte = 4
 )
-
-// envelope is the wire frame.
-type envelope struct {
-	Kind    byte
-	Seq     uint64
-	Type    string
-	From    string
-	Payload any
-	ErrText string
-}
 
 // Endpoint is a UDP transport endpoint. Create with Listen.
 type Endpoint struct {
@@ -111,6 +113,14 @@ type Endpoint struct {
 	handler transport.Handler
 	pending map[uint64]*pendingCall
 	closed  bool
+
+	// addrMu guards the resolved-destination cache. write() used to
+	// call net.ResolveUDPAddr on every single send; destinations are a
+	// small, stable peer set, so each is resolved once and reused (the
+	// map is never evicted — it is bounded by the number of distinct
+	// peers this endpoint ever talks to).
+	addrMu sync.RWMutex
+	addrs  map[transport.Addr]*net.UDPAddr
 
 	seq        atomic.Uint64
 	jitterSeed int64
@@ -142,6 +152,7 @@ func Listen(addr string, cfg Config) (*Endpoint, error) {
 		conn:    conn,
 		addr:    transport.Addr(conn.LocalAddr().String()),
 		pending: make(map[uint64]*pendingCall),
+		addrs:   make(map[transport.Addr]*net.UDPAddr),
 	}
 	e.jitterSeed = e.cfg.JitterSeed
 	if e.jitterSeed == 0 {
@@ -196,7 +207,8 @@ func (e *Endpoint) Send(to transport.Addr, typ string, payload any) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	err := e.write(to, envelope{Kind: kindOneWay, Type: typ, From: string(e.addr), Payload: payload})
+	env := wire.Envelope{Kind: kindOneWay, Type: typ, From: string(e.addr), Payload: payload}
+	err := e.write(to, &env)
 	if err != nil {
 		if h := e.cfg.Obs.SendError; h != nil {
 			h(typ)
@@ -227,7 +239,7 @@ func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport
 		return
 	}
 	seq := e.seq.Add(1)
-	env := envelope{Kind: kindCall, Seq: seq, Type: typ, From: string(e.addr), Payload: payload}
+	env := wire.Envelope{Kind: kindCall, Seq: seq, Type: typ, From: string(e.addr), Payload: payload}
 	p := &pendingCall{cb: cb}
 	e.pending[seq] = p
 	e.mu.Unlock()
@@ -260,7 +272,7 @@ func (e *Endpoint) Call(to transport.Addr, typ string, payload any, cb transport
 				h(typ)
 			}
 		}
-		if err := e.write(to, env); err != nil {
+		if err := e.write(to, &env); err != nil {
 			if h := e.cfg.Obs.SendError; h != nil {
 				h(typ)
 			}
@@ -296,19 +308,45 @@ func (e *Endpoint) retransmitDelay(seq uint64, attempt int) time.Duration {
 	return d
 }
 
-func (e *Endpoint) write(to transport.Addr, env envelope) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", string(to))
-	if err != nil {
-		return fmt.Errorf("rpcudp: resolve %q: %w", to, err)
+// resolve returns the UDP address for a destination, resolving it on
+// first use and serving every later send from the cache.
+func (e *Endpoint) resolve(to transport.Addr) (*net.UDPAddr, error) {
+	e.addrMu.RLock()
+	ua := e.addrs[to]
+	e.addrMu.RUnlock()
+	if ua != nil {
+		return ua, nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+	ua, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("rpcudp: resolve %q: %w", to, err)
+	}
+	e.addrMu.Lock()
+	e.addrs[to] = ua
+	e.addrMu.Unlock()
+	return ua, nil
+}
+
+func (e *Endpoint) write(to transport.Addr, env *wire.Envelope) error {
+	udpAddr, err := e.resolve(to)
+	if err != nil {
+		return err
+	}
+	buf := wire.GetBuf()
+	data, fallback, err := e.cfg.Codec.Append(buf, env)
+	if err != nil {
+		wire.PutBuf(buf)
 		return fmt.Errorf("rpcudp: encode %s: %w", env.Type, err)
 	}
-	if buf.Len() > e.cfg.MaxPacket {
-		return fmt.Errorf("rpcudp: message %s too large (%d bytes)", env.Type, buf.Len())
+	if len(data) > e.cfg.MaxPacket {
+		wire.PutBuf(data)
+		return fmt.Errorf("rpcudp: message %s too large (%d bytes)", env.Type, len(data))
 	}
-	_, err = e.conn.WriteToUDP(buf.Bytes(), udpAddr)
+	if h := e.cfg.Obs.WireSent; h != nil {
+		h(len(data), fallback)
+	}
+	_, err = e.conn.WriteToUDP(data, udpAddr)
+	wire.PutBuf(data)
 	return err
 }
 
@@ -324,19 +362,22 @@ func (e *Endpoint) readLoop() {
 			e.cfg.Logger.Warn("rpcudp: read failed", "err", err)
 			continue
 		}
-		var env envelope
-		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&env); err != nil {
+		env, legacy, err := e.cfg.Codec.Decode(buf[:n])
+		if err != nil {
 			if h := e.cfg.Obs.DecodeError; h != nil {
 				h()
 			}
 			e.cfg.Logger.Warn("rpcudp: decode failed", "from", from.String(), "err", err)
 			continue
 		}
+		if h := e.cfg.Obs.WireReceived; h != nil {
+			h(n, legacy)
+		}
 		e.handle(env)
 	}
 }
 
-func (e *Endpoint) handle(env envelope) {
+func (e *Endpoint) handle(env wire.Envelope) {
 	if t := e.cfg.Tap; t != nil {
 		switch env.Kind {
 		case kindOneWay:
@@ -361,7 +402,7 @@ func (e *Endpoint) handle(env envelope) {
 			to := transport.Addr(env.From)
 			typ := env.Type
 			reply = func(payload any, err error) {
-				resp := envelope{Seq: seq, Type: typ, From: string(e.addr)}
+				resp := wire.Envelope{Seq: seq, Type: typ, From: string(e.addr)}
 				if err != nil {
 					resp.Kind = kindError
 					resp.ErrText = err.Error()
@@ -369,7 +410,7 @@ func (e *Endpoint) handle(env envelope) {
 					resp.Kind = kindReply
 					resp.Payload = payload
 				}
-				if werr := e.write(to, resp); werr != nil {
+				if werr := e.write(to, &resp); werr != nil {
 					if h := e.cfg.Obs.SendError; h != nil {
 						h(typ)
 					}

@@ -12,6 +12,14 @@
 //   - SimNetwork: deliveries scheduled on a sim.Engine with a pluggable
 //     latency model, deterministic and single-threaded, for 8192-node runs;
 //   - rpcudp.Network (sibling package): real UDP sockets.
+//
+// Serialization lives below this seam, not in it: MemNetwork and
+// SimNetwork pass payload values over untouched (simulation traces are
+// independent of codec choices), while the UDP transport serializes
+// each message with a wire.Codec (internal/wire, DESIGN.md §11).
+// Payload types crossing Endpoint.Send/Call or Request.Reply should be
+// registered with that codec next to their declaration — the wirereg
+// datlint analyzer enforces it.
 package transport
 
 import (

@@ -1,0 +1,76 @@
+package wire_test
+
+// Allocation-regression tests on the encode/decode hot path (run by
+// make ci via the plain test target). The continuous protocol sends an
+// UpdateMsg per child per slot; the codec was written so that encoding
+// into a reused buffer stays allocation-free and decoding costs only
+// the envelope strings and the payload box. These tests pin that.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// updateEnvelope is a representative MsgUpdate datagram: the hot-path
+// message of the continuous aggregation protocol.
+func updateEnvelope() wire.Envelope {
+	return wire.Envelope{
+		Kind: 2, Seq: 42, Type: "dat.update", From: "127.0.0.1:9001",
+		Payload: core.UpdateMsg{
+			Key: 42, Epoch: 1234, Agg: core.Aggregate{Sum: 101.5, SumSq: 5002.3, Count: 17, Min: 1.25, Max: 9.75, Coverage: 0.9},
+			Nodes: 17, Height: 3, Slot: int64(2 * time.Second),
+			Sender: chord.NodeRef{ID: 7777, Addr: "127.0.0.1:9001"},
+			Trace:  0xdeadbeef, SentAt: 1700000000, Seq: 6,
+		},
+	}
+}
+
+// Budgets. Encode should be zero-alloc with a warm buffer; the small
+// slack absorbs an Encoder escaping to the heap under a conservative
+// build. Decode pays for two header strings, the payload box, and the
+// sender address. Gob, for comparison, costs ~25 allocations per encode
+// and more per decode (BenchmarkWireVsGob records both).
+const (
+	maxEncodeAllocs = 2
+	maxDecodeAllocs = 8
+)
+
+func TestEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	env := updateEnvelope()
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(200, func() {
+		data, _, err := wire.Default.Append(buf[:0], &env)
+		if err != nil || len(data) == 0 {
+			t.Fatalf("encode: %v", err)
+		}
+	})
+	if allocs > maxEncodeAllocs {
+		t.Errorf("encode allocates %.1f/op into a warm buffer; budget is %d", allocs, maxEncodeAllocs)
+	}
+}
+
+func TestDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	env := updateEnvelope()
+	data, _, err := wire.Default.Append(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := wire.Default.Decode(data); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	if allocs > maxDecodeAllocs {
+		t.Errorf("decode allocates %.1f/op; budget is %d", allocs, maxDecodeAllocs)
+	}
+}

@@ -1,0 +1,338 @@
+package wire_test
+
+// The test package is external so it can import the protocol layers:
+// chord, core, and maan register their payload codecs in init, and the
+// tests here prove every registration against the gob path the
+// transport used to speak (and still speaks, as the fallback).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/maan"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// gobRoundTrip mirrors what the pre-wire transport did to a payload:
+// gob through the any interface, so the dynamic type tag travels with
+// the value.
+func gobRoundTrip(t testing.TB, payload any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		t.Fatalf("gob encode %T: %v", payload, err)
+	}
+	var out any
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("gob decode %T: %v", payload, err)
+	}
+	return out
+}
+
+// wireRoundTrip pushes a payload through a full compact envelope.
+func wireRoundTrip(t testing.TB, payload any) any {
+	t.Helper()
+	env := wire.Envelope{Kind: 2, Seq: 7, Type: "test", From: "a", Payload: payload}
+	data, fallback, err := wire.Compact{}.Append(nil, &env)
+	if err != nil {
+		t.Fatalf("wire encode %T: %v", payload, err)
+	}
+	if fallback {
+		t.Fatalf("wire encode %T took the gob fallback; expected a registered codec", payload)
+	}
+	got, legacy, err := wire.Compact{}.Decode(data)
+	if err != nil {
+		t.Fatalf("wire decode %T: %v", payload, err)
+	}
+	if legacy {
+		t.Fatalf("compact frame decoded as legacy")
+	}
+	return got.Payload
+}
+
+// richSamples returns one fully-populated value per protocol payload
+// type, exercising nested refs, slices, and maps. The zero values of
+// every registered type come from wire.Samples() and are covered by
+// TestZeroValueEquivalence.
+func richSamples() []any {
+	ref := func(i int) chord.NodeRef {
+		return chord.NodeRef{ID: ident.ID(i * 1000), Addr: transport.Addr(fmt.Sprintf("127.0.0.1:90%02d", i))}
+	}
+	agg := core.Aggregate{Sum: 123.5, SumSq: 8000.25, Count: 17, Min: -2.5, Max: 99.75, Degraded: true, Coverage: 0.875}
+	res := maan.Resource{
+		Name:    "host7",
+		Values:  map[string]float64{"cpu-usage": 42.5, "memory-size": 2048},
+		Strings: map[string]string{"os-name": "linux", "site": "ncsa"},
+	}
+	return []any{
+		chord.StepReq{Key: 0x7fffffffffffffff},
+		chord.StepResp{Done: true, Next: ref(1)},
+		chord.GetStateReq{},
+		chord.AckResp{},
+		chord.StateResp{
+			Self:        ref(2),
+			Predecessor: ref(3),
+			Successors:  []chord.NodeRef{ref(4), ref(5), ref(6)},
+			Fingers:     []chord.NodeRef{ref(7)},
+		},
+		chord.NotifyReq{Candidate: ref(8)},
+		chord.PingReq{},
+		chord.PingResp{Self: ref(9)},
+		chord.ProbeSplitReq{},
+		chord.ProbeSplitResp{AssignedID: 12345},
+		chord.LeaveReq{Departing: ref(1), Predecessor: ref(2), Successors: []chord.NodeRef{ref(3)}},
+		chord.BroadcastMsg{Origin: ref(4), Limit: 999, Type: "dat.collect", Payload: []byte{1, 2, 3}, Hops: 5},
+		core.UpdateMsg{
+			Key: 42, Epoch: -3, Agg: agg, Nodes: 12, Height: 4, Slot: int64(2 * time.Second),
+			Sender: ref(5), Demand: true, Trace: 0xdeadbeef, SentAt: 1234567890, Seq: 9,
+			Handover: true, FailedRoot: "127.0.0.1:9999",
+		},
+		core.DetachMsg{Key: 77, Sender: ref(6)},
+		core.UpdateAck{OK: false, Reason: "cycle"},
+		core.QueryReq{Key: 88, Window: 250 * time.Millisecond},
+		core.QueryResp{Key: 88, Epoch: 6, Agg: agg, Nodes: 31, Coverage: 0.969, Degraded: true},
+		maan.StoreReq{Attr: "cpu-speed", Value: 2.8, Key: 4242, Res: res},
+		maan.RangeReq{
+			QueryID: 11, Origin: "127.0.0.1:7001",
+			Pred:   maan.Range("cpu-usage", 10, 90),
+			Filter: []maan.Predicate{maan.Eq("os-name", "linux"), maan.Range("memory-size", 512, 4096)},
+			LoKey:  100, HiKey: 200, Start: "127.0.0.1:7002",
+			Found: []maan.Resource{res}, Hops: 3, Final: true,
+		},
+		maan.ResultMsg{QueryID: 11, Found: []maan.Resource{res, {Name: "host8"}}, Hops: 4},
+		maan.ReplicateMsg{
+			Owner:   "127.0.0.1:7003",
+			Entries: []maan.WireEntry{{Attr: "cpu-usage", Key: 5, Value: 55.5, Res: res}},
+		},
+	}
+}
+
+// TestRichValueEquivalence proves the hand-written codec and the gob
+// path agree on fully-populated payloads of every exported type.
+func TestRichValueEquivalence(t *testing.T) {
+	for _, payload := range richSamples() {
+		payload := payload
+		t.Run(fmt.Sprintf("%T", payload), func(t *testing.T) {
+			if !wire.Registered(payload) {
+				t.Fatalf("%T is not registered", payload)
+			}
+			w := wireRoundTrip(t, payload)
+			g := gobRoundTrip(t, payload)
+			if !reflect.DeepEqual(w, g) {
+				t.Errorf("codec mismatch:\nwire %#v\ngob  %#v", w, g)
+			}
+			if !reflect.DeepEqual(w, payload) {
+				t.Errorf("wire round trip lost data:\ngot  %#v\nwant %#v", w, payload)
+			}
+		})
+	}
+}
+
+// TestZeroValueEquivalence sweeps the registry itself, so a payload
+// registered tomorrow is covered without touching this file.
+func TestZeroValueEquivalence(t *testing.T) {
+	samples := wire.Samples()
+	if len(samples) < 20 {
+		t.Fatalf("registry has %d payload types; expected the full protocol set (>= 20)", len(samples))
+	}
+	for _, payload := range samples {
+		payload := payload
+		t.Run(fmt.Sprintf("%T", payload), func(t *testing.T) {
+			w := wireRoundTrip(t, payload)
+			g := gobRoundTrip(t, payload)
+			if !reflect.DeepEqual(w, g) {
+				t.Errorf("codec mismatch on zero value:\nwire %#v\ngob  %#v", w, g)
+			}
+		})
+	}
+}
+
+// TestCompactSmallerThanGob pins the point of the exercise: every
+// registered payload must encode strictly smaller through the compact
+// codec than through per-datagram gob, which re-ships type descriptors
+// with every frame.
+func TestCompactSmallerThanGob(t *testing.T) {
+	for _, payload := range richSamples() {
+		env := wire.Envelope{Kind: 2, Seq: 7, Type: "t", From: "a", Payload: payload}
+		compact, _, err := wire.Compact{}.Append(nil, &env)
+		if err != nil {
+			t.Fatalf("compact %T: %v", payload, err)
+		}
+		legacy, _, err := wire.Legacy{}.Append(nil, &env)
+		if err != nil {
+			t.Fatalf("legacy %T: %v", payload, err)
+		}
+		if len(compact) >= len(legacy) {
+			t.Errorf("%T: compact %d bytes >= gob %d bytes", payload, len(compact), len(legacy))
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip covers the envelope fields themselves,
+// including nil payloads and error replies.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	envs := []wire.Envelope{
+		{Kind: 1, Type: "chord.ping", From: "127.0.0.1:1"},
+		{Kind: 2, Seq: 1 << 40, Type: "dat.update", From: "127.0.0.1:2", Payload: chord.PingReq{}},
+		{Kind: 3, Seq: 9, Type: "dat.update", From: "127.0.0.1:3", Payload: core.UpdateAck{OK: true}},
+		{Kind: 4, Seq: 10, Type: "dat.query", From: "127.0.0.1:4", ErrText: "dat: not the root"},
+	}
+	for _, env := range envs {
+		data, _, err := wire.Compact{}.Append(wire.GetBuf(), &env)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, legacy, err := wire.Compact{}.Decode(data)
+		wire.PutBuf(data)
+		if err != nil || legacy {
+			t.Fatalf("decode: err=%v legacy=%v", err, legacy)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Errorf("envelope mismatch:\ngot  %#v\nwant %#v", got, env)
+		}
+	}
+}
+
+// unregisteredPayload exists only in this test binary: no wire
+// registration, only gob.
+type unregisteredPayload struct {
+	Name  string
+	Count int
+}
+
+func init() { gob.Register(unregisteredPayload{}) }
+
+// TestGobFallback proves an unregistered payload still travels —
+// flagged as a fallback, carried as gob inside the compact envelope.
+func TestGobFallback(t *testing.T) {
+	env := wire.Envelope{Kind: 2, Seq: 3, Type: "custom.msg", From: "x", Payload: unregisteredPayload{Name: "n", Count: 4}}
+	data, fallback, err := wire.Compact{}.Append(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fallback {
+		t.Fatal("unregistered payload did not report fallback")
+	}
+	got, legacy, err := wire.Compact{}.Decode(data)
+	if err != nil || legacy {
+		t.Fatalf("decode: err=%v legacy=%v", err, legacy)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("fallback mismatch:\ngot  %#v\nwant %#v", got, env)
+	}
+}
+
+// TestLegacyInterop proves both directions of a mixed-version link:
+// frames from a Legacy (pre-wire format) sender decode through the
+// default codec, and compact frames decode through Legacy's read path.
+func TestLegacyInterop(t *testing.T) {
+	env := wire.Envelope{Kind: 2, Seq: 5, Type: "chord.step", From: "127.0.0.1:5", Payload: chord.StepReq{Key: 77}}
+
+	old, _, err := wire.Legacy{}.Append(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, legacy, err := wire.Default.Decode(old)
+	if err != nil {
+		t.Fatalf("decoding legacy frame: %v", err)
+	}
+	if !legacy {
+		t.Error("legacy frame not flagged as legacy")
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("legacy frame mismatch:\ngot  %#v\nwant %#v", got, env)
+	}
+
+	compact, _, err := wire.Compact{}.Append(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, legacy, err = wire.Legacy{}.Decode(compact)
+	if err != nil || legacy {
+		t.Fatalf("Legacy decoding compact frame: err=%v legacy=%v", err, legacy)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("compact-through-Legacy mismatch:\ngot  %#v\nwant %#v", got, env)
+	}
+}
+
+// TestMalformedFrames feeds truncations and corruptions of a valid
+// frame through Decode: errors, never panics, never empty-frame
+// acceptance.
+func TestMalformedFrames(t *testing.T) {
+	env := wire.Envelope{Kind: 2, Seq: 5, Type: "dat.update", From: "127.0.0.1:5", Payload: richSamples()[12]}
+	data, _, err := wire.Compact{}.Append(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (wire.Compact{}).Decode(nil); err == nil {
+		t.Error("empty frame decoded without error")
+	}
+	for cut := 1; cut < len(data); cut++ {
+		if _, _, err := (wire.Compact{}).Decode(data[:cut]); err == nil {
+			// A truncation that cuts exactly at the payload boundary of a
+			// frame with a nil payload would be valid; this frame has a
+			// payload, so every proper prefix must fail.
+			t.Errorf("truncated frame (%d/%d bytes) decoded without error", cut, len(data))
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[1] = wire.Version + 1
+	if _, _, err := (wire.Compact{}).Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+}
+
+// TestStandalonePayload covers EncodePayload/DecodePayload, the nested
+// blob path used by the on-demand broadcast messages.
+func TestStandalonePayload(t *testing.T) {
+	for _, payload := range richSamples() {
+		b, err := wire.EncodePayload(payload)
+		if err != nil {
+			t.Fatalf("%T: %v", payload, err)
+		}
+		got, err := wire.DecodePayload(b)
+		if err != nil {
+			t.Fatalf("%T: %v", payload, err)
+		}
+		if !reflect.DeepEqual(got, payload) {
+			t.Errorf("%T standalone mismatch", payload)
+		}
+	}
+	b, err := wire.EncodePayload(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := wire.DecodePayload(b); err != nil || got != nil {
+		t.Errorf("nil payload: got %v, %v", got, err)
+	}
+}
+
+// TestRegisterPanics pins the registry's fail-fast contract.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	nop := func(*wire.Encoder, any) {}
+	dec := func(*wire.Decoder) (any, error) { return struct{}{}, nil }
+	mustPanic("reserved code", func() { wire.Register(0x01, struct{ A int }{}, nop, dec) })
+	mustPanic("nil sample", func() { wire.Register(0xF0, nil, nop, dec) })
+	mustPanic("nil codec", func() { wire.Register(0xF0, struct{ B int }{}, nil, nil) })
+	mustPanic("duplicate code", func() { wire.Register(wire.CodeChordBase, struct{ C int }{}, nop, dec) })
+	mustPanic("duplicate type", func() { wire.Register(0xF0, chord.StepReq{}, nop, dec) })
+}
