@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz datcheck datcheck-faults datcheck-long bench-json obs-smoke ci
+.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json obs-smoke ci
 
 all: build
 
@@ -15,10 +15,21 @@ vet:
 	$(GO) vet ./...
 
 # datlint: the project-specific analyzer suite (ringcmp, locksafe,
-# simclock, senderr, wirereg). See DESIGN.md §7. Exits non-zero on any
-# finding.
+# simclock, senderr, wirereg, detorder, hooklock, goroleak). See
+# DESIGN.md §7. Exits non-zero on any finding or stale ignore pragma.
 lint:
 	$(GO) run ./cmd/datlint ./...
+
+# Machine-readable findings for CI artifacts; fails like `lint` but
+# always leaves datlint.json behind for upload.
+lint-json:
+	$(GO) run ./cmd/datlint -json ./... > datlint.json
+
+# Fast re-run of the analyzer fixture suite while iterating on a new
+# analyzer or fixture (-short skips the whole-repo lint gate, which
+# `lint` covers separately).
+lint-fixtures:
+	$(GO) test -short ./internal/lint
 
 test:
 	$(GO) test ./...

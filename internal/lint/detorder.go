@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder mechanizes the byte-identical-trace gate: Go map iteration
+// order is deliberately randomized, so any path where that order
+// reaches an externally visible sequence — a transport send, a wire
+// encoder, or trace/debug output — diverges between two runs of the
+// same seed. Two shapes are flagged:
+//
+//  1. a sink called directly inside a `range` over a map: each
+//     iteration emits, so the emission order is the map order;
+//  2. a slice appended to inside a map range and later passed to a
+//     sink (or ranged over with a sink in the body) without passing
+//     through a sort: the slice's element order is the map order.
+//
+// Sinks are summary-driven: a call counts if it is a transport
+// operation, a wire encoder call, an fmt print/Fprint, or any call
+// whose phase-1 summary transitively reaches one (EffSend/EffEmit) —
+// so `s.send(...)` three helpers above Endpoint.Send is still a sink.
+// The sanctioned fix is the sorted-keys idiom used across the repo
+// (collect keys, sort, then iterate), or sorting the collected slice
+// before it escapes. Commutative uses of map ranges — merging into
+// another map, summing, deleting — are not flagged.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "flags map iteration order escaping into sends, wire encoding, or trace output without a sort",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	if pkgPathMatches(pass.Pkg.Path(), "lint") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			detOrderFunc(pass, fd.Body)
+		}
+	}
+}
+
+// detOrderFunc analyzes one function body (literals included — a map
+// range inside a callback is the same hazard).
+func detOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	// tainted maps a slice variable to the map range that filled it.
+	tainted := map[types.Object]*ast.RangeStmt{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Shape 1: sink called per iteration. Function literals inside
+		// the body run later, not per iteration — skip them.
+		walkSkippingFuncLits(rs.Body, func(inner ast.Node) {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if what, isSink := sinkCall(pass, call); isSink {
+				pass.Reportf(call.Pos(), "%s inside a range over a map: iteration order is randomized per run — iterate sorted keys (or //datlint:ignore detorder if the receiver is order-insensitive)", what)
+			}
+		})
+		// Shape 2: collect append targets for escape tracking.
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil {
+					if _, seen := tainted[obj]; !seen {
+						tainted[obj] = rs
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	if len(tainted) == 0 {
+		return
+	}
+
+	// A sort anywhere in the function launders the slice.
+	for obj := range tainted {
+		if sortedInBody(pass, body, obj) {
+			delete(tainted, obj)
+		}
+	}
+
+	// Remaining tainted slices escaping into a sink.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			what, isSink := sinkCall(pass, n)
+			if !isSink {
+				return true
+			}
+			for _, arg := range n.Args {
+				forEachIdentObj(pass.Info, arg, func(obj types.Object, id *ast.Ident) {
+					if rs, ok := tainted[obj]; ok {
+						pass.Reportf(rs.For, "iteration order of this map range escapes into %s via %q: sort the slice (or iterate sorted keys) before it is emitted", what, id.Name)
+						delete(tainted, obj)
+					}
+				})
+			}
+		case *ast.RangeStmt:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			rs, ok := tainted[obj]
+			if !ok {
+				return true
+			}
+			found := false
+			walkSkippingFuncLits(n.Body, func(inner ast.Node) {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok || found {
+					return
+				}
+				if what, isSink := sinkCall(pass, call); isSink {
+					pass.Reportf(rs.For, "iteration order of this map range escapes into %s via %q: sort the slice before iterating it", what, id.Name)
+					delete(tainted, obj)
+					found = true
+				}
+			})
+		}
+		return true
+	})
+}
+
+// sinkCall reports whether the call makes iteration order externally
+// visible, with a short description of how.
+func sinkCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn != nil {
+		path, name := funcPkgPath(fn), fn.Name()
+		switch {
+		case transportCallNames[name] && (pkgPathMatches(path, "transport") || pkgPathMatches(path, "rpcudp")):
+			return "a transport " + name, true
+		case wireEncodeCallee(fn):
+			return "a wire encoder call", true
+		case path == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")):
+			return "fmt." + name + " output", true
+		}
+	}
+	if sum := pass.Sums.OfCall(pass.Info, call); sum != nil {
+		label := calleeLabel(pass.Info, call)
+		switch {
+		case sum.Effects.Has(EffSend):
+			return "a transport send (via " + label + ")", true
+		case sum.Effects.Has(EffEmit):
+			return "trace output (via " + label + ")", true
+		}
+	}
+	return "", false
+}
+
+// wireEncodeCallee matches wire.Encode* functions and methods on the
+// wire Encoder.
+func wireEncodeCallee(fn *types.Func) bool {
+	if !pkgPathMatches(funcPkgPath(fn), "wire") {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Encode") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Encoder"
+}
+
+// sortedInBody reports whether obj is passed to a sort anywhere in the
+// body (sort.* or slices.Sort*), including wrapped in a conversion
+// (sort.Sort(byName(out))).
+func sortedInBody(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		path := funcPkgPath(fn)
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			forEachIdentObj(pass.Info, arg, func(o types.Object, _ *ast.Ident) {
+				if o == obj {
+					found = true
+				}
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// forEachIdentObj visits every identifier in the expression subtree
+// with its resolved object.
+func forEachIdentObj(info *types.Info, e ast.Expr, visit func(types.Object, *ast.Ident)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				visit(obj, id)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HookLock flags observability callbacks fired while a node mutex is
+// held: calls through obs hooks-struct fields (obs.ChordHooks,
+// obs.CoreHooks, ...), transport.Tap.Message, and any call whose
+// phase-1 summary says it transitively fires one. DESIGN.md's
+// observability contract is that hooks run outside locks — a hook
+// implementation is allowed to take its own locks, read node state, or
+// block briefly, none of which is safe from inside a protocol critical
+// section. The copy-out discipline applies to hooks exactly as to
+// sends: snapshot under the lock, unlock, then notify.
+//
+// Held-state tracking is shared with locksafe (lockWalker); the two
+// analyzers differ only in what they flag, so suppressions stay
+// independent per rule.
+var HookLock = &Analyzer{
+	Name: "hooklock",
+	Doc:  "flags obs hook / transport tap callbacks invoked while a node mutex is held",
+	Run:  runHookLock,
+}
+
+func runHookLock(pass *Pass) {
+	for _, name := range []string{"transport", "rpcudp", "sim", "lint", "obs"} {
+		if pkgPathMatches(pass.Pkg.Path(), name) {
+			return // obs is the hook layer itself; transports own their taps
+		}
+	}
+	// Recognize the `if h := n.cfg.Obs.X; h != nil { h(...) }` idiom
+	// even when summaries were computed over a different load (fixture
+	// runs construct passes directly).
+	registerHookVars(pass.Info, pass.Files)
+	w := &lockWalker{pass: pass, onCall: hookLockCall(pass)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// hookLockCall checks one call made while a tracked mutex is held.
+func hookLockCall(pass *Pass) func(call *ast.CallExpr, held map[string]bool) {
+	return func(call *ast.CallExpr, held map[string]bool) {
+		switch {
+		case isDirectHookCall(pass.Info, call):
+			pass.Reportf(call.Pos(), "obs hook fired while holding %s: hooks run user code — snapshot state, unlock, then notify", heldNames(held))
+		case isTapCall(pass.Info, call):
+			pass.Reportf(call.Pos(), "transport tap invoked while holding %s: taps run user code — unlock first", heldNames(held))
+		default:
+			sum := pass.Sums.OfCall(pass.Info, call)
+			if sum != nil && sum.Effects.Has(EffHook) {
+				pass.Reportf(call.Pos(), "call to %s while holding %s: it transitively fires an obs hook — hooks must run outside node locks", calleeLabel(pass.Info, call), heldNames(held))
+			}
+		}
+	}
+}
+
+// isDirectHookCall matches a call through a hooks-struct field, either
+// as a selector (n.cfg.Obs.RoundDone(...)) or through a local variable
+// bound to one (h := n.cfg.Obs.RoundDone; h(...)).
+func isDirectHookCall(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return isHookFieldSel(info, sel)
+	}
+	return isHookVarCall(info, call)
+}
+
+// isTapCall matches transport.Tap.Message / TapFunc.Message.
+func isTapCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Message" && pkgPathMatches(funcPkgPath(fn), "transport")
+}

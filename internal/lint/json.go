@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiag is the machine-readable form of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonSuppression is the machine-readable form of one stale pragma.
+type jsonSuppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Reason   string `json:"reason"`
+}
+
+// jsonResult is the envelope datlint -json emits for CI artifacts.
+type jsonResult struct {
+	Findings          []jsonDiag        `json:"findings"`
+	StaleSuppressions []jsonSuppression `json:"stale_suppressions"`
+}
+
+// EncodeJSON writes the result as stable, indented JSON: entries keep
+// Run's deterministic position ordering and empty lists encode as []
+// rather than null, so the output is byte-identical across runs over
+// the same tree — CI can diff artifacts directly.
+func EncodeJSON(w io.Writer, res Result) error {
+	out := jsonResult{
+		Findings:          make([]jsonDiag, 0, len(res.Diagnostics)),
+		StaleSuppressions: make([]jsonSuppression, 0, len(res.Stale)),
+	}
+	for _, d := range res.Diagnostics {
+		out.Findings = append(out.Findings, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	for _, s := range res.Stale {
+		out.StaleSuppressions = append(out.StaleSuppressions, jsonSuppression{
+			Analyzer: s.Analyzer,
+			File:     s.Pos.Filename,
+			Line:     s.Pos.Line,
+			Reason:   s.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -2,9 +2,18 @@
 // suite for invariants the Go compiler cannot see: modular ring
 // arithmetic (ringcmp), lock discipline around the network (locksafe),
 // virtual-time discipline in simulation code (simclock), transport
-// send-error handling (senderr), and wire-codec registration of
-// transport payloads (wirereg). See DESIGN.md §7 for the rationale
-// behind each rule and how it connects to the paper's math.
+// send-error handling (senderr), wire-codec registration of transport
+// payloads (wirereg), map-iteration-order determinism on emitted data
+// (detorder), obs-hook discipline under locks (hooklock), and
+// goroutine lifecycle ties in the protocol packages (goroleak). See
+// DESIGN.md §7 for the rationale behind each rule and how it connects
+// to the paper's math.
+//
+// The suite runs in two phases: ComputeSummaries (summary.go) first
+// derives a per-function call summary — transitive effects plus
+// acquired receiver mutexes — as facts keyed by *types.Func, then the
+// analyzers consult those facts through Pass.Sums, which is what lets
+// them see a send or hook buried several helpers deep.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic) but is built purely on the standard
@@ -50,6 +59,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Sums holds the phase-1 call summaries computed over the whole
+	// load (see summary.go); analyzers consult it to see through
+	// helper calls.
+	Sums *Summaries
 
 	diags []Diagnostic
 }
@@ -75,12 +88,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is the full datlint suite in reporting order.
-var All = []*Analyzer{RingCmp, LockSafe, SimClock, SendErr, WireReg}
+var All = []*Analyzer{RingCmp, LockSafe, SimClock, SendErr, WireReg, DetOrder, HookLock, GoroLeak}
+
+// Suppression is one //datlint:ignore pragma flagged by the audit:
+// either it silenced no finding of the named analyzer (stale), or it
+// names an analyzer that does not exist (typo).
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s: stale //datlint:ignore %s pragma: no finding suppressed — remove it or update the reason", s.Pos, s.Analyzer)
+}
+
+// Result is the outcome of a full run: surviving findings plus the
+// suppression audit.
+type Result struct {
+	Diagnostics []Diagnostic
+	Stale       []Suppression
+}
 
 // Run applies the analyzers to each package and returns the surviving
 // (non-suppressed) findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	return RunAll(pkgs, analyzers).Diagnostics
+}
+
+// RunAll is Run plus the unused-suppression audit. Phase 1 computes
+// call summaries over every loaded package; phase 2 runs the analyzers
+// per package against them. A pragma is audited only against the
+// analyzers actually selected for this run (running a single analyzer
+// must not flag pragmas belonging to the others), except that a
+// pragma naming an analyzer missing from lint.All is always reported.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) Result {
+	sums := ComputeSummaries(pkgs)
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	var res Result
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
@@ -90,17 +142,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Sums:     sums,
 			}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !ignores.matches(a.Name, d.Pos) {
-					out = append(out, d)
+					res.Diagnostics = append(res.Diagnostics, d)
 				}
 			}
 		}
+		res.Stale = append(res.Stale, ignores.stale(selected, known)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -109,14 +163,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	sort.Slice(res.Stale, func(i, j int) bool {
+		a, b := res.Stale[i], res.Stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res
+}
+
+// pragma is one //datlint:ignore comment, tracked for the stale audit.
+type pragma struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
 }
 
 // ignoreSet records //datlint:ignore pragmas by file and line.
-type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
+type ignoreSet struct {
+	byLine map[string]map[int][]*pragma // filename -> line -> pragmas
+	all    []*pragma
+}
 
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	set := ignoreSet{}
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byLine: map[string]map[int][]*pragma{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -129,12 +201,18 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					set[pos.Filename] = byLine
+				p := &pragma{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				byLine := set.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*pragma{}
+					set.byLine[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], p)
+				set.all = append(set.all, p)
 			}
 		}
 	}
@@ -142,20 +220,34 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 }
 
 // matches reports whether a pragma on the diagnostic's line or the line
-// above names the analyzer.
-func (s ignoreSet) matches(analyzer string, pos token.Position) bool {
-	byLine := s[pos.Filename]
+// above names the analyzer, marking it used for the stale audit.
+func (s *ignoreSet) matches(analyzer string, pos token.Position) bool {
+	byLine := s.byLine[pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == analyzer {
-				return true
+		for _, p := range byLine[line] {
+			if p.analyzer == analyzer {
+				p.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns the pragmas that earned an audit report: unused ones
+// naming a selected analyzer, and ones naming no known analyzer.
+func (s *ignoreSet) stale(selected, known map[string]bool) []Suppression {
+	var out []Suppression
+	for _, p := range s.all {
+		if !known[p.analyzer] || (selected[p.analyzer] && !p.used) {
+			out = append(out, Suppression{Pos: p.pos, Analyzer: p.analyzer, Reason: p.reason})
+		}
+	}
+	return out
 }
 
 // fileHasPragma reports whether any comment in the file starts with

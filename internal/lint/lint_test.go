@@ -32,6 +32,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"sim", SimClock},
 		{"senderr", SendErr},
 		{"wirereg", WireReg},
+		{"detorder", DetOrder},
+		{"hooklock", HookLock},
+		{"goroleak/core", GoroLeak},
 	}
 	root := filepath.Join("testdata", "src")
 	for _, tc := range cases {
@@ -156,7 +159,11 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded zero packages")
 	}
-	for _, d := range Run(pkgs, All) {
+	res := RunAll(pkgs, All)
+	for _, d := range res.Diagnostics {
 		t.Errorf("repo not lint-clean: %s", d)
+	}
+	for _, s := range res.Stale {
+		t.Errorf("repo not lint-clean: %s", s)
 	}
 }

@@ -91,15 +91,30 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 			local = append(local, p)
 		}
 	}
-	sort.Slice(local, func(i, j int) bool { return local[i].ImportPath < local[j].ImportPath })
 
+	// Type-check module packages in the stream order go list printed
+	// them: -deps emits dependencies before dependents, so by the time a
+	// package is checked every module-local import has already been
+	// checked from source. The importer prefers those source-checked
+	// packages over export data — this gives one canonical
+	// *types.Package per module package, so a types.Object seen from an
+	// importing package is identical to the one seen in its declaring
+	// package. The call-summary layer (summary.go) keys its facts on
+	// that identity.
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	checked := map[string]*types.Package{}
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
 		return os.Open(f)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return base.Import(path)
 	})
 
 	var pkgs []*Package
@@ -118,11 +133,13 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-check %s: %v", p.ImportPath, err)
 		}
+		checked[p.ImportPath] = tpkg
 		pkgs = append(pkgs, &Package{
 			Path: p.ImportPath, Dir: p.Dir,
 			Fset: fset, Files: files, Types: tpkg, Info: info,
 		})
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
 }
 
@@ -132,6 +149,18 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 // Standard-library imports resolve through the installed toolchain's
 // export data like LoadModule's.
 func LoadFixture(root, name string) (*Package, error) {
+	pkgs, err := LoadFixtures(root, name)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// LoadFixtures loads several fixture packages in one shared
+// type-checking session, so cross-package objects are identical — the
+// same guarantee LoadModule gives the real tree. The returned slice
+// follows the argument order.
+func LoadFixtures(root string, names ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	cache := map[string]*types.Package{}
 	infos := map[string]*types.Info{}
@@ -153,6 +182,9 @@ func LoadFixture(root, name string) (*Package, error) {
 		return std.Import(path)
 	})
 	load = func(path string) (*types.Package, error) {
+		if pkg, ok := cache[path]; ok {
+			return pkg, nil
+		}
 		dir := filepath.Join(root, path)
 		entries, err := os.ReadDir(dir)
 		if err != nil {
@@ -181,14 +213,18 @@ func LoadFixture(root, name string) (*Package, error) {
 		return tpkg, nil
 	}
 
-	tpkg, err := load(name)
-	if err != nil {
-		return nil, err
+	var pkgs []*Package
+	for _, name := range names {
+		tpkg, err := load(name)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: name, Dir: filepath.Join(root, name),
+			Fset: fset, Files: files[name], Types: tpkg, Info: infos[name],
+		})
 	}
-	return &Package{
-		Path: name, Dir: filepath.Join(root, name),
-		Fset: fset, Files: files[name], Types: tpkg, Info: infos[name],
-	}, nil
+	return pkgs, nil
 }
 
 // stdImporter returns an importer for the standard library backed by

@@ -9,16 +9,21 @@ import (
 // chord.Node.mu pattern), either
 //
 //   - performs a transport/RPC operation (Endpoint.Send/Call/Close,
-//     Request.Reply/ReplyError): on the simulated transport the callee
-//     can run inline and re-enter the node (deadlock); on UDP it turns
-//     a hot in-memory section into a tail-latency hazard; or
-//   - calls a method on the same receiver that (transitively) acquires
-//     the same mutex: a guaranteed self-deadlock, since sync.Mutex is
-//     not reentrant.
+//     Request.Reply/ReplyError) — directly, or through any call whose
+//     phase-1 summary says it transitively reaches one: on the
+//     simulated transport the callee can run inline and re-enter the
+//     node (deadlock); on UDP it turns a hot in-memory section into a
+//     tail-latency hazard; or
+//   - calls a function whose summary says it (transitively) acquires
+//     a mutex already held on the same variable: a guaranteed
+//     self-deadlock, since sync.Mutex is not reentrant.
 //
 // The protocol style this repo inherits from the paper's prototype is
 // copy-out: lock, snapshot the state you need, unlock, then talk to the
-// network. LockSafe machine-checks that style.
+// network. LockSafe machine-checks that style. Since v2 the check is
+// interprocedural: a send hidden behind a helper (chord.Node.send,
+// maan.service.send) is seen through the call summaries computed over
+// the whole load, so wrapping a transport call no longer hides it.
 //
 // Held state is tracked per function body, flow-insensitively inside
 // branches (each branch sees a copy). Function literals are analyzed
@@ -28,7 +33,7 @@ import (
 // long-lived node state.
 var LockSafe = &Analyzer{
 	Name: "locksafe",
-	Doc:  "flags transport calls and re-locking method calls made while a node mutex is held",
+	Doc:  "flags transport calls and re-locking calls made while a node mutex is held (summary-driven, interprocedural)",
 	Run:  runLockSafe,
 }
 
@@ -46,82 +51,71 @@ func runLockSafe(pass *Pass) {
 			return // the transport's own internals lock around their own I/O
 		}
 	}
-	locks := methodLockSets(pass)
+	w := &lockWalker{pass: pass, onCall: lockSafeCall(pass), reportDoubleLock: true}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &lockWalker{pass: pass, locks: locks}
 			w.stmts(fd.Body.List, map[string]bool{})
 		}
 	}
 }
 
-// methodLockSets computes, for every method in the package, the set of
-// receiver mutex fields it acquires — directly or through calls to
-// other methods on the same receiver. Calls inside function literals do
-// not count: those bodies run later, not during the call.
-func methodLockSets(pass *Pass) map[*types.Func]map[string]bool {
-	type methodDecl struct {
-		fd   *ast.FuncDecl
-		recv string
-	}
-	decls := map[*types.Func]methodDecl{}
-	locks := map[*types.Func]map[string]bool{}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
-				continue
+// lockSafeCall checks one call made while at least one tracked mutex
+// is held.
+func lockSafeCall(pass *Pass) func(call *ast.CallExpr, held map[string]bool) {
+	return func(call *ast.CallExpr, held map[string]bool) {
+		// Direct transport/RPC operation under a lock.
+		fn := calleeFunc(pass.Info, call)
+		if fn != nil && transportCallNames[fn.Name()] {
+			path := funcPkgPath(fn)
+			if pkgPathMatches(path, "transport") || pkgPathMatches(path, "rpcudp") {
+				pass.Reportf(call.Pos(), "%s.%s while holding %s: never block on the network under a node lock (copy state out, unlock, then send)", path, fn.Name(), heldNames(held))
+				return
 			}
-			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			recv := fd.Recv.List[0].Names[0].Name
-			decls[obj] = methodDecl{fd: fd, recv: recv}
-			set := map[string]bool{}
-			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
-				if field, ok := lockTarget(pass.Info, n, recv); ok {
-					set[field] = true
-				}
-			})
-			locks[obj] = set
 		}
-	}
-	// Propagate through same-receiver method calls to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for obj, d := range decls {
-			walkSkippingFuncLits(d.fd.Body, func(n ast.Node) {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return
-				}
-				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-				if !ok {
-					return
-				}
-				base, ok := ast.Unparen(sel.X).(*ast.Ident)
-				if !ok || base.Name != d.recv {
-					return
-				}
-				callee, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-				if !ok {
-					return
-				}
-				for field := range locks[callee] {
-					if !locks[obj][field] {
-						locks[obj][field] = true
-						changed = true
+
+		sum := pass.Sums.OfCall(pass.Info, call)
+		if sum == nil {
+			return
+		}
+
+		// A callee whose summary transitively reaches the transport.
+		if sum.Effects.Has(EffSend) {
+			pass.Reportf(call.Pos(), "call to %s while holding %s: it transitively performs a transport operation (copy state out, unlock, then call it)", calleeLabel(pass.Info, call), heldNames(held))
+			return
+		}
+
+		// A callee that (transitively) re-acquires a held mutex on the
+		// same variable.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				for field := range sum.Locks {
+					if held[base.Name+"."+field] {
+						pass.Reportf(call.Pos(), "%s.%s acquires %s.%s which is already held: self-deadlock", base.Name, sel.Sel.Name, base.Name, field)
+						return
 					}
 				}
-			})
+			}
 		}
 	}
-	return locks
+}
+
+// calleeLabel renders a call target for diagnostics ("n.send",
+// "helper").
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return base.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function value"
 }
 
 // lockTarget reports whether n is a call recv.<field>.Lock() or
@@ -174,10 +168,17 @@ func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
 	})
 }
 
-// lockWalker tracks held mutexes through a statement list.
+// lockWalker tracks held mutexes through a statement list. It owns the
+// Lock/Unlock bookkeeping; when any tracked mutex is held it hands
+// every other call to onCall, so locksafe and hooklock share one
+// held-state engine and differ only in what they flag.
 type lockWalker struct {
-	pass  *Pass
-	locks map[*types.Func]map[string]bool
+	pass   *Pass
+	onCall func(call *ast.CallExpr, held map[string]bool)
+	// reportDoubleLock makes the walker itself report re-Lock of a held
+	// mutex; only locksafe sets it, so hooklock reuse does not
+	// duplicate the finding.
+	reportDoubleLock bool
 }
 
 // stmts walks a statement sequence, mutating held in place; branch
@@ -326,19 +327,14 @@ func (w *lockWalker) isUnlock(call *ast.CallExpr) bool {
 }
 
 func (w *lockWalker) call(call *ast.CallExpr, held map[string]bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	name := sel.Sel.Name
-
 	// Lock/unlock bookkeeping on tracked (field-of-identifier) mutexes.
-	if isSyncMutex(w.pass.Info.TypeOf(sel.X)) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isSyncMutex(w.pass.Info.TypeOf(sel.X)) {
+		name := sel.Sel.Name
 		key, tracked := mutexKey(sel.X)
 		switch name {
 		case "Lock", "RLock":
 			if tracked {
-				if held[key] {
+				if held[key] && w.reportDoubleLock {
 					w.pass.Reportf(call.Pos(), "%s.%s while %s is already held: sync mutexes are not reentrant", key, name, key)
 				}
 				held[key] = true
@@ -353,31 +349,7 @@ func (w *lockWalker) call(call *ast.CallExpr, held map[string]bool) {
 	if len(held) == 0 {
 		return
 	}
-
-	// Transport/RPC operation under a lock.
-	if fn := calleeFunc(w.pass.Info, call); fn != nil && transportCallNames[fn.Name()] {
-		path := funcPkgPath(fn)
-		if pkgPathMatches(path, "transport") || pkgPathMatches(path, "rpcudp") {
-			w.pass.Reportf(call.Pos(), "%s.%s while holding %s: never block on the network under a node lock (copy state out, unlock, then send)", path, fn.Name(), heldNames(held))
-			return
-		}
-	}
-
-	// Same-receiver method that (transitively) re-acquires a held mutex.
-	base, ok := ast.Unparen(sel.X).(*ast.Ident)
-	if !ok {
-		return
-	}
-	callee, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
-	if !ok {
-		return
-	}
-	for field := range w.locks[callee] {
-		if held[base.Name+"."+field] {
-			w.pass.Reportf(call.Pos(), "%s.%s acquires %s.%s which is already held: self-deadlock", base.Name, name, base.Name, field)
-			return
-		}
-	}
+	w.onCall(call, held)
 }
 
 // mutexKey returns the tracking key for a mutex expression. Only

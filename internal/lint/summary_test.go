@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// funcByName finds the unique *types.Func named name defined in pkg.
+func funcByName(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	var found *types.Func
+	for _, obj := range pkg.Info.Defs {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Name() != name {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("two functions named %s in %s", name, pkg.Path)
+		}
+		found = fn
+	}
+	if found == nil {
+		t.Fatalf("no function named %s in %s", name, pkg.Path)
+	}
+	return found
+}
+
+// TestSummaryPropagation pins the phase-1 fact layer on the summaries
+// fixture: direct effect extraction, bottom-up propagation through
+// recursion and across packages, function-literal scoping, interface
+// fallback, and same-receiver lock-set flow.
+func TestSummaryPropagation(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkgs, err := LoadFixtures(root, "summaries/a", "summaries/b")
+	if err != nil {
+		t.Fatalf("load summaries fixtures: %v", err)
+	}
+	pkgA, pkgB := pkgs[0], pkgs[1]
+	sums := ComputeSummaries(pkgs)
+
+	cases := []struct {
+		pkg     *Package
+		fn      string
+		effects Effect
+		locks   []string
+	}{
+		// Direct extraction.
+		{pkgA, "Ping", EffSend, nil},
+		{pkgA, "Pure", 0, nil},
+		// Mutual recursion: both carry the send at the fixpoint.
+		{pkgB, "Even", EffSend, nil},
+		{pkgB, "Odd", EffSend, nil},
+		// Cross-package propagation: b sees a.Ping's summary because
+		// LoadFixtures shares one type-checking session, so the
+		// *types.Func b calls is the object a declared.
+		{pkgB, "CrossPkg", EffSend, nil},
+		// A literal that is only returned keeps its effects to itself...
+		{pkgB, "DeferredLit", 0, nil},
+		// ...but invoking it in place, or through a local binding,
+		// surfaces them in the encloser.
+		{pkgB, "InvokedLit", EffSend, nil},
+		{pkgB, "LocalVarLit", EffSend, nil},
+		// Dynamic dispatch through an interface: conservative unknown.
+		{pkgB, "DynamicCall", EffUnknown, nil},
+		// Receiver-mutex lock sets flow across same-receiver calls.
+		{pkgB, "bump", 0, []string{"mu"}},
+		{pkgB, "Bump2", 0, []string{"mu"}},
+		// Direct fact extraction for the remaining bits.
+		{pkgB, "WallClock", EffClock, nil},
+		{pkgB, "Draw", EffRand, nil},
+		{pkgB, "WaitStop", EffBlock | EffShutdown, nil},
+		// Lifecycle ties propagate one helper deep — what goroleak
+		// relies on for `go w.waitLoop()` style launches.
+		{pkgB, "TiedHelper", EffBlock | EffShutdown, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fn := funcByName(t, tc.pkg, tc.fn)
+			sum := sums.Of(fn)
+			if sum == nil {
+				t.Fatalf("no summary for %s", fn.FullName())
+			}
+			if sum.Effects != tc.effects {
+				t.Errorf("%s effects = %s, want %s", tc.fn, sum.Effects, tc.effects)
+			}
+			var locks []string
+			for f := range sum.Locks {
+				locks = append(locks, f)
+			}
+			sort.Strings(locks)
+			want := append([]string(nil), tc.locks...)
+			sort.Strings(want)
+			if strings.Join(locks, ",") != strings.Join(want, ",") {
+				t.Errorf("%s locks = %v, want %v", tc.fn, locks, want)
+			}
+		})
+	}
+}
+
+// TestSummaryOfNonFunction pins the nil-safe lookups analyzers rely on.
+func TestSummaryOfNonFunction(t *testing.T) {
+	var nilSums *Summaries
+	if nilSums.Of(nil) != nil || nilSums.OfLit(nil) != nil || nilSums.LitsOf(nil) != nil {
+		t.Error("nil Summaries lookups must return nil")
+	}
+	sums := &Summaries{funcs: map[*types.Func]*Summary{}}
+	if sums.Of(types.Universe.Lookup("len")) != nil {
+		t.Error("non-*types.Func object must have no summary")
+	}
+}
+
+// TestEffectString pins the diagnostic rendering of the bitmask.
+func TestEffectString(t *testing.T) {
+	if got := Effect(0).String(); got != "none" {
+		t.Errorf("Effect(0) = %q, want none", got)
+	}
+	if got := (EffSend | EffClock).String(); got != "send|clock" {
+		t.Errorf("EffSend|EffClock = %q, want send|clock", got)
+	}
+}
+
+// TestEncodeJSONStable pins the -json wire shape byte-for-byte: CI
+// uploads these artifacts and diffs them across runs, so ordering and
+// the empty-list encoding are part of the contract.
+func TestEncodeJSONStable(t *testing.T) {
+	res := Result{
+		Diagnostics: []Diagnostic{
+			{
+				Analyzer: "detorder",
+				Pos:      token.Position{Filename: "a/b.go", Line: 7, Column: 3},
+				Message:  "map range escapes",
+			},
+			{
+				Analyzer: "locksafe",
+				Pos:      token.Position{Filename: "c.go", Line: 12, Column: 9},
+				Message:  "send under lock",
+			},
+		},
+		Stale: []Suppression{
+			{
+				Pos:      token.Position{Filename: "d.go", Line: 3},
+				Analyzer: "ringcmp",
+				Reason:   "obsolete",
+			},
+		},
+	}
+	const golden = `{
+  "findings": [
+    {
+      "analyzer": "detorder",
+      "file": "a/b.go",
+      "line": 7,
+      "col": 3,
+      "message": "map range escapes"
+    },
+    {
+      "analyzer": "locksafe",
+      "file": "c.go",
+      "line": 12,
+      "col": 9,
+      "message": "send under lock"
+    }
+  ],
+  "stale_suppressions": [
+    {
+      "analyzer": "ringcmp",
+      "file": "d.go",
+      "line": 3,
+      "reason": "obsolete"
+    }
+  ]
+}
+`
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("EncodeJSON output drifted:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+
+	// Empty results must encode as [] (not null) so a clean run's
+	// artifact is stable too.
+	buf.Reset()
+	if err := EncodeJSON(&buf, Result{}); err != nil {
+		t.Fatal(err)
+	}
+	const emptyGolden = `{
+  "findings": [],
+  "stale_suppressions": []
+}
+`
+	if buf.String() != emptyGolden {
+		t.Errorf("empty EncodeJSON drifted:\ngot:\n%s\nwant:\n%s", buf.String(), emptyGolden)
+	}
+}

@@ -83,3 +83,47 @@ func (n *Node) GoodDeferredCallback() func() error {
 	succ := n.succ
 	return func() error { return n.ep.Send(succ, "later", nil) }
 }
+
+// pushState wraps the transport call in a helper; locksafe v1 only
+// matched the method name at the call site, so a held lock across this
+// call went unseen. The call summary carries the send effect up.
+func (n *Node) pushState() {
+	n.ep.Send(n.succ, "state", nil)
+}
+
+// relay adds a second helper level above pushState.
+func (n *Node) relay() {
+	n.pushState()
+}
+
+// BadHelperSendUnderLock hides the send behind one helper — the case
+// the per-function analyzer provably missed.
+func (n *Node) BadHelperSendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pushState() // want `call to n\.pushState while holding n\.mu: it transitively performs a transport operation`
+}
+
+// BadDeepHelperSendUnderLock hides it behind two.
+func (n *Node) BadDeepHelperSendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.relay() // want `call to n\.relay while holding n\.mu: it transitively performs a transport operation`
+}
+
+// GoodHelperSendAfterUnlock releases before the helper runs.
+func (n *Node) GoodHelperSendAfterUnlock() {
+	n.mu.Lock()
+	succ := n.succ
+	n.mu.Unlock()
+	_ = succ
+	n.pushState()
+}
+
+// GoodHelperInCallback builds a closure under the lock; the helper
+// send inside it runs later, outside the critical section.
+func (n *Node) GoodHelperInCallback() func() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return func() { n.pushState() }
+}

@@ -1,0 +1,115 @@
+// Package detorder is the detorder analyzer fixture: map iteration
+// order reaching a transport send, a wire encoder, or trace output
+// must pass through a sort; commutative map uses and the sorted-keys
+// idiom must stay clean.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+
+	"transport"
+	"wire"
+)
+
+// Service mirrors the maan.Service shape: a store keyed by attribute,
+// flushed over the transport.
+type Service struct {
+	ep    transport.Endpoint
+	store map[string][]int
+}
+
+// send is the helper indirection: the sink is only visible through its
+// call summary.
+func (s *Service) send(to transport.Addr, typ string, payload any) {
+	_ = s.ep.Send(to, typ, payload)
+}
+
+// BadDirectSendInRange sends once per iteration.
+func (s *Service) BadDirectSendInRange() {
+	for attr := range s.store {
+		_ = s.ep.Send("succ", "update", attr) // want `a transport Send inside a range over a map`
+	}
+}
+
+// BadHelperSendInRange hides the per-iteration send behind the helper.
+func (s *Service) BadHelperSendInRange() {
+	for attr := range s.store {
+		s.send("succ", "update", attr) // want `a transport send \(via s\.send\) inside a range over a map`
+	}
+}
+
+// BadCollectedSliceSent builds a batch in map order and ships it.
+func (s *Service) BadCollectedSliceSent() {
+	var batch []string
+	for attr := range s.store { // want `iteration order of this map range escapes into a transport send \(via s\.send\) via "batch"`
+		batch = append(batch, attr)
+	}
+	s.send("succ", "replicate", batch)
+}
+
+// BadCollectedSliceRanged consumes the collected slice with a send per
+// element.
+func (s *Service) BadCollectedSliceRanged() {
+	var out []string
+	for attr := range s.store { // want `iteration order of this map range escapes into a transport Send via "out"`
+		out = append(out, attr)
+	}
+	for _, attr := range out {
+		_ = s.ep.Send("owner", "transfer", attr)
+	}
+}
+
+// BadEncodeInRange feeds the wire encoder in map order.
+func (s *Service) BadEncodeInRange(e *wire.Encoder) {
+	for attr := range s.store {
+		e.String(attr) // want `a wire encoder call inside a range over a map`
+	}
+}
+
+// BadPrintInRange emits trace output in map order.
+func (s *Service) BadPrintInRange() {
+	for attr, es := range s.store {
+		fmt.Printf("%s=%d\n", attr, len(es)) // want `fmt\.Printf output inside a range over a map`
+	}
+}
+
+// GoodSortedKeys is the sanctioned idiom: collect, sort, then emit.
+func (s *Service) GoodSortedKeys() {
+	keys := make([]string, 0, len(s.store))
+	for attr := range s.store {
+		keys = append(keys, attr)
+	}
+	sort.Strings(keys)
+	for _, attr := range keys {
+		s.send("succ", "update", attr)
+	}
+}
+
+// GoodSortedBatch sorts the collected slice before it escapes.
+func (s *Service) GoodSortedBatch() {
+	var batch []string
+	for attr := range s.store {
+		batch = append(batch, attr)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	s.send("succ", "replicate", batch)
+}
+
+// GoodCommutativeMerge mutates another map: no order-sensitive sink.
+func (s *Service) GoodCommutativeMerge(into map[string]int) {
+	for attr, es := range s.store {
+		into[attr] += len(es)
+	}
+}
+
+// GoodDeferredSendInRange builds callbacks in the loop; their bodies
+// run later, not per iteration.
+func (s *Service) GoodDeferredSendInRange() []func() {
+	var cbs []func()
+	for attr := range s.store {
+		attr := attr
+		cbs = append(cbs, func() { s.send("succ", "late", attr) })
+	}
+	return cbs
+}

@@ -1,0 +1,93 @@
+// Package hooklock is the hooklock analyzer fixture: obs hook and
+// transport tap callbacks fired while a node mutex is held must be
+// flagged; the copy-out style (snapshot, unlock, notify) must not.
+package hooklock
+
+import (
+	"sync"
+
+	"obs"
+	"transport"
+)
+
+// Node mirrors the real node shape: a mutex guarding state next to an
+// optional hook bundle and a message tap.
+type Node struct {
+	mu    sync.Mutex
+	hooks obs.ChordHooks
+	tap   transport.Tap
+	state int
+}
+
+// BadHookVarUnderLock fires through the standard h-var idiom inside
+// the critical section.
+func (n *Node) BadHookVarUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hooks.RoundDone; h != nil {
+		h(n.state) // want `obs hook fired while holding n\.mu`
+	}
+}
+
+// BadHookSelectorUnderLock fires through the field selector directly.
+func (n *Node) BadHookSelectorUnderLock() {
+	n.mu.Lock()
+	n.hooks.Suspected("peer-1") // want `obs hook fired while holding n\.mu`
+	n.mu.Unlock()
+}
+
+// BadTapUnderLock invokes the message tap under the lock.
+func (n *Node) BadTapUnderLock() {
+	n.mu.Lock()
+	n.tap.Message("a", "b", "update", true) // want `transport tap invoked while holding n\.mu`
+	n.mu.Unlock()
+}
+
+// notify wraps the hook firing in a helper; only the call summary
+// reveals it.
+func (n *Node) notify() {
+	if h := n.hooks.RoundDone; h != nil {
+		h(n.state)
+	}
+}
+
+// BadHelperHookUnderLock fires the hook one helper deep.
+func (n *Node) BadHelperHookUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.notify() // want `call to n\.notify while holding n\.mu: it transitively fires an obs hook`
+}
+
+// GoodCopyOutNotify is the sanctioned style: snapshot the hook and the
+// state under the lock, release, then notify.
+func (n *Node) GoodCopyOutNotify() {
+	n.mu.Lock()
+	st := n.state
+	h := n.hooks.RoundDone
+	n.mu.Unlock()
+	if h != nil {
+		h(st)
+	}
+}
+
+// GoodHelperAfterUnlock calls the hook-firing helper outside the
+// critical section.
+func (n *Node) GoodHelperAfterUnlock() {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	n.notify()
+}
+
+// GoodDeferredHook binds the hook into a callback; it runs later, not
+// under the lock.
+func (n *Node) GoodDeferredHook() func() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.state
+	return func() {
+		if h := n.hooks.RoundDone; h != nil {
+			h(st)
+		}
+	}
+}

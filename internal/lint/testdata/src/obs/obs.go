@@ -1,0 +1,12 @@
+// Package obs is a fixture standing in for repro/internal/obs: the
+// hooklock analyzer and the summary layer recognize callback fields of
+// any struct named *Hooks declared under a package path ending in
+// "obs".
+package obs
+
+// ChordHooks mirrors the real hook bundle shape: optional callback
+// fields, nil when unobserved.
+type ChordHooks struct {
+	Suspected func(addr string)
+	RoundDone func(n int)
+}

@@ -1,0 +1,14 @@
+// Package a is the lower layer of the cross-package summary fixture:
+// its effects must be visible from package b through the shared
+// type-checking session.
+package a
+
+import "transport"
+
+// Ping sends directly.
+func Ping(ep transport.Endpoint, to transport.Addr) {
+	_ = ep.Send(to, "ping", nil)
+}
+
+// Pure has no effects.
+func Pure(x int) int { return x + 1 }

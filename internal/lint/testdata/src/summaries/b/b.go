@@ -1,0 +1,100 @@
+// Package b exercises the summary layer's propagation rules: mutual
+// recursion, cross-package calls, function literals (deferred vs
+// invoked in place), interface fallback, lock sets, and the
+// clock/rand/lifecycle facts.
+package b
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"summaries/a"
+	"transport"
+)
+
+// Even and Odd are mutually recursive; Odd sends, so both must carry
+// the send effect at the fixpoint.
+func Even(n int, ep transport.Endpoint) {
+	if n > 0 {
+		Odd(n-1, ep)
+	}
+}
+
+func Odd(n int, ep transport.Endpoint) {
+	_ = ep.Send("peer", "tick", n)
+	if n > 0 {
+		Even(n-1, ep)
+	}
+}
+
+// CrossPkg reaches the transport only through package a.
+func CrossPkg(ep transport.Endpoint) {
+	a.Ping(ep, "root")
+}
+
+// DeferredLit builds a sending closure but never runs it: the send
+// belongs to the literal, not to DeferredLit.
+func DeferredLit(ep transport.Endpoint) func() {
+	return func() { _ = ep.Send("peer", "later", nil) }
+}
+
+// InvokedLit runs the literal in place, so the send is its own.
+func InvokedLit(ep transport.Endpoint) {
+	func() { _ = ep.Send("peer", "now", nil) }()
+}
+
+// LocalVarLit calls a literal through a local variable binding.
+func LocalVarLit(ep transport.Endpoint) {
+	fire := func() { _ = ep.Send("peer", "bound", nil) }
+	fire()
+}
+
+// Mystery is an interface the analyzer has no bodies for.
+type Mystery interface {
+	Do()
+}
+
+// DynamicCall dispatches through the interface: conservatively
+// unknown.
+func DynamicCall(m Mystery) {
+	m.Do()
+}
+
+// Box carries the receiver-mutex lock-set fixture.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Bump2 acquires b.mu only through bump: the lock set must propagate
+// across the same-receiver call.
+func (b *Box) Bump2() {
+	b.bump()
+}
+
+// WallClock reads the wall clock.
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Draw draws randomness.
+func Draw() int {
+	return rand.Int()
+}
+
+// WaitStop blocks on a lifecycle channel.
+func WaitStop(stop chan struct{}) {
+	<-stop
+}
+
+// TiedHelper reaches the lifecycle tie through WaitStop.
+func TiedHelper(stop chan struct{}) {
+	WaitStop(stop)
+}

@@ -40,3 +40,14 @@ func (r *Request) ReplyError(err error) {
 		r.reply(nil, err)
 	}
 }
+
+// Tap observes every delivered message, mirroring the real interface.
+type Tap interface {
+	Message(from, to Addr, typ string, oneWay bool)
+}
+
+// TapFunc adapts a function to Tap.
+type TapFunc func(from, to Addr, typ string, oneWay bool)
+
+// Message implements Tap.
+func (f TapFunc) Message(from, to Addr, typ string, oneWay bool) { f(from, to, typ, oneWay) }

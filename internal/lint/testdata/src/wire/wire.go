@@ -21,3 +21,10 @@ type DecodeFunc func(d *Decoder) (any, error)
 
 // Register binds a payload code to a concrete message type.
 func Register(code byte, sample any, enc EncodeFunc, dec DecodeFunc) {}
+
+// EncodePayload frames one payload value, mirroring the real codec
+// entry point detorder treats as a sink.
+func EncodePayload(v any) []byte { return nil }
+
+// String appends a length-prefixed string field.
+func (e *Encoder) String(s string) { e.Buf = append(e.Buf, s...) }

@@ -195,10 +195,17 @@ func (s *Service) replicateToSuccessor() {
 	if succ.IsZero() || succ.Addr == s.ep.Addr() {
 		return
 	}
+	// Iterate attributes in sorted order: the batch crosses the wire,
+	// so its element order must not depend on map iteration (detorder).
 	s.mu.Lock()
+	attrs := make([]string, 0, len(s.store))
+	for attr := range s.store {
+		attrs = append(attrs, attr)
+	}
+	sort.Strings(attrs)
 	var batch []WireEntry
-	for attr, es := range s.store {
-		for _, e := range es {
+	for _, attr := range attrs {
+		for _, e := range s.store[attr] {
 			batch = append(batch, WireEntry{Attr: attr, Key: e.key, Value: e.value, Res: e.res})
 		}
 	}
@@ -303,9 +310,18 @@ func (s *Service) transferMisplaced() {
 		attr string
 		e    ownedEntry
 	}
+	// Sorted attribute order: each moved entry triggers a Lookup (and
+	// usually a Store RPC), so the issue order must be deterministic
+	// for byte-identical sim traces (detorder).
 	var out []moved
 	s.mu.Lock()
-	for attr, es := range s.store {
+	attrs := make([]string, 0, len(s.store))
+	for attr := range s.store {
+		attrs = append(attrs, attr)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		es := s.store[attr]
 		kept := es[:0]
 		for _, e := range es {
 			if space.InHalfOpen(e.key, pred.ID, self.ID) {
@@ -395,6 +411,11 @@ func (s *Service) Register(res Resource, cb func(error)) {
 		cb(fmt.Errorf("maan: resource %q has no attributes", res.Name))
 		return
 	}
+	// kvs was collected from map ranges; sort it so the per-attribute
+	// registration lookups go out in a deterministic order (detorder).
+	// Attribute names are unique across Values and Strings (the schema
+	// declares each name with exactly one kind).
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].attr < kvs[j].attr })
 	var mu sync.Mutex
 	remaining := len(kvs)
 	var firstErr error

@@ -297,12 +297,19 @@ func (p *Peer) Announce(period time.Duration) error {
 	if p.maan == nil {
 		return errors.New("dat: no MAAN schema configured")
 	}
+	// Start the new announcer before touching p.mu: AnnounceEvery
+	// registers synchronously, which routes lookups over the transport
+	// and can re-enter this peer inline on the simulated network —
+	// never under a node lock (locksafe). Swap the stop handle under
+	// the lock, then stop any previous announcer outside it.
+	stop := p.producer.AnnounceEvery(p.maan, period)
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.announce != nil {
-		p.announce()
+	prev := p.announce
+	p.announce = stop
+	p.mu.Unlock()
+	if prev != nil {
+		prev()
 	}
-	p.announce = p.producer.AnnounceEvery(p.maan, period)
 	return nil
 }
 
