@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json obs-smoke ci
+.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json bench-batching obs-smoke ci
 
 all: build
 
@@ -50,11 +50,17 @@ datcheck:
 
 # datcheck-faults: the delivery-fault profile — targeted mid-round
 # parent/root crashes with in-chaos no-lost-subtrees probes, swept over
-# DATCHECK_FAULT_SEEDS seeds above datcheck.FaultSeedBase.
+# DATCHECK_FAULT_SEEDS seeds above datcheck.FaultSeedBase — plus the
+# batching-fault profile: crashes inside the send machine's coalescing
+# window (DATCHECK_BATCH_SEEDS seeds above datcheck.BatchSeedBase) and
+# the paired-seed batched-vs-unbatched equivalence check.
 DATCHECK_FAULT_SEEDS ?= 8
+DATCHECK_BATCH_SEEDS ?= 6
 datcheck-faults:
-	$(GO) test ./internal/datcheck -v -run TestDatcheckFaults \
-		-datcheck.faultseeds $(DATCHECK_FAULT_SEEDS)
+	$(GO) test ./internal/datcheck -v \
+		-run 'TestDatcheckFaults|TestDatcheckBatchFaults|TestDatcheckBatchEquivalence' \
+		-datcheck.faultseeds $(DATCHECK_FAULT_SEEDS) \
+		-datcheck.batchseeds $(DATCHECK_BATCH_SEEDS)
 
 datcheck-long:
 	$(GO) test -race ./internal/datcheck -v -run TestDatcheckLong \
@@ -66,6 +72,11 @@ datcheck-long:
 BENCH_DIR ?= bench
 bench-json:
 	$(GO) run ./cmd/datbench -quick -json $(BENCH_DIR)
+
+# bench-batching: the send-machine ablation — datagrams per slot with
+# coalescing on vs off over a multi-tree monitoring run (DESIGN.md §12).
+bench-batching:
+	$(GO) run ./cmd/datbench -quick -exp batching -json $(BENCH_DIR)
 
 # Boot a live datnode with -obs.addr and verify /metrics, /healthz and
 # the debug pages respond with non-empty 200s (DESIGN.md §9).

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec")
+		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json summaries (optional)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -214,9 +214,24 @@ func main() {
 		tables = append(tables, wc)
 	}
 	stamp()
+	if run("batching") {
+		cfg := experiments.BatchingConfig{Seed: *seed}
+		if *quick {
+			cfg.N = 48
+			cfg.Slots = 10
+			cfg.Trees = []int{1, 16, 64}
+		}
+		fmt.Fprintf(os.Stderr, "send-machine batching...\n")
+		bt, err := experiments.BatchingOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, bt)
+	}
+	stamp()
 
 	if len(tables) == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching)", *exp))
 	}
 	for _, t := range tables {
 		if err := t.Render(os.Stdout); err != nil {
@@ -279,6 +294,9 @@ type benchRecord struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	ByteRatio   *float64 `json:"gob_byte_ratio,omitempty"`
 	AllocRatio  *float64 `json:"gob_alloc_ratio,omitempty"`
+	// DatagramReduction is the batching table's headline row: datagrams
+	// per slot unbatched over batched at the largest tree count.
+	DatagramReduction *float64 `json:"datagram_reduction,omitempty"`
 }
 
 func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
@@ -289,6 +307,7 @@ func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
 	rec.AllocsPerOp = headlineCell(t, "UpdateMsg", "wire_allocs_op")
 	rec.ByteRatio = headlineCell(t, "UpdateMsg", "byte_ratio")
 	rec.AllocRatio = headlineCell(t, "UpdateMsg", "alloc_ratio")
+	rec.DatagramReduction = lastRowCell(t, "reduction")
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -372,6 +391,29 @@ func headlineCell(t *experiments.Table, rowKey, col string) *float64 {
 				return &v
 			}
 		}
+	}
+	return nil
+}
+
+// lastRowCell pulls the named column's value from a table's final row —
+// for sweeps whose last row is the headline configuration. Nil when the
+// table has no such column.
+func lastRowCell(t *experiments.Table, col string) *float64 {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 || len(t.Rows) == 0 {
+		return nil
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if ci >= len(last) {
+		return nil
+	}
+	if v, err := strconv.ParseFloat(last[ci], 64); err == nil {
+		return &v
 	}
 	return nil
 }

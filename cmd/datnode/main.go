@@ -78,6 +78,10 @@ func main() {
 		instances = flag.Int("instances", 1, "additional in-process instances joining through this node")
 		obsAddr   = flag.String("obs.addr", "", "serve /metrics, /healthz, /debug/dat and pprof on this address")
 		failover  = flag.Bool("failover", true, "acked updates with parent failover and root handover (false: fire-and-forget)")
+		batch     = flag.Bool("batch.enable", true, "coalesce same-parent updates into batched datagrams (false: one datagram per update)")
+		batchBy   = flag.Int("batch.maxbytes", 0, "flush a batch at this estimated encoded size (0: default 1200)")
+		batchDl   = flag.Duration("batch.maxdelay", 0, "flush a batch after the first element waits this long (0: default 5ms)")
+		batchEl   = flag.Int("batch.maxelems", 0, "flush a batch at this many elements (0: default 32)")
 		logLevel  = flag.String("log.level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -102,12 +106,19 @@ func main() {
 		{Name: "memory-size", Min: 0, Max: 1 << 20},
 	}
 	delivery := dat.DeliveryConfig{Disable: !*failover}
+	batching := dat.BatchConfig{
+		Disable:  !*batch,
+		MaxBytes: *batchBy,
+		MaxDelay: *batchDl,
+		MaxElems: *batchEl,
+	}
 	observer := obs.NewObserver(obs.DefaultSpanCapacity)
 	peer, err := dat.NewPeer(dat.PeerConfig{
 		Listen:     *listen,
 		Name:       *name,
 		Attributes: attrs,
 		Delivery:   delivery,
+		Batch:      batching,
 		Observer:   observer,
 		Logger:     logger,
 	})
@@ -192,6 +203,7 @@ func main() {
 			Name:       fmt.Sprintf("%s#%d", peer.Addr(), i),
 			Attributes: attrs,
 			Delivery:   delivery,
+			Batch:      batching,
 			Logger:     logger,
 		})
 		if err != nil {

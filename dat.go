@@ -65,6 +65,10 @@ type Tree = core.Tree
 // PeerConfig.Delivery.
 type DeliveryConfig = core.DeliveryConfig
 
+// BatchConfig tunes the send machine that coalesces updates bound for
+// the same parent into single datagrams. See PeerConfig.Batch.
+type BatchConfig = core.BatchConfig
+
 // Attribute declares a numeric resource attribute and its value range
 // for MAAN's locality-preserving hash.
 type Attribute = maan.Attribute

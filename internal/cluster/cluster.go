@@ -98,6 +98,10 @@ type Options struct {
 	// zero value enables it with defaults; set Delivery.Disable to fall
 	// back to fire-and-forget updates.
 	Delivery core.DeliveryConfig
+	// Batch passes the send-machine coalescing policy (DESIGN.md §12)
+	// through to the DAT layer. The zero value enables it with
+	// defaults; set Batch.Disable for one datagram per update.
+	Batch core.BatchConfig
 	// DropProb injects message loss.
 	DropProb float64
 	// Observer wires runtime telemetry through every node: the network
@@ -243,6 +247,7 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 		HoldPerLevel:  c.Opts.HoldPerLevel,
 		ShareResults:  c.Opts.ShareResults,
 		Delivery:      c.Opts.Delivery,
+		Batch:         c.Opts.Batch,
 		Logger:        logger,
 	}
 	if c.Opts.Observer != nil {
@@ -495,6 +500,7 @@ func (c *Cluster) Crash(i int) {
 
 // Leave departs node i gracefully.
 func (c *Cluster) Leave(i int) {
+	c.DAT[i].Close() // flush the send machine before the endpoint goes
 	c.Chord[i].Stop(true)
 	_ = c.eps[i].Close()
 }

@@ -120,6 +120,8 @@ func init() {
 	gob.Register(UpdateMsg{})
 	gob.Register(DetachMsg{})
 	gob.Register(UpdateAck{})
+	gob.Register(BatchMsg{})
+	gob.Register(BatchAck{})
 	gob.Register(QueryReq{})
 	gob.Register(QueryResp{})
 	gob.Register(collectMsg{})
@@ -163,6 +165,11 @@ type NodeConfig struct {
 	// The zero value enables it with defaults; set Disable for the
 	// fire-and-forget ablation.
 	Delivery DeliveryConfig
+	// Batch tunes the send machine coalescing acked updates/detaches
+	// bound for the same parent into single datagrams (DESIGN.md §12).
+	// The zero value enables it with defaults; set Disable to send one
+	// datagram per message.
+	Batch BatchConfig
 	// Obs receives aggregation telemetry: per-hop spans, round latency
 	// and fan-in, update dispositions, cache expiry. The zero value
 	// disables instrumentation (DESIGN.md §9).
@@ -189,6 +196,7 @@ func (c NodeConfig) withDefaults() NodeConfig {
 		c.HoldPerLevel = 0 // synchronization disabled
 	}
 	c.Delivery = c.Delivery.withDefaults()
+	c.Batch = c.Batch.withDefaults()
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -211,6 +219,7 @@ type Node struct {
 	ep    transport.Endpoint
 	clock transport.Clock
 	cfg   NodeConfig
+	sm    *sendMachine // nil when cfg.Batch.Disable
 
 	mu   sync.Mutex
 	aggs map[ident.ID]*aggEntry
@@ -277,12 +286,27 @@ func NewNode(ch *chord.Node, ep transport.Endpoint, clock transport.Clock, cfg N
 		cfg:   cfg.withDefaults(),
 		aggs:  make(map[ident.ID]*aggEntry),
 	}
+	if !n.cfg.Batch.Disable {
+		n.sm = newSendMachine(n, n.cfg.Batch)
+	}
 	ch.Handle(MsgUpdate, n.handleUpdate)
 	ch.Handle(MsgDetach, n.handleDetach)
+	// Receiving batches is always on — it is the sender's choice to
+	// coalesce — so an unbatched node still answers batched peers.
+	ch.Handle(MsgBatch, n.handleBatch)
 	ch.Handle(MsgQuery, n.handleQuery)
 	ch.OnBroadcast(CollectType, n.handleCollect)
 	ch.OnBroadcast(ResultType, n.handleResultBroadcast)
 	return n
+}
+
+// Close drains the send machine, flushing any queued updates and
+// stopping its deadline timers. Safe to call more than once; the node's
+// aggregation timers are stopped per key via StopContinuous.
+func (n *Node) Close() {
+	if n.sm != nil {
+		n.sm.Close()
+	}
 }
 
 // Chord returns the underlying overlay node.

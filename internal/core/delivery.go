@@ -289,7 +289,7 @@ func (d *delivery) sendAttempt() {
 	}
 	d.cancelTimer = stop
 	d.mu.Unlock()
-	n.ep.Call(to, MsgUpdate, msg, func(payload any, err error) { d.onAck(gen, to, payload, err) })
+	n.batchCall(to, MsgUpdate, msg, func(payload any, err error) { d.onAck(gen, to, payload, err) })
 }
 
 // onTimeout handles an expired ack timer: the candidate earns a
@@ -484,7 +484,7 @@ func (n *Node) deliverDetach(to transport.Addr, dm DetachMsg) {
 	try = func() {
 		attempt++
 		a := attempt
-		n.ep.Call(to, MsgDetach, dm, func(_ any, err error) {
+		n.batchCall(to, MsgDetach, dm, func(_ any, err error) {
 			if err == nil {
 				return
 			}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// This file is the batched update transport — the "send machine"
+// (DESIGN.md §12). The acked delivery layer (delivery.go) emits one
+// datagram per child-update per tree per slot; with T concurrent trees
+// a node sends O(T) datagrams per slot even though most of them share
+// the same O(log n) parents. The send machine queues pending
+// MsgUpdate/MsgDetach calls per destination, coalesces everything bound
+// for the same parent into one BatchMsg envelope, and piggybacks the
+// per-element UpdateAcks on the single BatchAck reply, so the
+// datagrams/slot cost collapses from O(T) toward O(log n).
+//
+// Determinism: flush deadlines use the same draw-free FNV-1a jitter as
+// the retry backoff — no RNG is consumed — so enabling batching cannot
+// perturb a simulation's event randomness and datcheck traces stay
+// byte-identical per seed.
+
+// MsgBatch carries a coalesced batch of updates/detaches bound for one
+// destination; the reply is a BatchAck with one UpdateAck per element.
+const MsgBatch = "dat.batch"
+
+// BatchElem kinds. Wire-format constants — never renumber.
+const (
+	batchKindUpdate byte = 1
+	batchKindDetach byte = 2
+)
+
+// BatchElem is one queued message inside a BatchMsg. Kind selects which
+// payload field is live; both fields always travel (a zero DetachMsg
+// costs a handful of bytes) so the codec stays a fixed-shape product
+// type rather than a tagged union the gob-equivalence suite cannot
+// reflect over.
+type BatchElem struct {
+	Kind   byte
+	Update UpdateMsg
+	Detach DetachMsg
+}
+
+// BatchMsg is the coalesced envelope: every element was bound for the
+// same destination and is dispatched there in queue (FIFO) order.
+type BatchMsg struct {
+	Elems []BatchElem
+}
+
+// BatchAck acknowledges a BatchMsg: Acks[i] is the receiver's verdict
+// on Elems[i], with the same OK/Reason semantics as a standalone acked
+// update ("cycle"/"no-slot" refusals route around without a
+// failure-detector strike, exactly as in the unbatched protocol).
+type BatchAck struct {
+	Acks []UpdateAck
+}
+
+// BatchConfig tunes the send machine.
+type BatchConfig struct {
+	// Disable sends every update/detach as its own datagram (the
+	// pre-batching protocol). Receiving batches stays enabled — it is
+	// driven by the sender — so mixed deployments interoperate.
+	Disable bool
+	// MaxBytes flushes the queue once its estimated encoded size
+	// reaches this many bytes; keep it under the path MTU so one flush
+	// stays one datagram. Default 1200.
+	MaxBytes int
+	// MaxDelay bounds how long the first queued element may wait for
+	// company before the queue is flushed anyway. Keep it below
+	// HoldPerLevel so parents still fold fresh child values, and well
+	// below the delivery AckTimeout. Default 5ms.
+	MaxDelay time.Duration
+	// MaxElems flushes the queue once it holds this many elements.
+	// Default 32.
+	MaxElems int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 1200
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Millisecond
+	}
+	if c.MaxElems <= 0 {
+		c.MaxElems = 32
+	}
+	return c
+}
+
+// elemEstimate is a cheap upper-ish bound on one element's encoded
+// size. It only steers the MaxBytes flush trigger — the real encoding
+// happens once per flush in the codec — so a constant plus the variable
+// string fields is accurate enough.
+func elemEstimate(el BatchElem) int {
+	switch el.Kind {
+	case batchKindUpdate:
+		return 72 + len(el.Update.Sender.Addr) + len(el.Update.FailedRoot)
+	case batchKindDetach:
+		return 16 + len(el.Detach.Sender.Addr)
+	}
+	return 8
+}
+
+// frameOverhead estimates the per-datagram bytes a coalesced element
+// avoids: the wire envelope header (magic, version, kind, seq, type,
+// from) plus the UDP/IP headers. Feeds the bytes-saved telemetry only.
+const frameOverhead = 48
+
+// sendMachine queues outbound acked calls per destination and flushes
+// them as coalesced batches. All transport and hook work happens
+// outside sm.mu (the locksafe copy-out discipline); deadline timers are
+// fenced by a per-queue generation so a flush triggered by size races
+// cleanly with its own deadline.
+type sendMachine struct {
+	n   *Node
+	cfg BatchConfig
+
+	mu     sync.Mutex
+	queues map[transport.Addr]*destQueue
+	closed bool
+}
+
+type destQueue struct {
+	elems  []BatchElem
+	cbs    []func(any, error)
+	bytes  int
+	gen    uint64 // bumped on every flush; stale deadline timers no-op
+	seq    uint64 // flush counter, feeds the deadline jitter
+	cancel func() // pending deadline timer, nil when idle
+}
+
+func newSendMachine(n *Node, cfg BatchConfig) *sendMachine {
+	return &sendMachine{n: n, cfg: cfg.withDefaults(), queues: make(map[transport.Addr]*destQueue)}
+}
+
+// batchCall routes an acked update/detach through the send machine, or
+// straight to the endpoint when batching is disabled. It is the drop-in
+// replacement for ep.Call in the delivery layer.
+func (n *Node) batchCall(to transport.Addr, typ string, payload any, cb func(any, error)) {
+	if n.sm == nil {
+		n.ep.Call(to, typ, payload, cb)
+		return
+	}
+	n.sm.enqueue(to, typ, payload, cb)
+}
+
+// enqueue appends one element to the destination's queue and flushes it
+// if a size threshold tripped, else arms the deadline timer.
+func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb func(any, error)) {
+	var el BatchElem
+	switch typ {
+	case MsgUpdate:
+		el = BatchElem{Kind: batchKindUpdate, Update: payload.(UpdateMsg)}
+	case MsgDetach:
+		el = BatchElem{Kind: batchKindDetach, Detach: payload.(DetachMsg)}
+	default:
+		// Not coalescable (queries etc.): pass through untouched.
+		sm.n.ep.Call(to, typ, payload, cb)
+		return
+	}
+
+	sm.mu.Lock()
+	if sm.closed {
+		sm.mu.Unlock()
+		sm.n.ep.Call(to, typ, payload, cb)
+		return
+	}
+	q := sm.queues[to]
+	if q == nil {
+		q = &destQueue{}
+		sm.queues[to] = q
+	}
+	q.elems = append(q.elems, el)
+	q.cbs = append(q.cbs, cb)
+	q.bytes += elemEstimate(el)
+
+	var reason string
+	switch {
+	case len(q.elems) >= sm.cfg.MaxElems:
+		reason = "elems"
+	case q.bytes >= sm.cfg.MaxBytes:
+		reason = "bytes"
+	}
+	if reason != "" {
+		elems, cbs, stop := q.takeLocked()
+		sm.mu.Unlock()
+		if stop != nil {
+			stop()
+		}
+		sm.flush(to, elems, cbs, reason)
+		return
+	}
+	if q.cancel != nil {
+		sm.mu.Unlock()
+		return // deadline already armed for this queue
+	}
+	gen := q.gen
+	q.seq++
+	delay := sm.deadline(to, q.seq)
+	sm.mu.Unlock()
+
+	stop := sm.n.clock.AfterFunc(delay, func() { sm.onDeadline(to, gen) })
+	sm.mu.Lock()
+	if sm.closed || sm.queues[to] != q || q.gen != gen {
+		sm.mu.Unlock()
+		stop() // the queue flushed (or drained) while we armed the timer
+		return
+	}
+	q.cancel = stop
+	sm.mu.Unlock()
+}
+
+// deadline derives the flush delay for one queue fill: MaxDelay minus a
+// deterministic jitter in [0, MaxDelay/4), so co-located nodes whose
+// slots tick in lockstep de-phase their flushes without drawing from
+// any RNG.
+func (sm *sendMachine) deadline(to transport.Addr, seq uint64) time.Duration {
+	d := sm.cfg.MaxDelay
+	quarter := uint64(d / 4)
+	if quarter == 0 {
+		return d
+	}
+	h := fnv.New64a()
+	h.Write([]byte(sm.n.ep.Addr()))
+	h.Write([]byte(to))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seq >> (8 * i))
+	}
+	h.Write(b[:])
+	return d - time.Duration(h.Sum64()%quarter)
+}
+
+// onDeadline flushes the queue whose deadline expired, unless a size
+// trigger already flushed it (gen mismatch).
+func (sm *sendMachine) onDeadline(to transport.Addr, gen uint64) {
+	sm.mu.Lock()
+	q := sm.queues[to]
+	if q == nil || q.gen != gen || len(q.elems) == 0 {
+		sm.mu.Unlock()
+		return
+	}
+	elems, cbs, _ := q.takeLocked()
+	sm.mu.Unlock()
+	sm.flush(to, elems, cbs, "deadline")
+}
+
+// takeLocked empties the queue and bumps its generation, returning the
+// drained contents and any pending deadline timer for the caller to
+// stop outside the lock. Callers hold sm.mu.
+func (q *destQueue) takeLocked() (elems []BatchElem, cbs []func(any, error), stop func()) {
+	elems, cbs, stop = q.elems, q.cbs, q.cancel
+	q.elems, q.cbs, q.bytes, q.cancel = nil, nil, 0, nil
+	q.gen++
+	return elems, cbs, stop
+}
+
+// flush puts one queue's worth of traffic on the wire. A single-element
+// flush sends the original message directly — byte-for-byte what the
+// unbatched protocol sends, so light traffic (and therefore any peer
+// too old to know MsgBatch) never sees a batch envelope. Multi-element
+// flushes send one BatchMsg and demultiplex the BatchAck back onto the
+// per-element callbacks in order.
+func (sm *sendMachine) flush(to transport.Addr, elems []BatchElem, cbs []func(any, error), reason string) {
+	if len(elems) == 0 {
+		return
+	}
+	if h := sm.n.cfg.Obs.BatchFlush; h != nil {
+		h(reason, len(elems), (len(elems)-1)*frameOverhead)
+	}
+	if len(elems) == 1 {
+		typ, payload := elemMessage(elems[0])
+		sm.n.ep.Call(to, typ, payload, cbs[0])
+		return
+	}
+	sm.n.ep.Call(to, MsgBatch, BatchMsg{Elems: elems}, func(payload any, err error) {
+		if err == nil {
+			ba, ok := payload.(BatchAck)
+			if !ok || len(ba.Acks) != len(cbs) {
+				err = fmt.Errorf("core: bad batch ack %T (%d acks for %d elems)", payload, len(ackList(payload)), len(cbs))
+			} else {
+				for i, cb := range cbs {
+					if cb != nil {
+						cb(ba.Acks[i], nil)
+					}
+				}
+				return
+			}
+		}
+		// The whole datagram (or its ack) failed: every element shares
+		// the fate, exactly as if each had timed out on its own wire.
+		for _, cb := range cbs {
+			if cb != nil {
+				cb(nil, err)
+			}
+		}
+	})
+}
+
+func ackList(payload any) []UpdateAck {
+	if ba, ok := payload.(BatchAck); ok {
+		return ba.Acks
+	}
+	return nil
+}
+
+// elemMessage maps an element back to its standalone message form.
+func elemMessage(el BatchElem) (typ string, payload any) {
+	if el.Kind == batchKindDetach {
+		return MsgDetach, el.Detach
+	}
+	return MsgUpdate, el.Update
+}
+
+// Close drains every queue (flushing pending traffic immediately) and
+// stops all deadline timers; later enqueues bypass the machine. The
+// destinations are flushed in sorted order so shutdown traffic is
+// deterministic.
+func (sm *sendMachine) Close() {
+	sm.mu.Lock()
+	if sm.closed {
+		sm.mu.Unlock()
+		return
+	}
+	sm.closed = true
+	type drained struct {
+		to    transport.Addr
+		elems []BatchElem
+		cbs   []func(any, error)
+		stop  func()
+	}
+	var all []drained
+	for to, q := range sm.queues {
+		elems, cbs, stop := q.takeLocked()
+		if len(elems) > 0 || stop != nil {
+			all = append(all, drained{to, elems, cbs, stop})
+		}
+	}
+	sm.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].to < all[j].to })
+	for _, d := range all {
+		if d.stop != nil {
+			d.stop()
+		}
+		sm.flush(d.to, d.elems, d.cbs, "drain")
+	}
+}
+
+// handleBatch unpacks a coalesced envelope and dispatches each element
+// through the existing handlers via a synthetic request, capturing the
+// per-element acks (every update/detach path replies synchronously, so
+// the acks are complete when the loop ends) and returning them as one
+// BatchAck.
+func (n *Node) handleBatch(req *transport.Request) {
+	bm, ok := req.Payload.(BatchMsg)
+	if !ok {
+		req.ReplyError(fmt.Errorf("core: bad batch payload %T", req.Payload))
+		return
+	}
+	acks := make([]UpdateAck, len(bm.Elems))
+	for i, el := range bm.Elems {
+		i := i
+		capture := func(payload any, err error) {
+			switch {
+			case err != nil:
+				acks[i] = UpdateAck{OK: false, Reason: err.Error()}
+			default:
+				if a, isAck := payload.(UpdateAck); isAck {
+					acks[i] = a
+				} else {
+					acks[i] = UpdateAck{OK: true}
+				}
+			}
+		}
+		switch el.Kind {
+		case batchKindUpdate:
+			n.handleUpdate(transport.NewRequest(req.From, MsgUpdate, el.Update, capture))
+		case batchKindDetach:
+			n.handleDetach(transport.NewRequest(req.From, MsgDetach, el.Detach, capture))
+		default:
+			acks[i] = UpdateAck{OK: false, Reason: "bad-elem"}
+		}
+	}
+	req.Reply(BatchAck{Acks: acks})
+}

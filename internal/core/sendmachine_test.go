@@ -1,0 +1,368 @@
+package core
+
+// Deadline/flush unit tests for the send machine, driven by the
+// deterministic sim clock: every flush trigger (MaxBytes, MaxDelay,
+// MaxElems), the singleton fast path, the ack demultiplexer, and the
+// drain-on-Close shutdown tie.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ident"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// stubEndpoint records Calls so tests can inspect (and answer) what the
+// send machine put on the wire.
+type stubEndpoint struct {
+	addr  transport.Addr
+	calls []stubCall
+}
+
+type stubCall struct {
+	to      transport.Addr
+	typ     string
+	payload any
+	cb      transport.ResponseFunc
+}
+
+func (s *stubEndpoint) Addr() transport.Addr { return s.addr }
+func (s *stubEndpoint) Send(to transport.Addr, typ string, payload any) error {
+	s.calls = append(s.calls, stubCall{to, typ, payload, nil})
+	return nil
+}
+func (s *stubEndpoint) Call(to transport.Addr, typ string, payload any, cb transport.ResponseFunc) {
+	s.calls = append(s.calls, stubCall{to, typ, payload, cb})
+}
+func (s *stubEndpoint) Handle(transport.Handler) {}
+func (s *stubEndpoint) Close() error             { return nil }
+
+type flushRecord struct {
+	reason string
+	elems  int
+	saved  int
+}
+
+// newMachineForTest builds a Node shell with just the fields the send
+// machine touches: endpoint, clock, batch config, and the flush hook.
+func newMachineForTest(t *testing.T, eng *sim.Engine, bc BatchConfig) (*Node, *stubEndpoint, *[]flushRecord) {
+	t.Helper()
+	ep := &stubEndpoint{addr: "10.0.0.1:1"}
+	flushes := &[]flushRecord{}
+	cfg := NodeConfig{Batch: bc}.withDefaults()
+	cfg.Obs = obs.CoreHooks{BatchFlush: func(reason string, elems, saved int) {
+		*flushes = append(*flushes, flushRecord{reason, elems, saved})
+	}}
+	n := &Node{ep: ep, clock: transport.SimClock{Engine: eng}, cfg: cfg}
+	n.sm = newSendMachine(n, cfg.Batch)
+	return n, ep, flushes
+}
+
+func testUpdate(i int) UpdateMsg {
+	return UpdateMsg{
+		Key: 7, Epoch: int64(i), Nodes: uint64(i),
+		Sender: chord.NodeRef{ID: ident.ID(i), Addr: "10.0.0.1:1"},
+	}
+}
+
+// TestSendMachineFlushTriggers table-drives the three threshold flushes
+// plus the deadline path, asserting both the wire shape (one batched
+// Call) and the reported trigger.
+func TestSendMachineFlushTriggers(t *testing.T) {
+	const dest = transport.Addr("10.0.0.2:1")
+	cases := []struct {
+		name       string
+		cfg        BatchConfig
+		enqueue    int
+		runFor     time.Duration
+		wantReason string
+		wantElems  int
+	}{
+		{
+			name:       "max-elems",
+			cfg:        BatchConfig{MaxElems: 3, MaxDelay: time.Hour},
+			enqueue:    3,
+			wantReason: "elems",
+			wantElems:  3,
+		},
+		{
+			name: "max-bytes",
+			// Each update estimates ~72+len(addr) bytes, so two fit under
+			// 200 and the third trips the threshold.
+			cfg:        BatchConfig{MaxBytes: 200, MaxElems: 100, MaxDelay: time.Hour},
+			enqueue:    3,
+			wantReason: "bytes",
+			wantElems:  3,
+		},
+		{
+			name:       "max-delay",
+			cfg:        BatchConfig{MaxDelay: 5 * time.Millisecond, MaxElems: 100},
+			enqueue:    4,
+			runFor:     5 * time.Millisecond,
+			wantReason: "deadline",
+			wantElems:  4,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			n, ep, flushes := newMachineForTest(t, eng, tc.cfg)
+			for i := 0; i < tc.enqueue; i++ {
+				n.batchCall(dest, MsgUpdate, testUpdate(i), nil)
+			}
+			if tc.runFor > 0 {
+				if len(ep.calls) != 0 {
+					t.Fatalf("flushed before the deadline: %d calls", len(ep.calls))
+				}
+				eng.RunFor(tc.runFor)
+			}
+			if len(ep.calls) != 1 {
+				t.Fatalf("got %d calls, want 1 batched call", len(ep.calls))
+			}
+			call := ep.calls[0]
+			if call.to != dest || call.typ != MsgBatch {
+				t.Fatalf("call = %s %q, want %s %q", call.to, call.typ, dest, MsgBatch)
+			}
+			bm := call.payload.(BatchMsg)
+			if len(bm.Elems) != tc.wantElems {
+				t.Fatalf("batch holds %d elems, want %d", len(bm.Elems), tc.wantElems)
+			}
+			// FIFO order is part of the contract: element i is enqueue i.
+			for i, el := range bm.Elems {
+				if el.Kind != batchKindUpdate || el.Update.Epoch != int64(i) {
+					t.Fatalf("elem %d = kind %d epoch %d; queue order not preserved", i, el.Kind, el.Update.Epoch)
+				}
+			}
+			if len(*flushes) != 1 || (*flushes)[0].reason != tc.wantReason {
+				t.Fatalf("flush records = %+v, want one %q", *flushes, tc.wantReason)
+			}
+			if saved := (*flushes)[0].saved; saved != (tc.wantElems-1)*frameOverhead {
+				t.Fatalf("bytesSaved = %d, want %d", saved, (tc.wantElems-1)*frameOverhead)
+			}
+			// No timer may survive the flush: drain the engine and assert
+			// nothing else reaches the wire.
+			eng.Run()
+			if len(ep.calls) != 1 {
+				t.Fatalf("stale deadline timer fired: %d calls", len(ep.calls))
+			}
+		})
+	}
+}
+
+// TestSendMachineSingletonBypassesEnvelope pins the fast path: a queue
+// that holds one element at its deadline sends the original message
+// type, byte-for-byte what the unbatched protocol sends.
+func TestSendMachineSingletonBypassesEnvelope(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, ep, flushes := newMachineForTest(t, eng, BatchConfig{MaxDelay: 5 * time.Millisecond})
+	um := testUpdate(1)
+	n.batchCall("10.0.0.2:1", MsgUpdate, um, nil)
+	eng.RunFor(5 * time.Millisecond)
+	if len(ep.calls) != 1 {
+		t.Fatalf("got %d calls, want 1", len(ep.calls))
+	}
+	if ep.calls[0].typ != MsgUpdate {
+		t.Fatalf("singleton sent as %q, want %q", ep.calls[0].typ, MsgUpdate)
+	}
+	if got := ep.calls[0].payload.(UpdateMsg); got != um {
+		t.Fatalf("singleton payload = %+v, want %+v", got, um)
+	}
+	if len(*flushes) != 1 || (*flushes)[0].saved != 0 {
+		t.Fatalf("flush records = %+v, want one with zero bytes saved", *flushes)
+	}
+
+	// Detaches ride the same path.
+	dm := DetachMsg{Key: 9, Sender: chord.NodeRef{ID: 9, Addr: "10.0.0.1:1"}}
+	n.batchCall("10.0.0.3:1", MsgDetach, dm, nil)
+	eng.RunFor(5 * time.Millisecond)
+	if len(ep.calls) != 2 || ep.calls[1].typ != MsgDetach {
+		t.Fatalf("detach singleton: calls = %+v", ep.calls)
+	}
+}
+
+// TestSendMachineDeadlineDeterministic pins the draw-free jitter: the
+// flush delay is a pure function of (self, dest, fill sequence), stays
+// within (3/4*MaxDelay, MaxDelay], and varies across destinations.
+func TestSendMachineDeadlineDeterministic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, _, _ := newMachineForTest(t, eng, BatchConfig{})
+	d := n.sm.cfg.MaxDelay
+	seen := map[time.Duration]bool{}
+	for _, dest := range []transport.Addr{"10.0.0.2:1", "10.0.0.3:1", "10.0.0.4:1"} {
+		for seq := uint64(1); seq <= 3; seq++ {
+			got := n.sm.deadline(dest, seq)
+			if got != n.sm.deadline(dest, seq) {
+				t.Fatalf("deadline(%s, %d) is not deterministic", dest, seq)
+			}
+			if got <= d-d/4 || got > d {
+				t.Fatalf("deadline(%s, %d) = %v outside (%v, %v]", dest, seq, got, d-d/4, d)
+			}
+			seen[got] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("deadlines did not vary across destinations/fills")
+	}
+}
+
+// TestSendMachineAckDemux covers the reply path: a BatchAck fans its
+// per-element acks onto the queued callbacks in order; a transport
+// error (or a malformed ack) fails every element.
+func TestSendMachineAckDemux(t *testing.T) {
+	run := func(t *testing.T, reply func(transport.ResponseFunc)) []struct {
+		payload any
+		err     error
+	} {
+		t.Helper()
+		eng := sim.NewEngine(1)
+		n, ep, _ := newMachineForTest(t, eng, BatchConfig{MaxElems: 2, MaxDelay: time.Hour})
+		results := make([]struct {
+			payload any
+			err     error
+		}, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			n.batchCall("10.0.0.2:1", MsgUpdate, testUpdate(i), func(p any, err error) {
+				results[i] = struct {
+					payload any
+					err     error
+				}{p, err}
+			})
+		}
+		if len(ep.calls) != 1 {
+			t.Fatalf("got %d calls, want 1", len(ep.calls))
+		}
+		reply(ep.calls[0].cb)
+		return results
+	}
+
+	t.Run("acks-in-order", func(t *testing.T) {
+		acks := []UpdateAck{{OK: true}, {OK: false, Reason: "cycle"}}
+		results := run(t, func(cb transport.ResponseFunc) { cb(BatchAck{Acks: acks}, nil) })
+		for i, r := range results {
+			if r.err != nil || r.payload.(UpdateAck) != acks[i] {
+				t.Fatalf("element %d got (%v, %v), want %+v", i, r.payload, r.err, acks[i])
+			}
+		}
+	})
+	t.Run("transport-error-fans-out", func(t *testing.T) {
+		boom := errors.New("boom")
+		results := run(t, func(cb transport.ResponseFunc) { cb(nil, boom) })
+		for i, r := range results {
+			if !errors.Is(r.err, boom) {
+				t.Fatalf("element %d err = %v, want boom", i, r.err)
+			}
+		}
+	})
+	t.Run("short-ack-fans-error", func(t *testing.T) {
+		results := run(t, func(cb transport.ResponseFunc) { cb(BatchAck{Acks: []UpdateAck{{OK: true}}}, nil) })
+		for i, r := range results {
+			if r.err == nil {
+				t.Fatalf("element %d accepted a short BatchAck", i)
+			}
+		}
+	})
+	t.Run("wrong-type-fans-error", func(t *testing.T) {
+		results := run(t, func(cb transport.ResponseFunc) { cb(UpdateAck{OK: true}, nil) })
+		for i, r := range results {
+			if r.err == nil {
+				t.Fatalf("element %d accepted a non-batch ack", i)
+			}
+		}
+	})
+}
+
+// TestSendMachineCloseDrains pins the shutdown tie: Close flushes every
+// queued element immediately (reason "drain", deterministic destination
+// order), cancels all deadline timers, and later enqueues bypass the
+// machine rather than park in a dead queue.
+func TestSendMachineCloseDrains(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, ep, flushes := newMachineForTest(t, eng, BatchConfig{MaxDelay: time.Hour, MaxElems: 100})
+	dests := []transport.Addr{"10.0.0.9:1", "10.0.0.2:1", "10.0.0.5:1"}
+	for i, dest := range dests {
+		n.batchCall(dest, MsgUpdate, testUpdate(i), nil)
+		n.batchCall(dest, MsgUpdate, testUpdate(i+10), nil)
+	}
+	if len(ep.calls) != 0 {
+		t.Fatalf("flushed before Close: %d calls", len(ep.calls))
+	}
+	n.Close()
+	if len(ep.calls) != len(dests) {
+		t.Fatalf("drain produced %d calls, want %d", len(ep.calls), len(dests))
+	}
+	// Destinations must flush in sorted order, not map order.
+	want := []transport.Addr{"10.0.0.2:1", "10.0.0.5:1", "10.0.0.9:1"}
+	for i, call := range ep.calls {
+		if call.to != want[i] {
+			t.Fatalf("drain order: call %d went to %s, want %s", i, call.to, want[i])
+		}
+		if call.typ != MsgBatch || len(call.payload.(BatchMsg).Elems) != 2 {
+			t.Fatalf("drain call %d = %q %+v", i, call.typ, call.payload)
+		}
+	}
+	for _, f := range *flushes {
+		if f.reason != "drain" {
+			t.Fatalf("flush reason %q, want drain", f.reason)
+		}
+	}
+	// All deadline timers must be gone: the engine has nothing to fire.
+	if fired := eng.Run(); fired != 0 {
+		t.Fatalf("%d events fired after Close; deadline timers leaked", fired)
+	}
+	// Idempotent, and post-Close traffic passes straight through.
+	n.Close()
+	n.batchCall("10.0.0.7:1", MsgUpdate, testUpdate(99), nil)
+	last := ep.calls[len(ep.calls)-1]
+	if last.typ != MsgUpdate || last.to != "10.0.0.7:1" {
+		t.Fatalf("post-Close enqueue did not pass through: %+v", last)
+	}
+}
+
+// TestSendMachinePassThrough pins the routing rules around the machine:
+// non-coalescable message types skip the queue, and a Batch.Disable
+// node (sm == nil) calls the endpoint directly.
+func TestSendMachinePassThrough(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, ep, _ := newMachineForTest(t, eng, BatchConfig{})
+	n.batchCall("10.0.0.2:1", MsgQuery, QueryReq{Key: 1}, nil)
+	if len(ep.calls) != 1 || ep.calls[0].typ != MsgQuery {
+		t.Fatalf("query did not pass through: %+v", ep.calls)
+	}
+
+	disabled := &Node{ep: ep, clock: transport.SimClock{Engine: eng}, cfg: NodeConfig{Batch: BatchConfig{Disable: true}}.withDefaults()}
+	disabled.batchCall("10.0.0.2:1", MsgUpdate, testUpdate(1), nil)
+	if len(ep.calls) != 2 || ep.calls[1].typ != MsgUpdate {
+		t.Fatalf("disabled machine did not pass through: %+v", ep.calls)
+	}
+}
+
+// TestElemEstimatePositive keeps the size estimator honest enough for
+// the MaxBytes trigger: every element kind costs a positive number of
+// bytes that grows with its variable-length fields.
+func TestElemEstimatePositive(t *testing.T) {
+	for _, el := range []BatchElem{
+		{Kind: batchKindUpdate, Update: testUpdate(1)},
+		{Kind: batchKindDetach, Detach: DetachMsg{Key: 1}},
+		{Kind: 77},
+	} {
+		if got := elemEstimate(el); got <= 0 {
+			t.Fatalf("elemEstimate(kind %d) = %d", el.Kind, got)
+		}
+	}
+	small := elemEstimate(BatchElem{Kind: batchKindUpdate, Update: UpdateMsg{}})
+	big := elemEstimate(BatchElem{Kind: batchKindUpdate, Update: UpdateMsg{
+		Sender:     chord.NodeRef{Addr: transport.Addr(fmt.Sprintf("%064d", 1))},
+		FailedRoot: "10.0.0.1:1",
+	}})
+	if big <= small {
+		t.Fatalf("estimate ignores variable fields: %d <= %d", big, small)
+	}
+}

@@ -20,6 +20,8 @@ const (
 	codeQueryResp  = wire.CodeCoreBase + 4
 	codeCollectMsg = wire.CodeCoreBase + 5
 	codeResultMsg  = wire.CodeCoreBase + 6
+	codeBatchMsg   = wire.CodeCoreBase + 7
+	codeBatchAck   = wire.CodeCoreBase + 8
 )
 
 func encodeAggregate(e *wire.Encoder, a Aggregate) {
@@ -44,6 +46,113 @@ func decodeAggregate(d *wire.Decoder) Aggregate {
 	return a
 }
 
+// The UpdateMsg/DetachMsg/UpdateAck field codecs are shared between the
+// standalone payload registrations and the BatchElem element codec, so
+// the batched and unbatched representations of one message can never
+// drift apart.
+
+func encodeUpdateBody(e *wire.Encoder, m UpdateMsg) {
+	e.Uvarint(uint64(m.Key))
+	e.Varint(m.Epoch)
+	encodeAggregate(e, m.Agg)
+	e.Uvarint(m.Nodes)
+	e.Varint(int64(m.Height))
+	e.Varint(m.Slot)
+	chord.EncodeNodeRef(e, m.Sender)
+	e.Bool(m.Demand)
+	e.Uvarint(m.Trace)
+	e.Varint(m.SentAt)
+	e.Uvarint(m.Seq)
+	e.Bool(m.Handover)
+	e.String(string(m.FailedRoot))
+}
+
+func decodeUpdateBody(d *wire.Decoder) UpdateMsg {
+	var m UpdateMsg
+	m.Key = ident.ID(d.Uvarint())
+	m.Epoch = d.Varint()
+	m.Agg = decodeAggregate(d)
+	m.Nodes = d.Uvarint()
+	m.Height = int(d.Varint())
+	m.Slot = d.Varint()
+	m.Sender = chord.DecodeNodeRef(d)
+	m.Demand = d.Bool()
+	m.Trace = d.Uvarint()
+	m.SentAt = d.Varint()
+	m.Seq = d.Uvarint()
+	m.Handover = d.Bool()
+	m.FailedRoot = transport.Addr(d.String())
+	return m
+}
+
+func encodeDetachBody(e *wire.Encoder, m DetachMsg) {
+	e.Uvarint(uint64(m.Key))
+	chord.EncodeNodeRef(e, m.Sender)
+}
+
+func decodeDetachBody(d *wire.Decoder) DetachMsg {
+	var m DetachMsg
+	m.Key = ident.ID(d.Uvarint())
+	m.Sender = chord.DecodeNodeRef(d)
+	return m
+}
+
+func encodeAckBody(e *wire.Encoder, m UpdateAck) {
+	e.Bool(m.OK)
+	e.String(m.Reason)
+}
+
+func decodeAckBody(d *wire.Decoder) UpdateAck {
+	var m UpdateAck
+	m.OK = d.Bool()
+	m.Reason = d.String()
+	return m
+}
+
+// decodeBatchElems follows the shared slice-decoding idiom: a zero
+// count decodes to nil (matching gob's empty-slice normalization) and
+// the preallocation is capped by the remaining buffer against forged
+// length prefixes.
+func decodeBatchElems(d *wire.Decoder) []BatchElem {
+	n := d.Uvarint()
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	if max := uint64(len(d.Buf)-d.Off)/2 + 1; n > max {
+		n = max
+	}
+	elems := make([]BatchElem, 0, n)
+	for i := uint64(0); d.Err == nil && i < n; i++ {
+		var el BatchElem
+		el.Kind = d.Byte()
+		el.Update = decodeUpdateBody(d)
+		el.Detach = decodeDetachBody(d)
+		elems = append(elems, el)
+	}
+	if d.Err != nil {
+		return nil
+	}
+	return elems
+}
+
+func decodeAcks(d *wire.Decoder) []UpdateAck {
+	n := d.Uvarint()
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	if max := uint64(len(d.Buf)-d.Off)/2 + 1; n > max {
+		n = max
+	}
+	acks := make([]UpdateAck, 0, n)
+	for i := uint64(0); d.Err == nil && i < n; i++ {
+		acks = append(acks, decodeAckBody(d))
+	}
+	if d.Err != nil {
+		return nil
+	}
+	return acks
+}
+
 func init() {
 	// Hand-written compact codecs for the DAT aggregation messages —
 	// MsgUpdate is the single hottest payload on the wire, so its
@@ -51,63 +160,44 @@ func init() {
 	// BenchmarkWireVsGob pin down.
 	wire.Register(codeUpdateMsg,
 		UpdateMsg{},
-		func(e *wire.Encoder, v any) {
-			m := v.(UpdateMsg)
-			e.Uvarint(uint64(m.Key))
-			e.Varint(m.Epoch)
-			encodeAggregate(e, m.Agg)
-			e.Uvarint(m.Nodes)
-			e.Varint(int64(m.Height))
-			e.Varint(m.Slot)
-			chord.EncodeNodeRef(e, m.Sender)
-			e.Bool(m.Demand)
-			e.Uvarint(m.Trace)
-			e.Varint(m.SentAt)
-			e.Uvarint(m.Seq)
-			e.Bool(m.Handover)
-			e.String(string(m.FailedRoot))
-		},
-		func(d *wire.Decoder) (any, error) {
-			var m UpdateMsg
-			m.Key = ident.ID(d.Uvarint())
-			m.Epoch = d.Varint()
-			m.Agg = decodeAggregate(d)
-			m.Nodes = d.Uvarint()
-			m.Height = int(d.Varint())
-			m.Slot = d.Varint()
-			m.Sender = chord.DecodeNodeRef(d)
-			m.Demand = d.Bool()
-			m.Trace = d.Uvarint()
-			m.SentAt = d.Varint()
-			m.Seq = d.Uvarint()
-			m.Handover = d.Bool()
-			m.FailedRoot = transport.Addr(d.String())
-			return m, nil
-		})
+		func(e *wire.Encoder, v any) { encodeUpdateBody(e, v.(UpdateMsg)) },
+		func(d *wire.Decoder) (any, error) { return decodeUpdateBody(d), nil })
 	wire.Register(codeDetachMsg,
 		DetachMsg{},
-		func(e *wire.Encoder, v any) {
-			m := v.(DetachMsg)
-			e.Uvarint(uint64(m.Key))
-			chord.EncodeNodeRef(e, m.Sender)
-		},
-		func(d *wire.Decoder) (any, error) {
-			var m DetachMsg
-			m.Key = ident.ID(d.Uvarint())
-			m.Sender = chord.DecodeNodeRef(d)
-			return m, nil
-		})
+		func(e *wire.Encoder, v any) { encodeDetachBody(e, v.(DetachMsg)) },
+		func(d *wire.Decoder) (any, error) { return decodeDetachBody(d), nil })
 	wire.Register(codeUpdateAck,
 		UpdateAck{},
+		func(e *wire.Encoder, v any) { encodeAckBody(e, v.(UpdateAck)) },
+		func(d *wire.Decoder) (any, error) { return decodeAckBody(d), nil })
+	wire.Register(codeBatchMsg,
+		BatchMsg{},
 		func(e *wire.Encoder, v any) {
-			m := v.(UpdateAck)
-			e.Bool(m.OK)
-			e.String(m.Reason)
+			m := v.(BatchMsg)
+			e.Uvarint(uint64(len(m.Elems)))
+			for _, el := range m.Elems {
+				e.Byte(el.Kind)
+				encodeUpdateBody(e, el.Update)
+				encodeDetachBody(e, el.Detach)
+			}
 		},
 		func(d *wire.Decoder) (any, error) {
-			var m UpdateAck
-			m.OK = d.Bool()
-			m.Reason = d.String()
+			var m BatchMsg
+			m.Elems = decodeBatchElems(d)
+			return m, nil
+		})
+	wire.Register(codeBatchAck,
+		BatchAck{},
+		func(e *wire.Encoder, v any) {
+			m := v.(BatchAck)
+			e.Uvarint(uint64(len(m.Acks)))
+			for _, a := range m.Acks {
+				encodeAckBody(e, a)
+			}
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BatchAck
+			m.Acks = decodeAcks(d)
 			return m, nil
 		})
 	wire.Register(codeQueryReq,

@@ -51,6 +51,11 @@ type Result struct {
 	// for corpus coverage assertions.
 	Crashes    int
 	Partitions int
+	// Settled records the root aggregate observed at each clean settle
+	// point, in schedule order. The batched-vs-unbatched equivalence
+	// test compares these across ablations: coalescing may reshape the
+	// wire traffic but never what the root computes.
+	Settled []core.Aggregate
 }
 
 // Run generates the scenario for seed and plays it to completion. A
@@ -67,8 +72,12 @@ func Run(seed int64) (*Result, error) {
 func RunScenario(sc *Scenario) (*Result, error) {
 	res := &Result{Seed: sc.Seed, Scenario: sc}
 	var tr bytes.Buffer
-	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v events=%d\n",
-		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, len(sc.Events))
+	batch := "on"
+	if sc.Batch.Disable {
+		batch = "off"
+	}
+	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v batch=%s events=%d\n",
+		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, batch, len(sc.Events))
 
 	// The observer's hooks never schedule events or draw engine
 	// randomness, so attaching it keeps traces byte-identical per seed;
@@ -83,6 +92,7 @@ func RunScenario(sc *Scenario) (*Result, error) {
 			return float64(node + 1), true
 		},
 		ChildTTLSlots: 3,
+		Batch:         sc.Batch,
 		Observer:      observer,
 	})
 	if err != nil {
@@ -196,6 +206,16 @@ func (h *harness) apply(ev Event) {
 		c.Crash(idx)
 		h.res.Crashes++
 		h.tracef("%v victim=%d", ev, idx)
+	case EvCrashMidFlush:
+		idx := h.pickVictim(EvCrashParent)
+		if idx < 0 {
+			h.tracef("skip %v (no victim)", ev)
+			return
+		}
+		h.alignFlushWindow()
+		c.Crash(idx)
+		h.res.Crashes++
+		h.tracef("%v victim=%d", ev, idx)
 	case EvProbe:
 		h.probeNoLostSubtrees()
 	}
@@ -237,6 +257,17 @@ func (h *harness) alignMidRound() {
 	now := time.Duration(h.c.Engine.Now())
 	next := (now/h.sc.Slot + 1) * h.sc.Slot
 	h.c.RunFor(next + h.sc.Slot/4 - now)
+}
+
+// alignFlushWindow runs the clock to just past the next slot boundary —
+// inside the send machine's MaxDelay coalescing window, while the first
+// senders of the round have updates queued in batches that have not yet
+// hit the wire. A crash landing here kills whole coalesced datagrams at
+// once, the worst case for batch-level recovery.
+func (h *harness) alignFlushWindow() {
+	now := time.Duration(h.c.Engine.Now())
+	next := (now/h.sc.Slot + 1) * h.sc.Slot
+	h.c.RunFor(next + 2*time.Millisecond - now)
 }
 
 // probeNoLostSubtrees is the mid-chaos invariant behind EvProbe: within
@@ -374,6 +405,7 @@ func (h *harness) settle() {
 	}
 	if len(k.out) == 0 {
 		slot, agg, _ := h.latest()
+		h.res.Settled = append(h.res.Settled, agg)
 		h.tracef("invariants ok slot=%d count=%d sum=%v", slot, agg.Count, agg.Sum)
 	}
 }

@@ -29,6 +29,8 @@ var (
 		"shrink failing scenarios to a minimal schedule before reporting")
 	faultSeeds = flag.Int("datcheck.faultseeds", 8,
 		"number of delivery-fault seeds swept by TestDatcheckFaults")
+	batchSeeds = flag.Int("datcheck.batchseeds", 6,
+		"number of batching-fault seeds swept by TestDatcheckBatchFaults")
 )
 
 // corpusSeeds is the fixed PR-gating corpus: deterministic, every seed
@@ -42,6 +44,10 @@ var corpusSeeds = []int64{
 	// and root crashes with in-chaos no-lost-subtrees probes.
 	FaultSeedBase + 1, FaultSeedBase + 2, FaultSeedBase + 3,
 	FaultSeedBase + 4, FaultSeedBase + 5,
+	// Batching-fault family (>= BatchSeedBase): crashes landing inside
+	// the send machine's coalescing window, so queued-but-unflushed
+	// batches die with the victim.
+	BatchSeedBase + 1, BatchSeedBase + 2, BatchSeedBase + 3,
 }
 
 // runSeed executes one scenario and reports failures with a replay
@@ -117,6 +123,111 @@ func TestDatcheckFaults(t *testing.T) {
 			t.Parallel()
 			runSeed(t, seed)
 		})
+	}
+}
+
+// TestDatcheckBatchFaults sweeps the batching-fault seed family: every
+// scenario crashes send-machine holders inside the coalescing window and
+// probes for lost subtrees while the damage is live. This is part of the
+// make datcheck-faults entry point.
+func TestDatcheckBatchFaults(t *testing.T) {
+	for i := 1; i <= *batchSeeds; i++ {
+		seed := BatchSeedBase + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestDatcheckBatchEquivalence is the paired-seed ablation the send
+// machine's correctness argument rests on: for the same seed, the
+// batched run (shipping defaults) and the unbatched run
+// (Batch.Disable) must both hold every invariant, and must settle on
+// identical root aggregates at every settle point — coalescing reshapes
+// the wire traffic, never the mathematics. The batched run is also
+// played twice to prove its trace is still byte-identical per seed:
+// batching adds no nondeterminism.
+func TestDatcheckBatchEquivalence(t *testing.T) {
+	for i := int64(1); i <= 3; i++ {
+		seed := BatchSeedBase + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			batched, err := RunScenario(Generate(seed))
+			if err != nil {
+				t.Fatalf("batched run: %v", err)
+			}
+			again, err := RunScenario(Generate(seed))
+			if err != nil {
+				t.Fatalf("batched re-run: %v", err)
+			}
+			if !bytes.Equal(batched.Trace, again.Trace) {
+				t.Fatalf("batched runs of seed %d diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					seed, batched.Trace, again.Trace)
+			}
+			plainSc := Generate(seed)
+			plainSc.Batch.Disable = true
+			plain, err := RunScenario(plainSc)
+			if err != nil {
+				t.Fatalf("unbatched run: %v", err)
+			}
+			for _, v := range batched.Violations {
+				t.Errorf("batched: %v", v)
+			}
+			for _, v := range plain.Violations {
+				t.Errorf("unbatched: %v", v)
+			}
+			if t.Failed() {
+				return
+			}
+			if len(batched.Settled) != len(plain.Settled) {
+				t.Fatalf("settle count differs: batched %d, unbatched %d",
+					len(batched.Settled), len(plain.Settled))
+			}
+			for s, agg := range batched.Settled {
+				if agg != plain.Settled[s] {
+					t.Errorf("settle %d: batched root aggregate %+v, unbatched %+v",
+						s, agg, plain.Settled[s])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchGeneratorGuarantees checks the batching-fault generator's
+// contract: cluster size in range, at least two mid-flush crashes, a
+// root crash, a partition for the corpus coverage floor, a probe inside
+// every chaos phase, and a terminating settle.
+func TestBatchGeneratorGuarantees(t *testing.T) {
+	for i := int64(1); i <= 200; i++ {
+		sc := Generate(BatchSeedBase + i)
+		if sc.N < 12 || sc.N > 24 {
+			t.Fatalf("seed +%d: n=%d out of range", i, sc.N)
+		}
+		if sc.Batch.Disable {
+			t.Fatalf("seed +%d: generator disabled batching", i)
+		}
+		crashes, partitions := sc.Counts()
+		if crashes < 3 || partitions < 1 {
+			t.Fatalf("seed +%d: coverage floor broken (crashes=%d partitions=%d)", i, crashes, partitions)
+		}
+		var midFlush, rootCrashes, probes int
+		for _, ev := range sc.Events {
+			switch ev.Kind {
+			case EvCrashMidFlush:
+				midFlush++
+			case EvCrashRoot:
+				rootCrashes++
+			case EvProbe:
+				probes++
+			}
+		}
+		if midFlush < 2 || rootCrashes < 1 || probes < 3 {
+			t.Fatalf("seed +%d: midFlush=%d rootCrashes=%d probes=%d", i, midFlush, rootCrashes, probes)
+		}
+		if sc.Events[len(sc.Events)-1].Kind != EvSettle {
+			t.Fatalf("seed +%d: schedule does not end in a settle", i)
+		}
 	}
 }
 

@@ -51,6 +51,11 @@ const (
 	// delivery layer's failover has to re-home orphans without waiting
 	// for a settle.
 	EvProbe
+	// EvCrashMidFlush fail-stops the busiest aggregation parent, chosen
+	// at apply time, aligned just past a slot boundary — inside the send
+	// machine's coalescing window, so queued-but-unflushed batches die
+	// with the victim and the delivery layer must recover every element.
+	EvCrashMidFlush
 )
 
 // String names the kind for traces.
@@ -78,6 +83,8 @@ func (k EventKind) String() string {
 		return "root-crash-mid-round"
 	case EvProbe:
 		return "probe"
+	case EvCrashMidFlush:
+		return "parent-crash-mid-flush"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -122,6 +129,11 @@ type Scenario struct {
 	Bits   uint
 	Scheme core.Scheme
 	Slot   time.Duration
+	// Batch tunes the send machine. The zero value runs batching with
+	// defaults (the shipping configuration); set Batch.Disable for the
+	// one-datagram-per-update ablation the equivalence test compares
+	// against.
+	Batch  core.BatchConfig
 	Events []Event
 }
 
@@ -141,12 +153,22 @@ const maxJoins = 3
 // always produced, so the historical corpus stays replayable.
 const FaultSeedBase = 9_000_000_000
 
+// BatchSeedBase partitions the seed space again: seeds at or above it
+// derive their schedule from the batching-fault generator, which crashes
+// send-machine holders inside the coalescing window. Seeds in
+// [FaultSeedBase, BatchSeedBase) keep their historical delivery-fault
+// schedules.
+const BatchSeedBase = 10_000_000_000
+
 // Generate derives a scenario from a seed. The generator maintains a
 // liveness model while scheduling so events are valid when generated
 // (crash only alive nodes, rejoin only dead ones, never exceed the dead
 // cap), and it guarantees at least one crash and one partition per
 // scenario — the coverage the corpus test asserts.
 func Generate(seed int64) *Scenario {
+	if seed >= BatchSeedBase {
+		return generateBatchFaults(seed)
+	}
 	if seed >= FaultSeedBase {
 		return generateFaults(seed)
 	}
@@ -349,11 +371,81 @@ func generateFaults(seed int64) *Scenario {
 	return sc
 }
 
+// generateBatchFaults derives a batching-fault scenario: three phases
+// that crash send-machine holders inside the coalescing window — the
+// instant where updates sit queued in unflushed batches. Phase 1 kills
+// the busiest parent mid-flush; phase 2 kills the root mid-round while
+// its children's batches are in flight (optionally with a bystander
+// crash); phase 3 mixes a partition with a mid-flush crash for the
+// corpus coverage floor. Every phase probes for lost subtrees while the
+// damage is live, so the batch-level recovery (per-element ack fan-out,
+// retry of whole coalesced sends) has to work without a settle.
+func generateBatchFaults(seed int64) *Scenario {
+	r := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Seed: seed,
+		N:    12 + r.Intn(13), // 12..24: deep enough for a real mid-tree parent
+		Bits: 32,
+		Slot: 500 * time.Millisecond,
+	}
+	if r.Intn(2) == 0 {
+		sc.Scheme = core.Basic
+	} else {
+		sc.Scheme = core.BalancedLocal
+	}
+	gap := func() time.Duration {
+		return 200*time.Millisecond + time.Duration(r.Intn(1300))*time.Millisecond
+	}
+	emit := func(e Event) {
+		e.Gap = gap()
+		sc.Events = append(sc.Events, e)
+	}
+
+	// Phase 1: light drop/dup faults force batch retransmissions, then
+	// the busiest parent dies with a coalescing window open.
+	if r.Float64() < 0.75 {
+		emit(Event{
+			Kind:   EvFaults,
+			Drop:   r.Float64() * 0.04,
+			Dup:    r.Float64() * 0.10,
+			Jitter: time.Duration(r.Intn(4)) * time.Millisecond,
+		})
+	}
+	emit(Event{Kind: EvCrashMidFlush})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 2: kill the root mid-round — the children's coalesced
+	// updates are queued or in flight toward it — and demand a handover
+	// root serve the probe. Optionally a bystander dies too.
+	if r.Float64() < 0.5 {
+		emit(Event{Kind: EvCrash, A: r.Intn(sc.N)})
+	}
+	emit(Event{Kind: EvCrashRoot})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 3: a partition plus a mid-flush crash under the dead cap —
+	// the coverage floor the corpus asserts (>=1 crash, >=1 partition) —
+	// healed before probing so the probe measures batch recovery.
+	a := r.Intn(sc.N)
+	b := r.Intn(sc.N)
+	for b == a {
+		b = r.Intn(sc.N)
+	}
+	emit(Event{Kind: EvPartition, A: a, B: b})
+	emit(Event{Kind: EvCrashMidFlush})
+	emit(Event{Kind: EvHeal, A: a, B: b})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+	return sc
+}
+
 // Counts tallies the coverage-relevant events, for corpus assertions.
 func (sc *Scenario) Counts() (crashes, partitions int) {
 	for _, e := range sc.Events {
 		switch e.Kind {
-		case EvCrash, EvCrashParent, EvCrashRoot:
+		case EvCrash, EvCrashParent, EvCrashRoot, EvCrashMidFlush:
 			crashes++
 		case EvPartition:
 			partitions++

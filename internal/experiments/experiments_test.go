@@ -254,3 +254,24 @@ func TestMAANQueryCostShape(t *testing.T) {
 		t.Errorf("register hops did not grow with n: %v -> %v", r0, r1)
 	}
 }
+
+// TestBatchingOverheadShape: the send machine must not change the
+// unbatched column (it is disabled there), must never send more
+// datagrams than the ablation, and the reduction must clear the PR's
+// acceptance bar (>= 5x) at the largest tree count.
+func TestBatchingOverheadShape(t *testing.T) {
+	tab, err := BatchingOverhead(BatchingConfig{N: 48, Slots: 10, Trees: []int{1, 16, 64}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		plain := cell(t, tab, r, "unbatched_per_slot")
+		batched := cell(t, tab, r, "batched_per_slot")
+		if batched > plain {
+			t.Errorf("row %d: batching sent more datagrams (%v) than the ablation (%v)", r, batched, plain)
+		}
+	}
+	if red := cell(t, tab, len(tab.Rows)-1, "reduction"); red < 5 {
+		t.Errorf("datagram reduction %v at 64 trees, want >= 5x", red)
+	}
+}

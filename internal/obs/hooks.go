@@ -61,6 +61,12 @@ type CoreHooks struct {
 	// whether any parent acked, attempts is the total send count, and
 	// latency the time from first send to the terminal event.
 	DeliveryDone func(ok bool, attempts int, latency time.Duration)
+	// BatchFlush fires when the send machine puts one destination
+	// queue on the wire: reason is the flush trigger ("bytes", "elems",
+	// "deadline", "drain"), elems the element count, and bytesSaved the
+	// estimated per-datagram overhead avoided by coalescing
+	// (DESIGN.md §12).
+	BatchFlush func(reason string, elems, bytesSaved int)
 }
 
 // TransportHooks receives error-path telemetry from transport

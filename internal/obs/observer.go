@@ -59,6 +59,9 @@ type Observer struct {
 	rootHandovers   *Counter
 	deliveries      *CounterVec
 	retryLatency    *Histogram
+	batchFlushes    *CounterVec
+	batchElems      *Histogram
+	batchSaved      *Counter
 
 	mu     sync.Mutex
 	health func() Health
@@ -110,6 +113,9 @@ func NewObserver(spanCapacity int) *Observer {
 		rootHandovers:   r.Counter("dat_root_handovers_total", "Updates re-routed from an unreachable key root to a successor-list standby."),
 		deliveries:      r.CounterVec("dat_update_deliveries_total", "Completed acked-update delivery chains, by outcome.", "outcome"),
 		retryLatency:    r.Histogram("dat_update_retry_latency_seconds", "First send to terminal ack/abandon for deliveries that needed more than one attempt.", SecondsBuckets),
+		batchFlushes:    r.CounterVec("dat_batch_flushes_total", "Send-machine queue flushes, by trigger (bytes, elems, deadline, drain).", "reason"),
+		batchElems:      r.Histogram("dat_batch_elems_per_flush", "Messages coalesced per send-machine flush.", FanInBuckets),
+		batchSaved:      r.Counter("dat_batch_bytes_saved_total", "Estimated per-datagram overhead bytes avoided by coalescing."),
 	}
 }
 
@@ -187,6 +193,11 @@ func (o *Observer) CoreHooks() CoreHooks {
 			if attempts > 1 {
 				o.retryLatency.Observe(latency.Seconds())
 			}
+		},
+		BatchFlush: func(reason string, elems, bytesSaved int) {
+			o.batchFlushes.With(reason).Inc()
+			o.batchElems.Observe(float64(elems))
+			o.batchSaved.Add(uint64(bytesSaved))
 		},
 	}
 }

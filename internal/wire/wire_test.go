@@ -100,6 +100,15 @@ func richSamples() []any {
 		core.UpdateAck{OK: false, Reason: "cycle"},
 		core.QueryReq{Key: 88, Window: 250 * time.Millisecond},
 		core.QueryResp{Key: 88, Epoch: 6, Agg: agg, Nodes: 31, Coverage: 0.969, Degraded: true},
+		core.BatchMsg{Elems: []core.BatchElem{
+			{Kind: 1, Update: core.UpdateMsg{
+				Key: 42, Epoch: 11, Agg: agg, Nodes: 3, Height: 2, Slot: int64(time.Second),
+				Sender: ref(5), Trace: 0xfeed, SentAt: 99, Handover: true, FailedRoot: "127.0.0.1:9999",
+			}},
+			{Kind: 2, Detach: core.DetachMsg{Key: 43, Sender: ref(6)}},
+			{Kind: 9, Update: core.UpdateMsg{Key: 1, Sender: ref(7)}, Detach: core.DetachMsg{Key: 2, Sender: ref(8)}},
+		}},
+		core.BatchAck{Acks: []core.UpdateAck{{OK: true}, {OK: false, Reason: "no-slot"}, {OK: false, Reason: "bad-elem"}}},
 		maan.StoreReq{Attr: "cpu-speed", Value: 2.8, Key: 4242, Res: res},
 		maan.RangeReq{
 			QueryID: 11, Origin: "127.0.0.1:7001",
@@ -335,4 +344,40 @@ func TestRegisterPanics(t *testing.T) {
 	mustPanic("nil codec", func() { wire.Register(0xF0, struct{ B int }{}, nil, nil) })
 	mustPanic("duplicate code", func() { wire.Register(wire.CodeChordBase, struct{ C int }{}, nop, dec) })
 	mustPanic("duplicate type", func() { wire.Register(0xF0, chord.StepReq{}, nop, dec) })
+}
+
+// TestBatchEdgeCases hand-pins the BatchMsg shapes the reflective
+// suites are least likely to hit head-on: the empty batch (a sender bug
+// the codec must still carry faithfully, normalizing an empty element
+// slice to nil exactly like gob) and the single-element batch (what a
+// near-idle send machine would emit if it skipped its singleton
+// fast path).
+func TestBatchEdgeCases(t *testing.T) {
+	ref := chord.NodeRef{ID: 4000, Addr: "127.0.0.1:9004"}
+	cases := []struct {
+		name string
+		in   any
+	}{
+		{"empty-batch-nil", core.BatchMsg{}},
+		{"empty-batch-zero-len", core.BatchMsg{Elems: []core.BatchElem{}}},
+		{"single-update", core.BatchMsg{Elems: []core.BatchElem{
+			{Kind: 1, Update: core.UpdateMsg{Key: 7, Epoch: 3, Nodes: 1, Slot: int64(time.Second), Sender: ref}},
+		}}},
+		{"single-detach", core.BatchMsg{Elems: []core.BatchElem{
+			{Kind: 2, Detach: core.DetachMsg{Key: 9, Sender: ref}},
+		}}},
+		{"empty-ack", core.BatchAck{}},
+		{"empty-ack-zero-len", core.BatchAck{Acks: []core.UpdateAck{}}},
+		{"single-ack", core.BatchAck{Acks: []core.UpdateAck{{OK: false, Reason: "cycle"}}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := wireRoundTrip(t, tc.in)
+			g := gobRoundTrip(t, tc.in)
+			if !reflect.DeepEqual(w, g) {
+				t.Errorf("codec mismatch:\nwire %#v\ngob  %#v", w, g)
+			}
+		})
+	}
 }

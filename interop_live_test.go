@@ -1,0 +1,230 @@
+package dat_test
+
+// Live mixed-version interop test: a ring of real UDP peers where the
+// modern members batch their updates through the compact wire codec
+// while one member speaks like a deployment from before either change —
+// legacy whole-envelope gob frames, no send machine. Monitoring several
+// attributes at once forces the modern side to coalesce cross-tree
+// updates into multi-element batches; the ring must still converge on
+// full-coverage aggregates in both directions, with the telemetry
+// proving that batching, the gob fallback and the legacy inbound path
+// all actually fired.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	dat "repro"
+	"repro/internal/ident"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches the observer's /metrics page as text.
+func scrapeMetrics(t *testing.T, o *obs.Observer) string {
+	t.Helper()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricSum sums every sample of the named family (all label sets), so
+// counters read the same whether or not they carry labels.
+func metricSum(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer family sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad sample line %q", name, line)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// pickAttrs chooses monitored attribute names whose rendezvous keys
+// spread root duty so that every peer is a NON-root sender in at least
+// minNonRoot trees. Peer identifiers hash from ephemeral UDP ports, so
+// with a handful of nodes one peer can own most of the ring and root
+// every tree of a fixed attribute list — leaving it nothing to send and
+// the sender-side assertions vacuous. Selecting against the actual ring
+// makes them deterministic.
+func pickAttrs(t *testing.T, peerIDs []uint64, minAttrs, minNonRoot int) []string {
+	t.Helper()
+	space := ident.New(32)
+	const ringMask = 1<<32 - 1
+	rootOf := func(key uint64) int {
+		best, bestDist := -1, uint64(ringMask)+1
+		for i, id := range peerIDs {
+			if d := (id - key) & ringMask; d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		return best
+	}
+	nonRoot := make([]int, len(peerIDs))
+	var attrs []string
+	for i := 0; i < 256; i++ {
+		attr := fmt.Sprintf("attr-%02d", i)
+		root := rootOf(uint64(space.HashString(attr)))
+		for p := range nonRoot {
+			if p != root {
+				nonRoot[p]++
+			}
+		}
+		attrs = append(attrs, attr)
+		enough := len(attrs) >= minAttrs
+		for _, c := range nonRoot {
+			if c < minNonRoot {
+				enough = false
+			}
+		}
+		if enough {
+			return attrs
+		}
+	}
+	t.Fatalf("no attribute set spreads root duty over peers %v", peerIDs)
+	return nil
+}
+
+func TestLiveBatchedLegacyInterop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time UDP test")
+	}
+	modernObs := obs.NewObserver(256)
+	legacyObs := obs.NewObserver(256)
+	mk := func(name string, o *obs.Observer, legacy bool) *dat.Peer {
+		cfg := dat.PeerConfig{
+			Listen:     "127.0.0.1:0",
+			Name:       name,
+			Stabilize:  40 * time.Millisecond,
+			FixFingers: 60 * time.Millisecond,
+			Ping:       100 * time.Millisecond,
+			Observer:   o,
+		}
+		if legacy {
+			cfg.LegacyWire = true
+			cfg.Batch = dat.BatchConfig{Disable: true}
+		}
+		p, err := dat.NewPeer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+
+	boot := mk("modern0", modernObs, false)
+	boot.Create()
+	peers := []*dat.Peer{boot}
+	for i := 1; i < 3; i++ {
+		p := mk("modern"+string(rune('0'+i)), nil, false)
+		if err := p.Join(boot.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	old := mk("legacy", legacyObs, true)
+	if err := old.Join(boot.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	peers = append(peers, old)
+
+	// Several concurrent trees in which every peer sends: the senders'
+	// per-tree parents collapse onto at most three destinations, so by
+	// pigeonhole the modern send machines emit multi-element batches.
+	ids := make([]uint64, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID()
+	}
+	attrs := pickAttrs(t, ids, 6, 4)
+
+	for _, p := range peers {
+		for _, attr := range attrs {
+			attr := attr
+			p.AddSensor(attr, func() (float64, bool) { return 1, true })
+			if err := p.StartMonitor(attr, 100*time.Millisecond, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Every tree must reach full coverage: the legacy peer's plain
+	// updates land on batching roots, and batched updates land on the
+	// legacy peer whenever it parents a subtree.
+	deadline := time.Now().Add(30 * time.Second)
+	covered := make(map[string]bool, len(attrs))
+	for len(covered) < len(attrs) {
+		for _, attr := range attrs {
+			if covered[attr] {
+				continue
+			}
+			for _, p := range peers {
+				if agg, ok := p.LatestResult(attr); ok && agg.Count == uint64(len(peers)) {
+					covered[attr] = true
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d attributes reached full coverage: %v", len(covered), len(attrs), covered)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	modern := scrapeMetrics(t, modernObs)
+	legacy := scrapeMetrics(t, legacyObs)
+
+	// The modern node coalesced: flushes happened, and at least one
+	// flush carried more than a single element (bytes are only counted
+	// as saved when two or more messages share a datagram).
+	if v := metricSum(t, modern, "dat_batch_flushes_total"); v == 0 {
+		t.Error("modern node recorded no send-machine flushes")
+	}
+	if v := metricSum(t, modern, "dat_batch_bytes_saved_total"); v == 0 {
+		t.Error("modern node never coalesced two updates into one datagram")
+	}
+	// Per-element acks completed delivery chains on both sides.
+	if v := metricSum(t, modern, `dat_update_deliveries_total{outcome="ok"}`); v == 0 {
+		t.Error("modern node completed no acked deliveries")
+	}
+	if v := metricSum(t, legacy, `dat_update_deliveries_total{outcome="ok"}`); v == 0 {
+		t.Error("legacy node completed no acked deliveries")
+	}
+	// The legacy peer never batches — coalescing is the sender's choice.
+	if v := metricSum(t, legacy, "dat_batch_flushes_total"); v != 0 {
+		t.Errorf("legacy node flushed %v batches with batching disabled", v)
+	}
+	// Wire telemetry: the legacy peer encodes everything through the
+	// gob fallback, and the modern node sees whole-envelope gob frames
+	// arrive on its inbound path.
+	if v := metricSum(t, legacy, "rpcudp_wire_fallback_total"); v == 0 {
+		t.Error("legacy node sent no gob-fallback frames")
+	}
+	if v := metricSum(t, modern, "rpcudp_wire_legacy_frames_total"); v == 0 {
+		t.Error("modern node received no legacy frames")
+	}
+}

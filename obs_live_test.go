@@ -6,8 +6,17 @@ package dat_test
 // must expose the chord lookup-hop histogram and the DAT aggregation
 // counters with live (non-zero) values, /healthz must report the node
 // running, and the pprof and debug pages must render.
+//
+// The monitored attributes are chosen after the ring forms so that the
+// observed node provably roots one tree (it receives child updates —
+// spans and inbound aggregation frames) and is a plain sender in the
+// other (it completes acked deliveries and gets replies). With a fixed
+// attribute list the ephemeral-port-derived identifiers can leave the
+// observed node a pure leaf of the only tree, and a leaf's /metrics
+// page has no inbound aggregation traffic to assert on.
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,20 +25,43 @@ import (
 	"time"
 
 	dat "repro"
+	"repro/internal/ident"
 	"repro/internal/obs"
 )
+
+// pickAttrRootedAt returns the first attribute name whose rendezvous key
+// is (rooted=true) or is not (rooted=false) owned by peer idx, under the
+// same successor rule the DAT layer uses to place tree roots.
+func pickAttrRootedAt(t *testing.T, peerIDs []uint64, idx int, rooted bool) string {
+	t.Helper()
+	space := ident.New(32)
+	const ringMask = 1<<32 - 1
+	for i := 0; i < 256; i++ {
+		attr := fmt.Sprintf("obs-attr-%02d", i)
+		key := uint64(space.HashString(attr))
+		best, bestDist := -1, uint64(ringMask)+1
+		for p, id := range peerIDs {
+			if d := (id - key) & ringMask; d < bestDist {
+				best, bestDist = p, d
+			}
+		}
+		if (best == idx) == rooted {
+			return attr
+		}
+	}
+	t.Fatalf("no attribute name with rooted-at-%d=%v over peers %v", idx, rooted, peerIDs)
+	return ""
+}
 
 func TestLivePeerObservabilityEndpoints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time UDP test")
 	}
-	attrs := []dat.Attribute{{Name: "cpu-usage", Min: 0, Max: 100}}
 	observer := obs.NewObserver(1024)
 	mk := func(name string, o *obs.Observer) *dat.Peer {
 		p, err := dat.NewPeer(dat.PeerConfig{
 			Listen:     "127.0.0.1:0",
 			Name:       name,
-			Attributes: attrs,
 			Stabilize:  40 * time.Millisecond,
 			FixFingers: 60 * time.Millisecond,
 			Ping:       100 * time.Millisecond,
@@ -39,7 +71,6 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { p.Close() })
-		p.AddSensor("cpu-usage", func() (float64, bool) { return 25, true })
 		return p
 	}
 
@@ -53,30 +84,49 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 		}
 		peers = append(peers, p)
 	}
+
+	ids := make([]uint64, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID()
+	}
+	attrs := []string{
+		pickAttrRootedAt(t, ids, 0, true),  // boot receives child updates
+		pickAttrRootedAt(t, ids, 0, false), // boot sends its own updates
+	}
 	for _, p := range peers {
-		if err := p.StartMonitor("cpu-usage", 100*time.Millisecond, nil); err != nil {
-			t.Fatal(err)
+		for _, attr := range attrs {
+			p.AddSensor(attr, func() (float64, bool) { return 25, true })
+			if err := p.StartMonitor(attr, 100*time.Millisecond, nil); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	deadline := time.Now().Add(20 * time.Second)
-	covered := false
-	for !covered {
-		for _, p := range peers {
-			if agg, ok := p.LatestResult("cpu-usage"); ok && agg.Count == 4 {
-				covered = true
+	covered := make(map[string]bool, len(attrs))
+	for len(covered) < len(attrs) {
+		for _, attr := range attrs {
+			if covered[attr] {
+				continue
+			}
+			for _, p := range peers {
+				if agg, ok := p.LatestResult(attr); ok && agg.Count == uint64(len(peers)) {
+					covered[attr] = true
+					break
+				}
 			}
 		}
-		if covered {
+		if len(covered) == len(attrs) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("aggregate never covered all peers")
+			t.Fatalf("only %d/%d aggregates covered all peers", len(covered), len(attrs))
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 	// Drive a lookup on the observed node so the hop histogram has a
-	// live sample (joins run their lookups on the joining side).
-	if _, err := boot.Query("cpu-usage", 400*time.Millisecond); err != nil {
+	// live sample (joins run their lookups on the joining side). The
+	// queried tree is rooted elsewhere, so the lookup actually routes.
+	if _, err := boot.Query(attrs[1], 400*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 
@@ -101,11 +151,21 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 		"# TYPE chord_lookup_hops histogram",
 		"# TYPE dat_rounds_total counter",
 		"# TYPE dat_transport_messages_total counter",
-		`dat_transport_messages_total{type="dat.update"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+	// Inbound aggregation traffic reached the observed root: child
+	// updates arrive either as plain frames or coalesced into batch
+	// envelopes, depending on how the senders' queues lined up.
+	if !strings.Contains(metrics, `dat_transport_messages_total{type="dat.update"}`) &&
+		!strings.Contains(metrics, `dat_transport_messages_total{type="dat.batch"}`) {
+		t.Error("/metrics shows no inbound dat.update or dat.batch frames")
+	}
+	// And the observed node's own sends completed their acked chains.
+	if v := metricSum(t, metrics, `dat_update_deliveries_total{outcome="ok"}`); v == 0 {
+		t.Error("observed node completed no acked update deliveries")
 	}
 	// Live values, not just registered families.
 	if strings.Contains(metrics, "chord_lookup_hops_count 0\n") {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rpcudp"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // PeerConfig configures a live UDP peer.
@@ -49,6 +50,17 @@ type PeerConfig struct {
 	// The zero value enables it with defaults; set Delivery.Disable for
 	// fire-and-forget updates.
 	Delivery DeliveryConfig
+	// Batch configures the send machine coalescing updates bound for
+	// the same parent into single datagrams (DESIGN.md §12). The zero
+	// value enables it with defaults; set Batch.Disable for one
+	// datagram per update.
+	Batch BatchConfig
+	// LegacyWire encodes outbound frames with the pre-compact
+	// whole-envelope gob codec, as peers from before DESIGN.md §11 do.
+	// Inbound decoding always accepts both framings, so mixed rings
+	// interoperate; use this during staged rollouts and in
+	// mixed-version tests.
+	LegacyWire bool
 	// RPCTimeout bounds blocking convenience calls (Join, Query...).
 	// Default 10s.
 	RPCTimeout time.Duration
@@ -99,6 +111,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		logger = obs.NopLogger()
 	}
 	rpcCfg := rpcudp.Config{CallTimeout: cfg.CallTimeout, Logger: logger.With("layer", "rpcudp")}
+	if cfg.LegacyWire {
+		rpcCfg.Codec = wire.Legacy{}
+	}
 	if cfg.Observer != nil {
 		rpcCfg.Tap = cfg.Observer.Tap()
 		rpcCfg.Obs = cfg.Observer.TransportHooks()
@@ -129,6 +144,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		Scheme:       cfg.Scheme,
 		ShareResults: cfg.ShareResults,
 		Delivery:     cfg.Delivery,
+		Batch:        cfg.Batch,
 		Logger:       nodeLogger.With("layer", "dat"),
 	}
 	if cfg.Observer != nil {
@@ -357,6 +373,7 @@ func (p *Peer) shutdown(graceful bool) error {
 	if p.maan != nil {
 		p.maan.Close()
 	}
+	p.dat.Close() // flush the send machine before the endpoint goes
 	p.chord.Stop(graceful)
 	return p.ep.Close()
 }

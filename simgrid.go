@@ -39,6 +39,10 @@ type SimGridConfig struct {
 	// maintenance does not dominate the event queue. Default 300ms-ish
 	// LAN cadence.
 	MaintenanceEvery time.Duration
+	// Batch tunes the send machine coalescing same-parent updates into
+	// single datagrams. The zero value enables it with defaults; set
+	// Batch.Disable for the one-datagram-per-update ablation.
+	Batch BatchConfig
 }
 
 // SimGrid is a complete simulated deployment of the protocol stack: n
@@ -67,6 +71,7 @@ func NewSimGrid(cfg SimGridConfig) (*SimGrid, error) {
 		Seed:         cfg.Seed,
 		Scheme:       cfg.Scheme,
 		ProtocolJoin: cfg.ProtocolJoin,
+		Batch:        cfg.Batch,
 	}
 	if cfg.MaintenanceEvery > 0 {
 		opts.StabilizeEvery = cfg.MaintenanceEvery / 2
