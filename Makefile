@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json bench-batching obs-smoke ci
+.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json bench-batching bench-selfmon obs-smoke ci
 
 all: build
 
@@ -78,6 +78,12 @@ bench-json:
 bench-batching:
 	$(GO) run ./cmd/datbench -quick -exp batching -json $(BENCH_DIR)
 
+# bench-selfmon: the self-monitoring plane ablation — dat.* datagrams
+# per slot with the dat.load.* trees off vs on at 48 nodes, plus the
+# live imbalance factor the plane reports (DESIGN.md §13).
+bench-selfmon:
+	$(GO) run ./cmd/datbench -quick -exp selfmon -json $(BENCH_DIR)
+
 # Boot a live datnode with -obs.addr and verify /metrics, /healthz and
 # the debug pages respond with non-empty 200s (DESIGN.md §9).
 obs-smoke:
@@ -92,4 +98,4 @@ fuzz:
 	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
-ci: build vet lint test race fuzz obs-smoke
+ci: build vet lint test race fuzz bench-selfmon obs-smoke

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching")
+		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json summaries (optional)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -229,9 +229,22 @@ func main() {
 		tables = append(tables, bt)
 	}
 	stamp()
+	if run("selfmon") {
+		cfg := experiments.SelfMonitorConfig{Seed: *seed}
+		if *quick {
+			cfg.Slots = 16
+		}
+		fmt.Fprintf(os.Stderr, "self-monitoring plane...\n")
+		sm, err := experiments.SelfMonitorOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, sm)
+	}
+	stamp()
 
 	if len(tables) == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon)", *exp))
 	}
 	for _, t := range tables {
 		if err := t.Render(os.Stdout); err != nil {
@@ -297,6 +310,11 @@ type benchRecord struct {
 	// DatagramReduction is the batching table's headline row: datagrams
 	// per slot unbatched over batched at the largest tree count.
 	DatagramReduction *float64 `json:"datagram_reduction,omitempty"`
+	// SelfMonOverheadPct is the selfmon table's headline row: extra dat.*
+	// datagrams per slot (percent) with the self-monitoring plane on. The
+	// same table's plane-on row also feeds ImbalanceFactor with the live,
+	// DAT-served imbalance figure.
+	SelfMonOverheadPct *float64 `json:"selfmon_overhead_pct,omitempty"`
 }
 
 func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
@@ -308,6 +326,7 @@ func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
 	rec.ByteRatio = headlineCell(t, "UpdateMsg", "byte_ratio")
 	rec.AllocRatio = headlineCell(t, "UpdateMsg", "alloc_ratio")
 	rec.DatagramReduction = lastRowCell(t, "reduction")
+	rec.SelfMonOverheadPct = lastRowCell(t, "overhead_pct")
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

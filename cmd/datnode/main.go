@@ -24,7 +24,8 @@
 //
 // With -obs.addr the primary node serves its observability endpoints —
 // Prometheus /metrics, a JSON /healthz probe, /debug/dat (the node's
-// live aggregation view), /debug/spans, and net/http/pprof:
+// live aggregation view), /debug/spans, /debug/load (per-tree load and
+// the cluster-wide self-monitoring summary), and net/http/pprof:
 //
 //	datnode -listen 127.0.0.1:9000 -create -obs.addr 127.0.0.1:8080
 //	curl -s http://127.0.0.1:8080/metrics
@@ -82,6 +83,9 @@ func main() {
 		batchBy   = flag.Int("batch.maxbytes", 0, "flush a batch at this estimated encoded size (0: default 1200)")
 		batchDl   = flag.Duration("batch.maxdelay", 0, "flush a batch after the first element waits this long (0: default 5ms)")
 		batchEl   = flag.Int("batch.maxelems", 0, "flush a batch at this many elements (0: default 32)")
+		selfmon   = flag.Bool("selfmon", true, "publish this node's load counters into the dat.load.* self-monitoring trees")
+		selfmonSl = flag.Duration("selfmon.slot", 0, "self-monitoring aggregation slot (0: 4x -slot)")
+		share     = flag.Bool("share", true, "roots broadcast completed slot results down their trees (keeps every node's cached aggregates and /debug/load live)")
 		logLevel  = flag.String("log.level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -112,15 +116,23 @@ func main() {
 		MaxDelay: *batchDl,
 		MaxElems: *batchEl,
 	}
+	selfMon := dat.SelfMonConfig{Enable: *selfmon, Slot: *selfmonSl}
+	if selfMon.Enable && selfMon.Slot <= 0 {
+		// Load counters move slowly; a slower monitoring slot keeps the
+		// plane's overhead a small fraction of the primary traffic.
+		selfMon.Slot = 4 * *slot
+	}
 	observer := obs.NewObserver(obs.DefaultSpanCapacity)
 	peer, err := dat.NewPeer(dat.PeerConfig{
-		Listen:     *listen,
-		Name:       *name,
-		Attributes: attrs,
-		Delivery:   delivery,
-		Batch:      batching,
-		Observer:   observer,
-		Logger:     logger,
+		Listen:       *listen,
+		Name:         *name,
+		Attributes:   attrs,
+		Delivery:     delivery,
+		Batch:        batching,
+		SelfMon:      selfMon,
+		ShareResults: *share,
+		Observer:     observer,
+		Logger:       logger,
 	})
 	if err != nil {
 		fatal("peer setup failed", "err", err)
@@ -135,7 +147,7 @@ func main() {
 		}
 		defer stopObs()
 		logger.Info("observability endpoints up", "addr", bound,
-			"paths", "/metrics /healthz /debug/dat /debug/spans /debug/pprof/")
+			"paths", "/metrics /healthz /debug/dat /debug/spans /debug/load /debug/pprof/")
 	}
 
 	if *synthetic {
@@ -166,6 +178,13 @@ func main() {
 	})
 	if err != nil {
 		fatal("start monitor failed", "attr", *attr, "err", err)
+	}
+	if selfMon.Enable {
+		if err := peer.StartSelfMonitor(); err != nil {
+			fatal("start self-monitor failed", "err", err)
+		}
+		logger.Info("self-monitoring trees started", "slot", selfMon.Slot,
+			"attrs", fmt.Sprintf("%v", obs.SelfMonAttrs))
 	}
 	if err := peer.Announce(*announce); err != nil {
 		logger.Warn("announce failed", "err", err)
@@ -199,12 +218,14 @@ func main() {
 	var extras []*dat.Peer
 	for i := 1; i < *instances; i++ {
 		extra, err := dat.NewPeer(dat.PeerConfig{
-			Listen:     "127.0.0.1:0",
-			Name:       fmt.Sprintf("%s#%d", peer.Addr(), i),
-			Attributes: attrs,
-			Delivery:   delivery,
-			Batch:      batching,
-			Logger:     logger,
+			Listen:       "127.0.0.1:0",
+			Name:         fmt.Sprintf("%s#%d", peer.Addr(), i),
+			Attributes:   attrs,
+			Delivery:     delivery,
+			Batch:        batching,
+			SelfMon:      selfMon,
+			ShareResults: *share,
+			Logger:       logger,
 		})
 		if err != nil {
 			fatal("instance setup failed", "instance", i, "err", err)
@@ -224,6 +245,11 @@ func main() {
 				tag, s, agg.Count, agg.Sum, agg.Avg())
 		}); err != nil {
 			fatal("instance monitor failed", "instance", i, "err", err)
+		}
+		if selfMon.Enable {
+			if err := extra.StartSelfMonitor(); err != nil {
+				fatal("instance self-monitor failed", "instance", i, "err", err)
+			}
 		}
 		if err := extra.Announce(*announce); err != nil {
 			logger.Warn("instance announce failed", "instance", i, "err", err)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ident"
 	"repro/internal/maan"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,17 @@ type DeliveryConfig = core.DeliveryConfig
 // BatchConfig tunes the send machine that coalesces updates bound for
 // the same parent into single datagrams. See PeerConfig.Batch.
 type BatchConfig = core.BatchConfig
+
+// SelfMonConfig enables the self-monitoring plane: dedicated dat.load.*
+// aggregation trees that carry every node's own load counters, so the
+// cluster answers load questions about itself through the DAT. See
+// PeerConfig.SelfMon and SimGridConfig.SelfMon.
+type SelfMonConfig = obs.SelfMonConfig
+
+// LoadSummary is the cluster-wide load answer read from a dat.load.*
+// tree root: per-node load statistics, the live imbalance factor
+// (max/mean node load), and the coverage the round achieved.
+type LoadSummary = obs.LoadSummary
 
 // Attribute declares a numeric resource attribute and its value range
 // for MAAN's locality-preserving hash.

@@ -99,6 +99,47 @@ func TestSimGridMonitorAndQuery(t *testing.T) {
 	}
 }
 
+func TestSimGridSelfMonitor(t *testing.T) {
+	grid, err := dat.NewSimGrid(dat.SimGridConfig{
+		N:       32,
+		Seed:    5,
+		SelfMon: dat.SelfMonConfig{Enable: true, Slot: time.Second},
+		Sensor: func(node int, _ time.Duration, attr string) (float64, bool) {
+			return 1, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := grid.ClusterLoad(); ok {
+		t.Fatal("cluster load reported before any monitoring round")
+	}
+	if _, err := grid.Monitor("cpu-usage", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run(15 * time.Second)
+	s, ok := grid.ClusterLoad()
+	if !ok {
+		t.Fatal("no cluster load summary after 15s")
+	}
+	if s.Nodes != 32 {
+		t.Fatalf("summary counts %d nodes, want 32", s.Nodes)
+	}
+	if s.Sum <= 0 || s.Min > s.Mean || s.Mean > s.Max || s.Imbalance < 1 {
+		t.Fatalf("incoherent summary %+v", s)
+	}
+
+	// The plane is off by default: no dat.load.* interception, no summary.
+	plain, err := dat.NewSimGrid(dat.SimGridConfig{N: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Run(5 * time.Second)
+	if _, ok := plain.ClusterLoad(); ok {
+		t.Fatal("cluster load reported with self-monitoring disabled")
+	}
+}
+
 func TestSimGridChurnAPI(t *testing.T) {
 	grid, err := dat.NewSimGrid(dat.SimGridConfig{
 		N: 16, Seed: 4,

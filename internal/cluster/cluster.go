@@ -110,6 +110,13 @@ type Options struct {
 	// events or draw randomness, so attaching one does not perturb the
 	// simulation. Optional.
 	Observer *obs.Observer
+	// SelfMon enables the layer-2 self-monitoring plane (DESIGN.md §13):
+	// every node gets its own LoadVec fed from the core hooks, and New
+	// starts one dedicated aggregation tree per obs.SelfMonAttrs entry
+	// whose node-local samples are the LoadVec totals — the cluster
+	// monitors its own load through its own trees. SelfMon.Slot defaults
+	// to 2s; run it slower than the primary slot to bound overhead.
+	SelfMon obs.SelfMonConfig
 	// Logger receives structured protocol logs from every node. Nil
 	// means silent (the usual choice for large runs).
 	Logger *slog.Logger
@@ -137,6 +144,9 @@ func (o Options) withDefaults() Options {
 	if o.PingEvery <= 0 {
 		o.PingEvery = time.Second
 	}
+	if o.SelfMon.Enable && o.SelfMon.Slot <= 0 {
+		o.SelfMon.Slot = 2 * time.Second
+	}
 	return o
 }
 
@@ -148,8 +158,19 @@ type Cluster struct {
 	Space  ident.Space
 	Chord  []*chord.Node
 	DAT    []*core.Node
+	// Loads holds each node's per-tree load accounting, indexed like
+	// Chord/DAT. Populated only when Opts.SelfMon.Enable; a Rejoin
+	// replaces the slot with fresh counters (fresh protocol state).
+	Loads []*obs.LoadVec
 
 	eps []transport.Endpoint
+
+	// selfMonKeys maps each monitoring tree's rendezvous key back to its
+	// attribute; immutable after New.
+	selfMonKeys map[ident.ID]string
+	// selfMonLatest reads each monitoring tree's root result, by
+	// attribute.
+	selfMonLatest map[string]func() (int64, core.Aggregate, bool)
 }
 
 // New builds a cluster and brings the ring to convergence. It returns an
@@ -183,6 +204,12 @@ func New(opts Options) (*Cluster, error) {
 		Net:    net,
 		Space:  space,
 	}
+	if opts.SelfMon.Enable {
+		c.selfMonKeys = make(map[ident.ID]string, len(obs.SelfMonAttrs))
+		for _, attr := range obs.SelfMonAttrs {
+			c.selfMonKeys[space.HashString(attr)] = attr
+		}
+	}
 	if opts.Observer != nil {
 		net.SetTap(opts.Observer.Tap())
 	}
@@ -208,6 +235,19 @@ func New(opts Options) (*Cluster, error) {
 	}
 	if err := c.AwaitConverged(10 * time.Minute); err != nil {
 		return nil, err
+	}
+	if opts.SelfMon.Enable {
+		c.selfMonLatest = make(map[string]func() (int64, core.Aggregate, bool), len(obs.SelfMonAttrs))
+		for _, attr := range obs.SelfMonAttrs {
+			latest, err := c.StartContinuousAll(space.HashString(attr), opts.SelfMon.Slot)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: start self-monitoring tree %s: %w", attr, err)
+			}
+			c.selfMonLatest[attr] = latest
+		}
+		if opts.Observer != nil {
+			opts.Observer.SetLoadSummary(c.ClusterLoad)
+		}
 	}
 	return c, nil
 }
@@ -239,6 +279,34 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 		clk := c.Net.Clock()
 		local = func(key ident.ID) (float64, bool) { return c.Opts.Local(idx, clk.Now(), key) }
 	}
+	var lv *obs.LoadVec
+	if c.Opts.SelfMon.Enable {
+		// Each node accounts its own load; Rejoin lands here again and
+		// replaces the slot with fresh counters.
+		lv = obs.NewLoadVec(0)
+		for len(c.Loads) <= idx {
+			c.Loads = append(c.Loads, nil)
+		}
+		c.Loads[idx] = lv
+		// The monitoring trees' node-local samples are the node's own
+		// LoadVec totals; every other key falls through to the
+		// experiment's sensor. Counters are read at tick time on the
+		// deterministically ordered sim paths, so the published values
+		// are a pure function of the seed.
+		userLocal := local
+		local = func(key ident.ID) (float64, bool) {
+			switch c.selfMonKeys[key] {
+			case obs.LoadAttrMsgs:
+				return float64(lv.NodeLoad()), true
+			case obs.LoadAttrBytes:
+				return float64(lv.NodeBytes()), true
+			}
+			if userLocal != nil {
+				return userLocal(key)
+			}
+			return 0, false
+		}
+	}
 	coreCfg := core.NodeConfig{
 		Scheme:        c.Opts.Scheme,
 		Local:         local,
@@ -250,7 +318,12 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 		Batch:         c.Opts.Batch,
 		Logger:        logger,
 	}
-	if c.Opts.Observer != nil {
+	switch {
+	case lv != nil && c.Opts.Observer != nil:
+		coreCfg.Obs = obs.MergeCoreHooks(lv.CoreHooks(), c.Opts.Observer.CoreHooks())
+	case lv != nil:
+		coreCfg.Obs = lv.CoreHooks()
+	case c.Opts.Observer != nil:
 		coreCfg.Obs = c.Opts.Observer.CoreHooks()
 	}
 	dn := core.NewNode(cn, ep, c.Net.Clock(), coreCfg)
@@ -525,4 +598,53 @@ func (c *Cluster) StartContinuousAll(key ident.ID, slot time.Duration) (latest f
 		}
 		return 0, core.Aggregate{}, false
 	}, nil
+}
+
+// SelfMonKey returns the rendezvous key of the self-monitoring tree for
+// attr (obs.LoadAttrMsgs / obs.LoadAttrBytes).
+func (c *Cluster) SelfMonKey(attr string) ident.ID { return c.Space.HashString(attr) }
+
+// SelfMonLatest reads the latest root aggregate of attr's monitoring
+// tree. ok is false when self-monitoring is off or no round completed.
+func (c *Cluster) SelfMonLatest(attr string) (int64, core.Aggregate, bool) {
+	latest := c.selfMonLatest[attr]
+	if latest == nil {
+		return 0, core.Aggregate{}, false
+	}
+	return latest()
+}
+
+// ClusterLoad answers "cluster max/avg/sum node load" from the
+// dat.load.msgs monitoring tree — the DAT monitoring itself, one root
+// read instead of n scrapes. The summary carries the live imbalance
+// factor (max/mean, the paper's fig. 8 metric) and the coverage the
+// round achieved.
+func (c *Cluster) ClusterLoad() (obs.LoadSummary, bool) {
+	slot, agg, ok := c.SelfMonLatest(obs.LoadAttrMsgs)
+	if !ok || agg.Count == 0 {
+		return obs.LoadSummary{}, false
+	}
+	return obs.NewLoadSummary(slot, agg.Count, agg.Sum, agg.Min, agg.Max, agg.Coverage, agg.Degraded), true
+}
+
+// KickSelfMon enrolls every running node in the self-monitoring trees,
+// skipping nodes where the key is already active. The call matters after
+// churn: rejoined nodes hold fresh protocol state and would otherwise
+// only relay (never contribute) until enrolled.
+func (c *Cluster) KickSelfMon() error {
+	if !c.Opts.SelfMon.Enable {
+		return nil
+	}
+	for _, attr := range obs.SelfMonAttrs {
+		key := c.Space.HashString(attr)
+		for i, d := range c.DAT {
+			if !c.Chord[i].Running() || d.Active(key) {
+				continue
+			}
+			if err := d.StartContinuous(key, c.Opts.SelfMon.Slot, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ident"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -200,5 +201,56 @@ func TestDropProbOptionWired(t *testing.T) {
 	c.RunFor(5 * time.Second)
 	if c.Net.Dropped() == 0 {
 		t.Fatal("no drops recorded at p=1")
+	}
+}
+
+func TestSelfMonClusterLoad(t *testing.T) {
+	c, err := New(Options{
+		N: 24, Seed: 12,
+		SelfMon: obs.SelfMonConfig{Enable: true, Slot: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Loads) != 24 {
+		t.Fatalf("Loads has %d slots, want 24", len(c.Loads))
+	}
+	c.RunFor(10 * time.Second)
+
+	s, ok := c.ClusterLoad()
+	if !ok {
+		t.Fatal("no self-monitoring round completed")
+	}
+	if s.Nodes != 24 {
+		t.Fatalf("summary counts %d nodes, want 24", s.Nodes)
+	}
+	if s.Sum <= 0 || s.Mean <= 0 || s.Max < s.Mean || s.Min > s.Mean {
+		t.Fatalf("incoherent summary %+v", s)
+	}
+	if s.Imbalance < 1 {
+		t.Fatalf("imbalance %v below 1 (max below mean)", s.Imbalance)
+	}
+	// The bytes tree aggregates alongside the msgs tree.
+	if _, agg, ok := c.SelfMonLatest(obs.LoadAttrBytes); !ok || agg.Count != 24 || agg.Sum <= 0 {
+		t.Fatalf("bytes tree: ok=%v agg=%+v", ok, agg)
+	}
+
+	// KickSelfMon must be idempotent on already-enrolled nodes...
+	if err := c.KickSelfMon(); err != nil {
+		t.Fatalf("idempotent kick: %v", err)
+	}
+	// ...and re-enroll a rejoined node so it contributes again.
+	c.Crash(3)
+	c.RunFor(5 * time.Second)
+	c.Rejoin(3)
+	if err := c.KickSelfMon(); err != nil {
+		t.Fatalf("post-rejoin kick: %v", err)
+	}
+	if err := c.AwaitConverged(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(15 * time.Second)
+	if s, ok := c.ClusterLoad(); !ok || s.Nodes != 24 {
+		t.Fatalf("post-rejoin summary: ok=%v %+v", ok, s)
 	}
 }

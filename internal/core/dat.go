@@ -400,6 +400,17 @@ func (n *Node) StopContinuous(key ident.ID) {
 	}
 }
 
+// Active reports whether continuous aggregation for key is running on
+// this node. Re-kick paths (cluster.KickSelfMon, harness rejoins) use it
+// to make enrollment idempotent: StartContinuous rejects a key that is
+// already active.
+func (n *Node) Active(key ident.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.aggs[key]
+	return ok
+}
+
 // LastResult returns the most recent root-computed aggregate for key, if
 // this node has acted as the key's root.
 func (n *Node) LastResult(key ident.ID) (slot int64, agg Aggregate, ok bool) {
@@ -600,6 +611,7 @@ func coverage(nodes, estimate uint64) float64 {
 // fallbacks and for DeliveryConfig.Disable mode, where the old
 // fire-and-forget semantics are exactly what is asked for.
 func (n *Node) send(to transport.Addr, typ string, payload any) {
+	n.treeSent(typ, payload)
 	if err := n.ep.Send(to, typ, payload); err != nil {
 		n.ch.Suspect(to)
 	}
@@ -666,7 +678,7 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		if um.Slot <= 0 {
 			n.mu.Unlock()
 			if h := n.cfg.Obs.UpdateRejected; h != nil {
-				h("no-slot")
+				h(um.Key, "no-slot")
 			}
 			req.Reply(UpdateAck{OK: false, Reason: "no-slot"})
 			return
@@ -691,7 +703,7 @@ func (n *Node) handleUpdate(req *transport.Request) {
 	if fromParent {
 		n.mu.Unlock()
 		if h := n.cfg.Obs.UpdateRejected; h != nil {
-			h("cycle")
+			h(um.Key, "cycle")
 		}
 		req.Reply(UpdateAck{OK: false, Reason: "cycle"})
 		return
@@ -714,7 +726,7 @@ func (n *Node) handleUpdate(req *transport.Request) {
 		n.cfg.Logger.Debug("assumed rootship via handover", "key", um.Key.String(), "failed", string(um.FailedRoot), "child", string(req.From))
 	}
 	if h := n.cfg.Obs.UpdateApplied; h != nil {
-		h(false)
+		h(um.Key, false)
 	}
 	if enrolled {
 		n.cfg.Logger.Debug("enrolled in continuous aggregation", "key", um.Key.String(), "slot", time.Duration(um.Slot))
@@ -873,7 +885,7 @@ func (n *Node) foldDemand(um UpdateMsg, from transport.Addr) {
 	n.armFlushLocked(es, um.Key, um.Epoch)
 	n.mu.Unlock()
 	if h := n.cfg.Obs.UpdateApplied; h != nil {
-		h(true)
+		h(um.Key, true)
 	}
 }
 

@@ -276,7 +276,7 @@ func (d *delivery) sendAttempt() {
 
 	if retry {
 		if h := n.cfg.Obs.UpdateRetried; h != nil {
-			h()
+			h(d.key)
 		}
 	}
 	msg.SentAt = int64(n.clock.Now())

@@ -144,10 +144,31 @@ func newSendMachine(n *Node, cfg BatchConfig) *sendMachine {
 // replacement for ep.Call in the delivery layer.
 func (n *Node) batchCall(to transport.Addr, typ string, payload any, cb func(any, error)) {
 	if n.sm == nil {
+		n.treeSent(typ, payload)
 		n.ep.Call(to, typ, payload, cb)
 		return
 	}
 	n.sm.enqueue(to, typ, payload, cb)
+}
+
+// treeSent fires the per-tree send-accounting hook (DESIGN.md §13) for
+// one outbound element. Every path that puts an update or detach on the
+// wire funnels through exactly one call — batchCall's direct path, the
+// enqueue bypasses, flush, or the fire-and-forget n.send — so each
+// element is counted once per wire appearance (retries count again:
+// the accounting tracks traffic, not intents). Non-tree payloads are
+// ignored. Callers hold no locks.
+func (n *Node) treeSent(typ string, payload any) {
+	h := n.cfg.Obs.TreeSent
+	if h == nil {
+		return
+	}
+	switch p := payload.(type) {
+	case UpdateMsg:
+		h(p.Key, typ, elemEstimate(BatchElem{Kind: batchKindUpdate, Update: p}))
+	case DetachMsg:
+		h(p.Key, typ, elemEstimate(BatchElem{Kind: batchKindDetach, Detach: p}))
+	}
 }
 
 // enqueue appends one element to the destination's queue and flushes it
@@ -168,6 +189,7 @@ func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb fu
 	sm.mu.Lock()
 	if sm.closed {
 		sm.mu.Unlock()
+		sm.n.treeSent(typ, payload)
 		sm.n.ep.Call(to, typ, payload, cb)
 		return
 	}
@@ -273,6 +295,10 @@ func (sm *sendMachine) flush(to transport.Addr, elems []BatchElem, cbs []func(an
 	}
 	if h := sm.n.cfg.Obs.BatchFlush; h != nil {
 		h(reason, len(elems), (len(elems)-1)*frameOverhead)
+	}
+	for _, el := range elems {
+		typ, payload := elemMessage(el)
+		sm.n.treeSent(typ, payload)
 	}
 	if len(elems) == 1 {
 		typ, payload := elemMessage(elems[0])

@@ -76,14 +76,18 @@ func RunScenario(sc *Scenario) (*Result, error) {
 	if sc.Batch.Disable {
 		batch = "off"
 	}
-	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v batch=%s events=%d\n",
-		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, batch, len(sc.Events))
+	selfmon := "off"
+	if sc.SelfMon {
+		selfmon = "on"
+	}
+	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v batch=%s selfmon=%s events=%d\n",
+		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, batch, selfmon, len(sc.Events))
 
 	// The observer's hooks never schedule events or draw engine
 	// randomness, so attaching it keeps traces byte-identical per seed;
 	// its span ring is dumped into the trace when invariants fail.
 	observer := obs.NewObserver(spanRingCapacity)
-	c, err := cluster.New(cluster.Options{
+	opts := cluster.Options{
 		N:      sc.N,
 		Bits:   sc.Bits,
 		Seed:   sc.Seed,
@@ -94,7 +98,13 @@ func RunScenario(sc *Scenario) (*Result, error) {
 		ChildTTLSlots: 3,
 		Batch:         sc.Batch,
 		Observer:      observer,
-	})
+	}
+	if sc.SelfMon {
+		// Same slot as the primary tree, so the settle quiesce gives the
+		// monitoring trees as many rounds to converge as the audited tree.
+		opts.SelfMon = obs.SelfMonConfig{Enable: true, Slot: sc.Slot}
+	}
+	c, err := cluster.New(opts)
 	if err != nil {
 		return nil, fmt.Errorf("datcheck seed %d: setup: %w", sc.Seed, err)
 	}
@@ -173,6 +183,7 @@ func (h *harness) apply(ev Event) {
 			h.tracef("join node=%d start continuous: %v", idx, err)
 			return
 		}
+		h.enrollSelfMon(idx)
 		h.tracef("%v id=%v", ev, id)
 	case EvPartition:
 		if ev.A >= len(c.Chord) || ev.B >= len(c.Chord) {
@@ -318,6 +329,26 @@ func (h *harness) rejoin(i int) {
 	if err := h.c.DAT[i].StartContinuous(h.key, h.sc.Slot, nil); err != nil {
 		h.tracef("rejoin node=%d start continuous: %v", i, err)
 	}
+	h.enrollSelfMon(i)
+}
+
+// enrollSelfMon starts the dat.load.* trees on a fresh node, so churned
+// nodes contribute their own counters rather than only relaying. Nodes
+// built by cluster.New were enrolled there; this covers joins and
+// rejoins, whose core.Node state starts empty.
+func (h *harness) enrollSelfMon(i int) {
+	if !h.sc.SelfMon {
+		return
+	}
+	for _, attr := range obs.SelfMonAttrs {
+		key := h.c.SelfMonKey(attr)
+		if h.c.DAT[i].Active(key) {
+			continue
+		}
+		if err := h.c.DAT[i].StartContinuous(key, h.sc.Slot, nil); err != nil {
+			h.tracef("node=%d start selfmon %s: %v", i, attr, err)
+		}
+	}
 }
 
 // freshID derives a deterministic identifier for joined node idx that is
@@ -407,6 +438,76 @@ func (h *harness) settle() {
 		slot, agg, _ := h.latest()
 		h.res.Settled = append(h.res.Settled, agg)
 		h.tracef("invariants ok slot=%d count=%d sum=%v", slot, agg.Count, agg.Sum)
+	}
+	if h.sc.SelfMon {
+		h.checkSelfMon()
+	}
+}
+
+// checkSelfMon audits the dat.load.* self-monitoring trees at a settle
+// point. Structure is covered by the primary tree's checks (same
+// protocol, different rendezvous key); what is specific to the
+// monitoring plane is conservation: every running node must be counted
+// in the settled round, the order statistics must be coherent, and —
+// because load counters are monotone, so each node's current LoadVec
+// total bounds whatever value it published earlier — the root's Sum and
+// Max can never exceed what the counters currently read.
+func (h *harness) checkSelfMon() {
+	idxs := h.runningIdxs()
+	for _, attr := range obs.SelfMonAttrs {
+		slot, agg, ok := h.c.SelfMonLatest(attr)
+		if !ok {
+			h.violate(Violation{Check: "selfmon-missing", Detail: fmt.Sprintf(
+				"tree %s has produced no root result", attr)})
+			continue
+		}
+		bad := false
+		if agg.Count != uint64(len(idxs)) {
+			h.violate(Violation{Check: "selfmon-count", Detail: fmt.Sprintf(
+				"tree %s count %d, running %d (slot %d)", attr, agg.Count, len(idxs), slot)})
+			bad = true
+		}
+		if agg.Count > 0 {
+			mean := agg.Sum / float64(agg.Count)
+			if agg.Min < 0 || agg.Min > mean+1e-9 || mean > agg.Max+1e-9 {
+				h.violate(Violation{Check: "selfmon-order", Detail: fmt.Sprintf(
+					"tree %s min/mean/max %v/%v/%v not ordered (slot %d)", attr, agg.Min, mean, agg.Max, slot)})
+				bad = true
+			}
+		}
+		// Monotone-counter bound: published values are reads of counters
+		// that only grow, so today's totals dominate any settled round.
+		var curSum, curMax float64
+		for _, i := range idxs {
+			lv := h.c.Loads[i]
+			if lv == nil {
+				continue
+			}
+			var v float64
+			switch attr {
+			case obs.LoadAttrMsgs:
+				v = float64(lv.NodeLoad())
+			case obs.LoadAttrBytes:
+				v = float64(lv.NodeBytes())
+			}
+			curSum += v
+			if v > curMax {
+				curMax = v
+			}
+		}
+		if agg.Sum > curSum {
+			h.violate(Violation{Check: "selfmon-conservation", Detail: fmt.Sprintf(
+				"tree %s settled sum %v exceeds current counter total %v (slot %d)", attr, agg.Sum, curSum, slot)})
+			bad = true
+		}
+		if agg.Max > curMax {
+			h.violate(Violation{Check: "selfmon-conservation", Detail: fmt.Sprintf(
+				"tree %s settled max %v exceeds current counter max %v (slot %d)", attr, agg.Max, curMax, slot)})
+			bad = true
+		}
+		if !bad {
+			h.tracef("selfmon ok attr=%s slot=%d count=%d", attr, slot, agg.Count)
+		}
 	}
 }
 

@@ -194,6 +194,64 @@ func TestDatcheckBatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestDatcheckSelfmonEquivalence is the self-monitoring plane's
+// counterpart of the batching ablation: for the same seed, the run with
+// the dat.load.* trees enabled must hold every invariant (including the
+// settle-time conservation audit of the monitoring trees themselves),
+// and must settle on exactly the root aggregates the selfmon-off run
+// settles on — the plane observes the system without changing what the
+// primary tree computes. The selfmon run is also played twice to prove
+// its trace stays byte-identical per seed: reading monotone counters at
+// tick time adds no nondeterminism.
+func TestDatcheckSelfmonEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			withSelfMon := func() *Scenario {
+				sc := Generate(seed)
+				sc.SelfMon = true
+				return sc
+			}
+			selfmon, err := RunScenario(withSelfMon())
+			if err != nil {
+				t.Fatalf("selfmon run: %v", err)
+			}
+			again, err := RunScenario(withSelfMon())
+			if err != nil {
+				t.Fatalf("selfmon re-run: %v", err)
+			}
+			if !bytes.Equal(selfmon.Trace, again.Trace) {
+				t.Fatalf("selfmon runs of seed %d diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					seed, selfmon.Trace, again.Trace)
+			}
+			plain, err := RunScenario(Generate(seed))
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+			for _, v := range selfmon.Violations {
+				t.Errorf("selfmon: %v", v)
+			}
+			for _, v := range plain.Violations {
+				t.Errorf("plain: %v", v)
+			}
+			if t.Failed() {
+				return
+			}
+			if len(selfmon.Settled) != len(plain.Settled) {
+				t.Fatalf("settle count differs: selfmon %d, plain %d",
+					len(selfmon.Settled), len(plain.Settled))
+			}
+			for s, agg := range selfmon.Settled {
+				if agg != plain.Settled[s] {
+					t.Errorf("settle %d: selfmon root aggregate %+v, plain %+v",
+						s, agg, plain.Settled[s])
+				}
+			}
+		})
+	}
+}
+
 // TestBatchGeneratorGuarantees checks the batching-fault generator's
 // contract: cluster size in range, at least two mid-flush crashes, a
 // root crash, a partition for the corpus coverage floor, a probe inside

@@ -133,8 +133,13 @@ type Scenario struct {
 	// defaults (the shipping configuration); set Batch.Disable for the
 	// one-datagram-per-update ablation the equivalence test compares
 	// against.
-	Batch  core.BatchConfig
-	Events []Event
+	Batch core.BatchConfig
+	// SelfMon runs the dat.load.* self-monitoring trees alongside the
+	// primary aggregation and audits them at every settle. The zero value
+	// is off, so historical seeds keep their exact schedules; the selfmon
+	// equivalence test flips it on for paired runs.
+	SelfMon bool
+	Events  []Event
 }
 
 // maxConcurrentDead bounds how many nodes may be down at once. The

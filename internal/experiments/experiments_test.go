@@ -275,3 +275,32 @@ func TestBatchingOverheadShape(t *testing.T) {
 		t.Errorf("datagram reduction %v at 64 trees, want >= 5x", red)
 	}
 }
+
+// TestSelfMonitorOverheadShape: the self-monitoring plane must clear
+// the PR's acceptance bar — under 10% extra dat.* datagrams per slot at
+// 48 nodes — with full coverage, and the imbalance factor it reports
+// through its own trees must track the offline ground-truth computation.
+func TestSelfMonitorOverheadShape(t *testing.T) {
+	tab, err := SelfMonitorOverhead(SelfMonitorConfig{Slots: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "off" || tab.Rows[1][0] != "on" {
+		t.Fatalf("unexpected rows: %v", tab.Rows)
+	}
+	on := len(tab.Rows) - 1
+	if overhead := cell(t, tab, on, "overhead_pct"); overhead < 0 || overhead >= 10 {
+		t.Errorf("self-monitoring overhead %v%%, want [0, 10)", overhead)
+	}
+	if cov := cell(t, tab, on, "coverage"); cov < 1 {
+		t.Errorf("live summary coverage %v, want 1", cov)
+	}
+	truth := cell(t, tab, on, "imbalance_true")
+	live := cell(t, tab, on, "imbalance_live")
+	if truth < 1 || live < 1 {
+		t.Errorf("imbalance below 1: true=%v live=%v", truth, live)
+	}
+	if diff := live/truth - 1; diff < -0.25 || diff > 0.25 {
+		t.Errorf("live imbalance %v drifted >25%% from ground truth %v", live, truth)
+	}
+}

@@ -41,16 +41,17 @@ type CoreHooks struct {
 	// contributing node count, latency the time from the slot boundary
 	// to completion on the node's clock.
 	RoundDone func(key ident.ID, slot int64, root bool, fanIn int, nodes uint64, latency time.Duration)
-	// UpdateApplied fires when an inbound child update is accepted into
-	// the child cache; UpdateRejected when it is discarded, with a
-	// short reason ("cycle", "no-slot").
-	UpdateApplied  func(demand bool)
-	UpdateRejected func(reason string)
+	// UpdateApplied fires when an inbound child update for key is
+	// accepted into the child cache; UpdateRejected when it is
+	// discarded, with a short reason ("cycle", "no-slot").
+	UpdateApplied  func(key ident.ID, demand bool)
+	UpdateRejected func(key ident.ID, reason string)
 	// ChildExpired fires when TTL expiry drops n cached child entries.
 	ChildExpired func(n int)
 	// UpdateRetried fires for every delivery attempt after the first of
-	// an acked update (retry of the same parent or a failover re-send).
-	UpdateRetried func()
+	// an acked update for key (retry of the same parent or a failover
+	// re-send).
+	UpdateRetried func(key ident.ID)
 	// ParentFailover fires when an ack timeout makes a child re-route a
 	// pending update to a different parent candidate (DESIGN.md §10).
 	ParentFailover func()
@@ -67,6 +68,13 @@ type CoreHooks struct {
 	// estimated per-datagram overhead avoided by coalescing
 	// (DESIGN.md §12).
 	BatchFlush func(reason string, elems, bytesSaved int)
+	// TreeSent fires once per outbound element attributable to an
+	// aggregation key — a coalesced batch element, a singleton bypass,
+	// or a direct (unbatched / fire-and-forget) send. typ is the wire
+	// type ("dat.update", "dat.detach") and bytes the element's
+	// estimated payload size. It is the per-tree send-accounting seam
+	// for LoadVec (DESIGN.md §13).
+	TreeSent func(key ident.ID, typ string, bytes int)
 }
 
 // TransportHooks receives error-path telemetry from transport

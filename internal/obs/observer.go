@@ -30,6 +30,10 @@ var (
 type Observer struct {
 	Reg   *Registry
 	Spans *SpanRing
+	// Load is this observer's per-tree load accounting (DESIGN.md §13).
+	// The bound CoreHooks feed it and mirror every bump into the
+	// dat_tree_* metric families with identical bounded cardinality.
+	Load *LoadVec
 
 	msgs         *CounterVec
 	sendErrors   *Counter
@@ -63,9 +67,18 @@ type Observer struct {
 	batchElems      *Histogram
 	batchSaved      *Counter
 
-	mu     sync.Mutex
-	health func() Health
-	debug  []debugSection
+	treeSent      *CounterVec
+	treeRecv      *CounterVec
+	treeElems     *CounterVec
+	treeBytes     *CounterVec
+	treeFanIn     *CounterVec
+	treeRetries   *CounterVec
+	treeRootSlots *CounterVec
+
+	mu          sync.Mutex
+	health      func() Health
+	debug       []debugSection
+	loadSummary func() (LoadSummary, bool)
 }
 
 type debugSection struct {
@@ -84,6 +97,7 @@ func NewObserver(spanCapacity int) *Observer {
 	return &Observer{
 		Reg:   r,
 		Spans: NewSpanRing(spanCapacity),
+		Load:  NewLoadVec(DefaultLoadTrees),
 
 		msgs:         r.CounterVec("dat_transport_messages_total", "Messages delivered, by message type (replies carry a :reply suffix).", "type"),
 		sendErrors:   r.Counter("dat_transport_send_errors_total", "Failed sends and reply writes."),
@@ -116,6 +130,14 @@ func NewObserver(spanCapacity int) *Observer {
 		batchFlushes:    r.CounterVec("dat_batch_flushes_total", "Send-machine queue flushes, by trigger (bytes, elems, deadline, drain).", "reason"),
 		batchElems:      r.Histogram("dat_batch_elems_per_flush", "Messages coalesced per send-machine flush.", FanInBuckets),
 		batchSaved:      r.Counter("dat_batch_bytes_saved_total", "Estimated per-datagram overhead bytes avoided by coalescing."),
+
+		treeSent:      r.CounterVec("dat_tree_updates_sent_total", "Value updates sent, by tree (top-K keys plus an `other` bucket).", "tree"),
+		treeRecv:      r.CounterVec("dat_tree_updates_recv_total", "Inbound child updates accepted, by tree.", "tree"),
+		treeElems:     r.CounterVec("dat_tree_elems_total", "Outbound batch elements (updates, detaches), by tree.", "tree"),
+		treeBytes:     r.CounterVec("dat_tree_wire_bytes_total", "Estimated outbound payload bytes, by tree.", "tree"),
+		treeFanIn:     r.CounterVec("dat_tree_fanin_total", "Child partials folded across rounds, by tree.", "tree"),
+		treeRetries:   r.CounterVec("dat_tree_retries_total", "Acked-update send attempts beyond the first, by tree.", "tree"),
+		treeRootSlots: r.CounterVec("dat_tree_root_slots_total", "Rounds completed as the tree's root, by tree.", "tree"),
 	}
 }
 
@@ -171,17 +193,28 @@ func (o *Observer) CoreHooks() CoreHooks {
 				// network-wide figure the gauge advertises.
 				o.roundNodes.Set(float64(nodes))
 			}
+			// LoadVec assigns the bounded `tree` label; mirroring its
+			// return keeps metric cardinality capped at K+1.
+			label := o.Load.Round(key, root, fanIn)
+			o.treeFanIn.With(label).Add(uint64(fanIn))
+			if root {
+				o.treeRootSlots.With(label).Inc()
+			}
 		},
-		UpdateApplied: func(demand bool) {
+		UpdateApplied: func(key ident.ID, demand bool) {
 			if demand {
 				o.updates.With("applied-demand").Inc()
 			} else {
 				o.updates.With("applied").Inc()
 			}
+			o.treeRecv.With(o.Load.Recv(key)).Inc()
 		},
-		UpdateRejected: func(reason string) { o.updates.With("rejected-" + reason).Inc() },
+		UpdateRejected: func(key ident.ID, reason string) { o.updates.With("rejected-" + reason).Inc() },
 		ChildExpired:   func(n int) { o.childExpired.Add(uint64(n)) },
-		UpdateRetried:  func() { o.updateRetries.Inc() },
+		UpdateRetried: func(key ident.ID) {
+			o.updateRetries.Inc()
+			o.treeRetries.With(o.Load.Retry(key)).Inc()
+		},
 		ParentFailover: func() { o.parentFailovers.Inc() },
 		RootHandover:   func() { o.rootHandovers.Inc() },
 		DeliveryDone: func(ok bool, attempts int, latency time.Duration) {
@@ -198,6 +231,14 @@ func (o *Observer) CoreHooks() CoreHooks {
 			o.batchFlushes.With(reason).Inc()
 			o.batchElems.Observe(float64(elems))
 			o.batchSaved.Add(uint64(bytesSaved))
+		},
+		TreeSent: func(key ident.ID, typ string, bytes int) {
+			label := o.Load.Sent(key, typ, bytes)
+			o.treeElems.With(label).Inc()
+			o.treeBytes.With(label).Add(uint64(bytes))
+			if typ == "dat.update" {
+				o.treeSent.With(label).Inc()
+			}
 		},
 	}
 }
@@ -249,6 +290,36 @@ func (o *Observer) AddDebug(name string, fn func(w io.Writer)) {
 	o.mu.Lock()
 	o.debug = append(o.debug, debugSection{name: name, fn: fn})
 	o.mu.Unlock()
+}
+
+// SetLoadSummary installs the cluster-wide section of /debug/load: fn
+// returns the latest self-monitoring summary (false while no monitoring
+// round has completed). fn is called per request, must be safe for
+// concurrent use, and must not block — serve a cached root result, not
+// a live protocol query.
+func (o *Observer) SetLoadSummary(fn func() (LoadSummary, bool)) {
+	o.mu.Lock()
+	o.loadSummary = fn
+	o.mu.Unlock()
+}
+
+// writeLoad renders /debug/load: the cluster-wide summary (when a
+// provider is installed) followed by this node's per-tree table.
+func (o *Observer) writeLoad(w io.Writer, sortBy string) {
+	o.mu.Lock()
+	fn := o.loadSummary
+	o.mu.Unlock()
+	fmt.Fprintln(w, "== cluster load (self-monitoring DAT) ==")
+	if fn == nil {
+		fmt.Fprintln(w, "self-monitoring disabled (no summary provider)")
+	} else if s, ok := fn(); ok {
+		s.Write(w)
+	} else {
+		fmt.Fprintln(w, "no self-monitoring round completed yet")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "== per-tree load (this node) ==")
+	o.Load.WriteTable(w, sortBy)
 }
 
 func (o *Observer) currentHealth() (Health, bool) {

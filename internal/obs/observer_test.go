@@ -43,10 +43,13 @@ func TestObserverHooksFeedInstruments(t *testing.T) {
 	co.Span(Span{Trace: 1, Key: ident.ID(5), From: "a", To: "b"})
 	co.RoundDone(ident.ID(5), 10, true, 2, 7, 3*time.Millisecond)
 	co.RoundDone(ident.ID(5), 10, false, 0, 0, time.Millisecond)
-	co.UpdateApplied(false)
-	co.UpdateApplied(true)
-	co.UpdateRejected("cycle")
+	co.UpdateApplied(ident.ID(5), false)
+	co.UpdateApplied(ident.ID(5), true)
+	co.UpdateRejected(ident.ID(5), "cycle")
 	co.ChildExpired(2)
+	co.UpdateRetried(ident.ID(5))
+	co.TreeSent(ident.ID(5), "dat.update", 80)
+	co.TreeSent(ident.ID(5), "dat.detach", 20)
 
 	th := o.TransportHooks()
 	th.SendError("dat.update")
@@ -71,6 +74,13 @@ func TestObserverHooksFeedInstruments(t *testing.T) {
 		`dat_updates_total{kind="rejected-cycle"} 1`,
 		"dat_children_expired_total 2",
 		"dat_spans_total 1",
+		`dat_tree_updates_recv_total{tree="5"} 2`,
+		`dat_tree_updates_sent_total{tree="5"} 1`,
+		`dat_tree_elems_total{tree="5"} 2`,
+		`dat_tree_wire_bytes_total{tree="5"} 100`,
+		`dat_tree_fanin_total{tree="5"} 2`,
+		`dat_tree_retries_total{tree="5"} 1`,
+		`dat_tree_root_slots_total{tree="5"} 1`,
 		"dat_transport_send_errors_total 1",
 		"dat_transport_decode_errors_total 1",
 		"dat_transport_retransmits_total 1",

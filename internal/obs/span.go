@@ -132,12 +132,36 @@ func (r *SpanRing) TraceSpans(trace uint64) []Span {
 }
 
 // Dump writes a human-readable listing of the retained spans, grouped
-// by trace and ordered by receive time within each trace. datcheck
-// appends it to failure traces; /debug/spans serves it live.
+// by trace and ordered by receive time within each trace. Trace groups
+// are sorted by trace ID, so the listing is a pure function of the
+// retained set — golden tests and datcheck failure dumps do not depend
+// on which span happened to enter the ring first. datcheck appends it
+// to failure traces; /debug/spans serves it live.
 func (r *SpanRing) Dump(w io.Writer) {
+	r.DumpFiltered(w, nil)
+}
+
+// DumpFiltered is Dump restricted to spans matching keep (nil keeps
+// everything). /debug/spans builds keep from its ?trace= and ?key=
+// query parameters.
+func (r *SpanRing) DumpFiltered(w io.Writer, keep func(Span) bool) {
 	all := r.Snapshot()
+	retained := len(all)
+	if keep != nil {
+		kept := all[:0]
+		for _, s := range all {
+			if keep(s) {
+				kept = append(kept, s)
+			}
+		}
+		all = kept
+	}
 	if len(all) == 0 {
-		fmt.Fprintln(w, "no spans recorded")
+		if keep != nil {
+			fmt.Fprintf(w, "no spans match (%d retained)\n", retained)
+		} else {
+			fmt.Fprintln(w, "no spans recorded")
+		}
 		return
 	}
 	byTrace := make(map[uint64][]Span)
@@ -148,7 +172,12 @@ func (r *SpanRing) Dump(w io.Writer) {
 		}
 		byTrace[s.Trace] = append(byTrace[s.Trace], s)
 	}
-	fmt.Fprintf(w, "span ring: %d spans retained, %d recorded\n", len(all), r.Total())
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	if keep != nil {
+		fmt.Fprintf(w, "span ring: %d of %d retained spans match, %d recorded\n", len(all), retained, r.Total())
+	} else {
+		fmt.Fprintf(w, "span ring: %d spans retained, %d recorded\n", len(all), r.Total())
+	}
 	for _, tr := range order {
 		spans := byTrace[tr]
 		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Recv < spans[j].Recv })

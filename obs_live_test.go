@@ -65,7 +65,12 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 			Stabilize:  40 * time.Millisecond,
 			FixFingers: 60 * time.Millisecond,
 			Ping:       100 * time.Millisecond,
-			Observer:   o,
+			SelfMon:    dat.SelfMonConfig{Enable: true, Slot: 200 * time.Millisecond},
+			// Roots broadcast completed rounds, so every peer's cached
+			// ClusterLoad (and hence /debug/load) goes live, not just the
+			// load tree's root.
+			ShareResults: true,
+			Observer:     o,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -130,6 +135,38 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Self-monitoring plane: every peer contributes its load counters to
+	// the dat.load.* trees; any member answers the cluster question.
+	for _, p := range peers {
+		if err := p.StartSelfMonitor(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		s, err := peers[2].QueryClusterLoad(400 * time.Millisecond)
+		if err == nil && s.Nodes == uint64(len(peers)) {
+			if s.Sum <= 0 || s.Imbalance < 1 {
+				t.Fatalf("incoherent cluster load summary %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster load never covered all peers (last: %+v err=%v)", s, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// The observed peer's cached summary (fed by ShareResults broadcasts)
+	// is what /debug/load renders; wait for it to go live.
+	for {
+		if s, ok := boot.ClusterLoad(); ok && s.Nodes == uint64(len(peers)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("observed peer never cached a cluster load summary")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
 	srv := httptest.NewServer(observer.Handler())
 	defer srv.Close()
 	get := func(path string) (int, string) {
@@ -180,9 +217,37 @@ func TestLivePeerObservabilityEndpoints(t *testing.T) {
 		t.Fatalf("/healthz: code=%d body=%s", code, health)
 	}
 
+	// The per-tree accounting surfaced on /metrics with bounded labels.
+	for _, want := range []string{
+		"# TYPE dat_tree_updates_sent_total counter",
+		"# TYPE dat_tree_wire_bytes_total counter",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(metrics, `dat_tree_updates_sent_total{tree="`) {
+		t.Error("/metrics has no per-tree send series after live traffic")
+	}
+
 	code, debug := get("/debug/dat")
 	if code != http.StatusOK || !strings.Contains(debug, "self") {
 		t.Fatalf("/debug/dat: code=%d body=%q", code, debug)
+	}
+
+	code, load := get("/debug/load")
+	if code != http.StatusOK ||
+		!strings.Contains(load, "== cluster load (self-monitoring DAT) ==") ||
+		!strings.Contains(load, "== per-tree load (this node) ==") {
+		t.Fatalf("/debug/load: code=%d body=%q", code, load)
+	}
+	if !strings.Contains(load, "imbalance (max/mean):") {
+		t.Errorf("/debug/load has no live cluster summary:\n%s", load)
+	}
+
+	code, spans := get("/debug/spans?key=" + fmt.Sprint(uint64(ident.New(32).HashString(attrs[0]))))
+	if code != http.StatusOK || !strings.Contains(spans, "spans match") {
+		t.Fatalf("/debug/spans?key=: code=%d body=%q", code, spans)
 	}
 
 	code, pprofIdx := get("/debug/pprof/")

@@ -69,6 +69,12 @@ type PeerConfig struct {
 	// view — through the whole stack (DESIGN.md §9). Use one Observer
 	// per peer; instruments are process-wide names, not per-peer ones.
 	Observer *obs.Observer
+	// SelfMon enables the self-monitoring plane (DESIGN.md §13): the
+	// peer publishes its own per-tree load totals as dat.load.* sensors
+	// and StartSelfMonitor feeds them into dedicated monitoring trees,
+	// so ClusterLoad answers cluster-wide load questions through the
+	// DAT itself. SelfMon.Slot defaults to 2s.
+	SelfMon obs.SelfMonConfig
 	// Logger receives structured logs from the transport and protocol
 	// layers. Nil means silent.
 	Logger *slog.Logger
@@ -86,6 +92,7 @@ type Peer struct {
 	dat      *core.Node
 	maan     *maan.Service
 	producer *gma.Producer
+	load     *obs.LoadVec // per-tree accounting; nil unless SelfMon or Observer
 
 	mu       sync.Mutex
 	results  map[string]Aggregate // latest root results per attribute
@@ -147,9 +154,22 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		Batch:        cfg.Batch,
 		Logger:       nodeLogger.With("layer", "dat"),
 	}
-	if cfg.Observer != nil {
+	if cfg.SelfMon.Enable && cfg.SelfMon.Slot <= 0 {
+		cfg.SelfMon.Slot = 2 * time.Second
+	}
+	var load *obs.LoadVec
+	switch {
+	case cfg.Observer != nil:
+		// The observer's bound hooks already feed its LoadVec alongside
+		// the dat_tree_* families; reuse it as the peer's accounting.
 		chordCfg.Obs = cfg.Observer.ChordHooks()
 		coreCfg.Obs = cfg.Observer.CoreHooks()
+		load = cfg.Observer.Load
+	case cfg.SelfMon.Enable:
+		// No observer, but the self-monitoring sensors still need the
+		// per-tree counters: feed a standalone LoadVec.
+		load = obs.NewLoadVec(0)
+		coreCfg.Obs = load.CoreHooks()
 	}
 	cn := chord.New(ep, clock, id, chordCfg)
 	p := &Peer{
@@ -158,11 +178,22 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		ep:      ep,
 		clock:   clock,
 		chord:   cn,
+		load:    load,
 		results: make(map[string]Aggregate),
 	}
 	p.producer = gma.NewProducer(cfg.Name, space, clock)
 	coreCfg.Local = p.producer.Local
 	p.dat = core.NewNode(cn, ep, clock, coreCfg)
+	if cfg.SelfMon.Enable {
+		// The peer's own load counters become ordinary sensors: the
+		// monitoring trees aggregate them exactly like any grid metric.
+		p.AddSensor(obs.LoadAttrMsgs, func() (float64, bool) {
+			return float64(p.load.NodeLoad()), true
+		})
+		p.AddSensor(obs.LoadAttrBytes, func() (float64, bool) {
+			return float64(p.load.NodeBytes()), true
+		})
+	}
 	if len(cfg.Attributes) > 0 {
 		schema, err := maan.NewSchema(space, cfg.Attributes...)
 		if err != nil {
@@ -177,6 +208,11 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 			func() float64 { return float64(ep.PendingCalls()) })
 		o.SetHealth(p.health)
 		o.AddDebug("dat node "+string(ep.Addr()), p.dat.WriteDebug)
+		if cfg.SelfMon.Enable {
+			// /debug/load's cluster section serves the cached root
+			// result — never a live protocol query on the scrape path.
+			o.SetLoadSummary(p.ClusterLoad)
+		}
 	}
 	return p, nil
 }
@@ -267,6 +303,54 @@ func (p *Peer) StartMonitor(attr string, slot time.Duration, onResult func(slot 
 			onResult(s, agg)
 		}
 	})
+}
+
+// StartSelfMonitor joins the dat.load.* monitoring trees (DESIGN.md
+// §13) with the configured self-monitoring slot: this peer contributes
+// its own load counters and relays others'. Call it on every ring
+// member after Create/Join, like any monitored attribute. Requires
+// PeerConfig.SelfMon.Enable.
+func (p *Peer) StartSelfMonitor() error {
+	if !p.cfg.SelfMon.Enable {
+		return errors.New("dat: self-monitoring not enabled in PeerConfig")
+	}
+	for _, attr := range obs.SelfMonAttrs {
+		if err := p.StartMonitor(attr, p.cfg.SelfMon.Slot, nil); err != nil {
+			return fmt.Errorf("dat: start self-monitor %s: %w", attr, err)
+		}
+	}
+	return nil
+}
+
+// ClusterLoad returns the latest cluster-wide load summary computed by
+// the dat.load.msgs monitoring tree: per-node load statistics and the
+// live imbalance factor (max/mean), coverage-qualified. It reads the
+// cached root result and never blocks; ok is false until a monitoring
+// round has completed (or been shared/cached on this peer).
+func (p *Peer) ClusterLoad() (obs.LoadSummary, bool) {
+	key := p.space.HashString(obs.LoadAttrMsgs)
+	if slot, agg, ok := p.dat.LastResult(key); ok && agg.Count > 0 {
+		return obs.NewLoadSummary(slot, agg.Count, agg.Sum, agg.Min, agg.Max, agg.Coverage, agg.Degraded), true
+	}
+	p.mu.Lock()
+	agg, ok := p.results[obs.LoadAttrMsgs]
+	p.mu.Unlock()
+	if !ok || agg.Count == 0 {
+		return obs.LoadSummary{}, false
+	}
+	return obs.NewLoadSummary(0, agg.Count, agg.Sum, agg.Min, agg.Max, agg.Coverage, agg.Degraded), true
+}
+
+// QueryClusterLoad asks the cluster for its load distribution with one
+// on-demand protocol query against the dat.load.msgs tree, blocking
+// like Query. It works on any ring member whose peers registered the
+// load sensors (SelfMon.Enable), even without continuous monitoring.
+func (p *Peer) QueryClusterLoad(window time.Duration) (obs.LoadSummary, error) {
+	agg, err := p.Query(obs.LoadAttrMsgs, window)
+	if err != nil {
+		return obs.LoadSummary{}, err
+	}
+	return obs.NewLoadSummary(0, agg.Count, agg.Sum, agg.Min, agg.Max, agg.Coverage, agg.Degraded), nil
 }
 
 // StopMonitor halts continuous aggregation of attr on this peer.

@@ -56,7 +56,28 @@ check() {
 check /healthz '"running":true'
 check /metrics '# TYPE chord_lookup_hops histogram'
 check /metrics '# TYPE dat_rounds_total counter'
+check /metrics '# TYPE dat_tree_updates_sent_total counter'
+check /metrics '# TYPE dat_tree_wire_bytes_total counter'
 check /debug/dat 'self'
+check /debug/load '== cluster load (self-monitoring DAT) =='
+check /debug/load '== per-tree load (this node) =='
 check /debug/pprof/ goroutine
+
+# datnode runs -selfmon by default (slot 4x the 1s aggregation slot), so
+# within a few rounds /debug/load must serve a live cluster summary read
+# back through the node's own dat.load.* trees.
+for i in $(seq 1 60); do
+    if curl -sf "http://$OBS_ADDR/debug/load" | grep -q 'imbalance (max/mean):'; then
+        break
+    fi
+    if [[ "$i" == 60 ]]; then
+        echo "obs-smoke: /debug/load never served a live cluster summary" >&2
+        curl -sf "http://$OBS_ADDR/debug/load" >&2 || true
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "obs-smoke: /debug/load live cluster summary ok"
 
 echo "obs-smoke: all endpoints healthy"

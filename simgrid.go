@@ -43,6 +43,11 @@ type SimGridConfig struct {
 	// single datagrams. The zero value enables it with defaults; set
 	// Batch.Disable for the one-datagram-per-update ablation.
 	Batch BatchConfig
+	// SelfMon enables the self-monitoring plane (DESIGN.md §13): every
+	// node accounts its per-tree load and dedicated dat.load.* trees
+	// aggregate the counters, so ClusterLoad reports the live imbalance
+	// factor without external measurement.
+	SelfMon SelfMonConfig
 }
 
 // SimGrid is a complete simulated deployment of the protocol stack: n
@@ -72,6 +77,7 @@ func NewSimGrid(cfg SimGridConfig) (*SimGrid, error) {
 		Scheme:       cfg.Scheme,
 		ProtocolJoin: cfg.ProtocolJoin,
 		Batch:        cfg.Batch,
+		SelfMon:      cfg.SelfMon,
 	}
 	if cfg.MaintenanceEvery > 0 {
 		opts.StabilizeEvery = cfg.MaintenanceEvery / 2
@@ -163,6 +169,12 @@ func (g *SimGrid) Query(fromNode int, attr string, window time.Duration) (Aggreg
 	}
 	return out, qerr
 }
+
+// ClusterLoad returns the latest cluster-wide load summary from the
+// dat.load.msgs self-monitoring tree (SimGridConfig.SelfMon): per-node
+// load statistics and the live imbalance factor. ok is false until the
+// first monitoring round completes.
+func (g *SimGrid) ClusterLoad() (LoadSummary, bool) { return g.c.ClusterLoad() }
 
 // Tree returns the DAT snapshot the live nodes currently imply for attr.
 func (g *SimGrid) Tree(attr string, scheme Scheme) *Tree {
