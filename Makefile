@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-long bench-json bench-batching bench-selfmon obs-smoke ci
+.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-overload datcheck-long bench-json bench-batching bench-selfmon bench-overload obs-smoke ci
 
 all: build
 
@@ -62,6 +62,17 @@ datcheck-faults:
 		-datcheck.faultseeds $(DATCHECK_FAULT_SEEDS) \
 		-datcheck.batchseeds $(DATCHECK_BATCH_SEEDS)
 
+# datcheck-overload: the overload-protection profile — slow-parent,
+# ack-blackhole, and burst-fanin stimuli under tight queue budgets
+# (seeds above datcheck.OverloadSeedBase), with budget/never-shed-control
+# invariants checked at every settle, plus the paired-seed
+# protection-on-vs-off equivalence check.
+DATCHECK_OVERLOAD_SEEDS ?= 6
+datcheck-overload:
+	$(GO) test ./internal/datcheck -v \
+		-run 'TestDatcheckOverloadFaults|TestDatcheckOverloadEquivalence' \
+		-datcheck.overloadseeds $(DATCHECK_OVERLOAD_SEEDS)
+
 datcheck-long:
 	$(GO) test -race ./internal/datcheck -v -run TestDatcheckLong \
 		-datcheck.long -datcheck.seeds $(DATCHECK_SEEDS) -datcheck.base $(DATCHECK_BASE) \
@@ -77,6 +88,14 @@ bench-json:
 # coalescing on vs off over a multi-tree monitoring run (DESIGN.md §12).
 bench-batching:
 	$(GO) run ./cmd/datbench -quick -exp batching -json $(BENCH_DIR)
+
+# bench-overload: the overload-protection ablation — a gray-failure ack
+# blackhole plus a fan-in burst, protection off vs on: wasted retry
+# datagrams, queue high-water, shed percentage, breaker opens, p99 queue
+# age. Runs at full size (not -quick): the ~2s full window is what lets
+# the breakers' probe backoff reach steady state.
+bench-overload:
+	$(GO) run ./cmd/datbench -exp overload -json $(BENCH_DIR)
 
 # bench-selfmon: the self-monitoring plane ablation — dat.* datagrams
 # per slot with the dat.load.* trees off vs on at 48 nodes, plus the
@@ -98,4 +117,4 @@ fuzz:
 	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
-ci: build vet lint test race fuzz bench-selfmon obs-smoke
+ci: build vet lint test race fuzz bench-selfmon bench-overload obs-smoke

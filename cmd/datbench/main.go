@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon")
+		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json summaries (optional)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -242,9 +242,24 @@ func main() {
 		tables = append(tables, sm)
 	}
 	stamp()
+	if run("overload") {
+		cfg := experiments.OverloadAblationConfig{Seed: *seed}
+		if *quick {
+			cfg.N = 32
+			cfg.Trees = 6
+			cfg.Slots = 40
+		}
+		fmt.Fprintf(os.Stderr, "overload protection (ack-blackhole ablation)...\n")
+		ot, err := experiments.OverloadAblation(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, ot)
+	}
+	stamp()
 
 	if len(tables) == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload)", *exp))
 	}
 	for _, t := range tables {
 		if err := t.Render(os.Stdout); err != nil {
@@ -315,6 +330,16 @@ type benchRecord struct {
 	// same table's plane-on row also feeds ImbalanceFactor with the live,
 	// DAT-served imbalance figure.
 	SelfMonOverheadPct *float64 `json:"selfmon_overhead_pct,omitempty"`
+	// Overload-ablation headline row (the protected mode): how many
+	// times fewer datagrams were wasted on the blackholed victim than in
+	// the unprotected run, how much of the offered load was shed, how
+	// often breakers opened, and the p99 age of the oldest queued element
+	// — all under the bounded-queue budget.
+	WastedRetryReduction *float64 `json:"wasted_retry_reduction,omitempty"`
+	ShedPct              *float64 `json:"shed_pct,omitempty"`
+	BreakerOpens         *float64 `json:"breaker_opens,omitempty"`
+	P99QueueAgeMs        *float64 `json:"p99_queue_age_ms,omitempty"`
+	QueueHiWaterBytes    *float64 `json:"queue_hiwater_bytes,omitempty"`
 }
 
 func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
@@ -327,6 +352,11 @@ func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
 	rec.AllocRatio = headlineCell(t, "UpdateMsg", "alloc_ratio")
 	rec.DatagramReduction = lastRowCell(t, "reduction")
 	rec.SelfMonOverheadPct = lastRowCell(t, "overhead_pct")
+	rec.WastedRetryReduction = lastRowCell(t, "wasted_retry_reduction")
+	rec.ShedPct = lastRowCell(t, "shed_pct")
+	rec.BreakerOpens = lastRowCell(t, "breaker_opens")
+	rec.P99QueueAgeMs = lastRowCell(t, "p99_queue_age_ms")
+	rec.QueueHiWaterBytes = lastRowCell(t, "queue_hiwater_bytes")
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

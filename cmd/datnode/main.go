@@ -25,7 +25,8 @@
 // With -obs.addr the primary node serves its observability endpoints —
 // Prometheus /metrics, a JSON /healthz probe, /debug/dat (the node's
 // live aggregation view), /debug/spans, /debug/load (per-tree load and
-// the cluster-wide self-monitoring summary), and net/http/pprof:
+// the cluster-wide self-monitoring summary), /debug/overload (queue
+// budgets, shed counters and circuit breakers), and net/http/pprof:
 //
 //	datnode -listen 127.0.0.1:9000 -create -obs.addr 127.0.0.1:8080
 //	curl -s http://127.0.0.1:8080/metrics
@@ -83,6 +84,12 @@ func main() {
 		batchBy   = flag.Int("batch.maxbytes", 0, "flush a batch at this estimated encoded size (0: default 1200)")
 		batchDl   = flag.Duration("batch.maxdelay", 0, "flush a batch after the first element waits this long (0: default 5ms)")
 		batchEl   = flag.Int("batch.maxelems", 0, "flush a batch at this many elements (0: default 32)")
+		overload  = flag.Bool("overload.enable", true, "bounded send queues with priority shedding and per-peer circuit breakers (false: unbounded queues, no breakers)")
+		ovQBytes  = flag.Int("overload.maxqueuebytes", 0, "per-destination queue byte budget (0: default 8192)")
+		ovQElems  = flag.Int("overload.maxqueueelems", 0, "per-destination queue element budget (0: default 256)")
+		ovTBytes  = flag.Int("overload.maxtotalbytes", 0, "global queued-byte budget across all destinations (0: default 262144)")
+		ovBFails  = flag.Int("overload.breakerfails", 0, "consecutive send failures opening a peer's circuit breaker (0: default 3)")
+		ovBCool   = flag.Duration("overload.breakercooldown", 0, "breaker open time before a half-open probe (0: default 1s)")
 		selfmon   = flag.Bool("selfmon", true, "publish this node's load counters into the dat.load.* self-monitoring trees")
 		selfmonSl = flag.Duration("selfmon.slot", 0, "self-monitoring aggregation slot (0: 4x -slot)")
 		share     = flag.Bool("share", true, "roots broadcast completed slot results down their trees (keeps every node's cached aggregates and /debug/load live)")
@@ -116,6 +123,14 @@ func main() {
 		MaxDelay: *batchDl,
 		MaxElems: *batchEl,
 	}
+	overloadCfg := dat.OverloadConfig{
+		Enable:          *overload,
+		MaxQueueBytes:   *ovQBytes,
+		MaxQueueElems:   *ovQElems,
+		MaxTotalBytes:   *ovTBytes,
+		BreakerFailures: *ovBFails,
+		BreakerCooldown: *ovBCool,
+	}
 	selfMon := dat.SelfMonConfig{Enable: *selfmon, Slot: *selfmonSl}
 	if selfMon.Enable && selfMon.Slot <= 0 {
 		// Load counters move slowly; a slower monitoring slot keeps the
@@ -129,6 +144,7 @@ func main() {
 		Attributes:   attrs,
 		Delivery:     delivery,
 		Batch:        batching,
+		Overload:     overloadCfg,
 		SelfMon:      selfMon,
 		ShareResults: *share,
 		Observer:     observer,
@@ -147,7 +163,7 @@ func main() {
 		}
 		defer stopObs()
 		logger.Info("observability endpoints up", "addr", bound,
-			"paths", "/metrics /healthz /debug/dat /debug/spans /debug/load /debug/pprof/")
+			"paths", "/metrics /healthz /debug/dat /debug/spans /debug/load /debug/overload /debug/pprof/")
 	}
 
 	if *synthetic {
@@ -223,6 +239,7 @@ func main() {
 			Attributes:   attrs,
 			Delivery:     delivery,
 			Batch:        batching,
+			Overload:     overloadCfg,
 			SelfMon:      selfMon,
 			ShareResults: *share,
 			Logger:       logger,

@@ -102,6 +102,11 @@ type Options struct {
 	// through to the DAT layer. The zero value enables it with
 	// defaults; set Batch.Disable for one datagram per update.
 	Batch core.BatchConfig
+	// Overload passes the overload-protection policy (bounded queues,
+	// priority shedding, per-peer circuit breakers — DESIGN.md §14)
+	// through to the DAT layer. Unlike Delivery/Batch the zero value
+	// DISABLES it; set Overload.Enable to turn it on.
+	Overload core.OverloadConfig
 	// DropProb injects message loss.
 	DropProb float64
 	// Observer wires runtime telemetry through every node: the network
@@ -316,6 +321,7 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 		ShareResults:  c.Opts.ShareResults,
 		Delivery:      c.Opts.Delivery,
 		Batch:         c.Opts.Batch,
+		Overload:      c.Opts.Overload,
 		Logger:        logger,
 	}
 	switch {

@@ -170,6 +170,12 @@ type NodeConfig struct {
 	// The zero value enables it with defaults; set Disable to send one
 	// datagram per message.
 	Batch BatchConfig
+	// Overload tunes the overload-protection layer: bounded send
+	// queues with priority shedding and per-peer circuit breakers
+	// (DESIGN.md §14). Unlike Delivery/Batch the zero value DISABLES
+	// it — it is opt-in so existing deployments and datcheck seeds are
+	// unperturbed; set Enable to turn it on.
+	Overload OverloadConfig
 	// Obs receives aggregation telemetry: per-hop spans, round latency
 	// and fan-in, update dispositions, cache expiry. The zero value
 	// disables instrumentation (DESIGN.md §9).
@@ -197,6 +203,7 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	c.Delivery = c.Delivery.withDefaults()
 	c.Batch = c.Batch.withDefaults()
+	c.Overload = c.Overload.withDefaults()
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -220,6 +227,17 @@ type Node struct {
 	clock transport.Clock
 	cfg   NodeConfig
 	sm    *sendMachine // nil when cfg.Batch.Disable
+
+	// selfMonKeys marks the dat.load.* monitoring trees' rendezvous
+	// keys, the lowest shedding class. Computed once in NewNode and
+	// immutable after, so classify reads it lock-free.
+	selfMonKeys map[ident.ID]bool
+
+	// Per-peer circuit breakers (overload.go). Guarded by brMu, a leaf
+	// lock: nothing is called while holding it.
+	brMu     sync.Mutex
+	breakers map[transport.Addr]*breaker
+	brOpens  uint64 // cumulative open transitions
 
 	mu   sync.Mutex
 	aggs map[ident.ID]*aggEntry
@@ -255,6 +273,13 @@ type aggEntry struct {
 	demandSeq       uint64
 	forcedRootUntil time.Duration
 
+	// Overload degradation: set when this tree's traffic was shed or
+	// refused by the overload layer; the next tick consumes it and
+	// marks its aggregate Degraded — shedding widens Degraded, never
+	// corrupts counts.
+	shedDegraded bool
+	shedReason   string
+
 	// On-demand epochs in flight at this node.
 	epochs map[int64]*epochState
 }
@@ -280,14 +305,22 @@ type epochState struct {
 // message handlers and the collect broadcast upcall on the Chord node.
 func NewNode(ch *chord.Node, ep transport.Endpoint, clock transport.Clock, cfg NodeConfig) *Node {
 	n := &Node{
-		ch:    ch,
-		ep:    ep,
-		clock: clock,
-		cfg:   cfg.withDefaults(),
-		aggs:  make(map[ident.ID]*aggEntry),
+		ch:       ch,
+		ep:       ep,
+		clock:    clock,
+		cfg:      cfg.withDefaults(),
+		aggs:     make(map[ident.ID]*aggEntry),
+		breakers: make(map[transport.Addr]*breaker),
 	}
 	if !n.cfg.Batch.Disable {
 		n.sm = newSendMachine(n, n.cfg.Batch)
+	}
+	// The dat.load.* monitoring trees are the lowest shedding class;
+	// their rendezvous keys are fixed per space, so classify can look
+	// them up without talking to the obs layer.
+	n.selfMonKeys = make(map[ident.ID]bool, len(obs.SelfMonAttrs))
+	for _, attr := range obs.SelfMonAttrs {
+		n.selfMonKeys[ch.Space().HashString(attr)] = true
 	}
 	ch.Handle(MsgUpdate, n.handleUpdate)
 	ch.Handle(MsgDetach, n.handleDetach)
@@ -490,7 +523,17 @@ func (n *Node) tickContinuous(key ident.ID) {
 	}
 	e.height = height
 	slotDur := e.slotDur
+	shed, shedReason := e.shedDegraded, e.shedReason
+	e.shedDegraded, e.shedReason = false, ""
 	n.mu.Unlock()
+
+	if shed {
+		// The overload layer shed or refused this tree's traffic since
+		// the last tick: contributions may be missing, so the aggregate
+		// travels (or surfaces) explicitly Degraded.
+		agg.Degraded = true
+		n.cfg.Logger.Debug("aggregate degraded by overload", "key", key.String(), "reason", shedReason)
+	}
 
 	if expired > 0 {
 		if h := n.cfg.Obs.ChildExpired; h != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"time"
@@ -274,6 +275,16 @@ func (d *delivery) sendAttempt() {
 	retry := d.total > 1
 	d.mu.Unlock()
 
+	// An open circuit breaker fails fast into the failover path instead
+	// of burning the retry budget on a peer already known unresponsive.
+	// refused=true semantics: no extra failure-detector strike, advance
+	// straight to the next candidate (bounded by MaxCandidates).
+	// breakerAllows admits exactly one probe once the cooldown elapses.
+	if !n.breakerAllows(to) {
+		d.fail(to, true)
+		return
+	}
+
 	if retry {
 		if h := n.cfg.Obs.UpdateRetried; h != nil {
 			h(d.key)
@@ -306,6 +317,7 @@ func (d *delivery) onTimeout(gen uint64) {
 	to := d.cur.Addr
 	d.mu.Unlock()
 	d.n.ch.Suspect(to)
+	d.n.breakerFailure(to, true)
 	d.fail(to, false)
 }
 
@@ -324,15 +336,54 @@ func (d *delivery) onAck(gen uint64, to transport.Addr, payload any, err error) 
 		stop()
 	}
 	if err != nil {
+		if isAdmissionErr(err) {
+			// The overload layer refused the send locally: degrade now
+			// instead of retrying into the overload — the typed error is
+			// a statement about this node's queues, not about the peer.
+			d.degrade(overloadReason(err))
+			d.finish(false)
+			return
+		}
 		d.n.ch.Suspect(to)
+		d.n.breakerFailure(to, true)
 		d.fail(to, false)
 		return
 	}
 	if ack, isAck := payload.(UpdateAck); isAck && !ack.OK {
+		d.n.breakerFailure(to, false)
 		d.fail(to, true) // live but refusing: route around without a strike
 		return
 	}
+	d.n.breakerSuccess(to)
 	d.finish(true)
+}
+
+// degrade marks the delivery's tree so its next aggregate travels
+// Degraded: a shed update never silently narrows a count.
+func (d *delivery) degrade(reason string) {
+	if d.e == nil {
+		return
+	}
+	n := d.n
+	n.mu.Lock()
+	if n.aggs[d.key] == d.e {
+		d.e.shedDegraded = true
+		d.e.shedReason = reason
+	}
+	n.mu.Unlock()
+}
+
+// overloadReason renders a typed admission error for logs and the
+// shed-reason bookkeeping.
+func overloadReason(err error) string {
+	switch {
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker"
+	case errors.Is(err, ErrSendClosed):
+		return "closed"
+	default:
+		return "overload"
+	}
 }
 
 // resend fires the next attempt after a backoff delay.
@@ -432,7 +483,13 @@ func (d *delivery) fail(to transport.Addr, refused bool) {
 			d.e.lastParent = parent.Addr
 		}
 		n.mu.Unlock()
-		n.send(to, MsgDetach, DetachMsg{Key: d.key, Sender: n.ch.Self()})
+		// An open breaker is positive evidence the candidate is not
+		// acking: a detach datagram at it every failover flap is exactly
+		// the wasted traffic fail-fast exists to stop, and its child
+		// cache forgets us by TTL regardless.
+		if !n.breakerOpenNow(to) {
+			n.send(to, MsgDetach, DetachMsg{Key: d.key, Sender: n.ch.Self()})
+		}
 	}
 	d.sendAttempt()
 }
@@ -488,7 +545,11 @@ func (n *Node) deliverDetach(to transport.Addr, dm DetachMsg) {
 			if err == nil {
 				return
 			}
+			if isAdmissionErr(err) {
+				return // local admission refusal: no peer evidence, no retry
+			}
 			n.ch.Suspect(to)
+			n.breakerFailure(to, true)
 			if a >= cfg.Attempts {
 				return
 			}

@@ -102,6 +102,160 @@ func TestParentForExcludingRoutesAroundFailures(t *testing.T) {
 	}
 }
 
+// TestUpdateRefusalReasons table-drives the live-refusal acks a parent
+// can return: an update for an unknown aggregate without a slot duration
+// is refused "no-slot"; an update arriving from the receiver's own
+// parent is refused "cycle" (adopting it would double-count the
+// subtree); a well-formed child update is accepted.
+func TestUpdateRefusalReasons(t *testing.T) {
+	c := newCluster(t, cluster.Options{N: 16, Seed: 23, Local: localByIndex})
+	key := c.Space.HashString("cpu-usage")
+	root := c.Ring().SuccessorOf(key)
+
+	// Pick a relay node (non-root, has a parent) to play receiver.
+	recv := -1
+	var parentAddr transport.Addr
+	for i, dn := range c.DAT {
+		if c.Chord[i].Self().ID == root {
+			continue
+		}
+		if p, isRoot, ok := dn.ParentFor(key); ok && !isRoot {
+			recv, parentAddr = i, p.Addr
+			break
+		}
+	}
+	if recv < 0 {
+		t.Fatal("no relay node found")
+	}
+	// A child address: any live node that is not the receiver's parent.
+	var childAddr transport.Addr
+	for _, a := range c.Addrs() {
+		if a != parentAddr && a != c.Chord[recv].Self().Addr {
+			childAddr = a
+			break
+		}
+	}
+
+	slot := int64(500 * time.Millisecond)
+	cases := []struct {
+		name       string
+		from       transport.Addr
+		msg        core.UpdateMsg
+		wantOK     bool
+		wantReason string
+	}{
+		{
+			name:   "no-slot",
+			from:   childAddr,
+			msg:    core.UpdateMsg{Key: c.Space.HashString("unknown-attr"), Epoch: 1},
+			wantOK: false, wantReason: "no-slot",
+		},
+		{
+			name:   "cycle",
+			from:   parentAddr,
+			msg:    core.UpdateMsg{Key: key, Epoch: 1, Slot: slot},
+			wantOK: false, wantReason: "cycle",
+		},
+		{
+			name:   "accepted",
+			from:   childAddr,
+			msg:    core.UpdateMsg{Key: key, Epoch: 1, Slot: slot, Nodes: 3},
+			wantOK: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var ack core.UpdateAck
+			replied := false
+			req := transport.NewRequest(tc.from, core.MsgUpdate, tc.msg, func(payload any, err error) {
+				replied = true
+				if err != nil {
+					t.Fatalf("update replied with error %v", err)
+				}
+				ack = payload.(core.UpdateAck)
+			})
+			c.DAT[recv].HandleUpdateForTest(req)
+			if !replied {
+				t.Fatal("handleUpdate did not reply")
+			}
+			if ack.OK != tc.wantOK || ack.Reason != tc.wantReason {
+				t.Fatalf("ack = %+v, want OK=%v reason=%q", ack, tc.wantOK, tc.wantReason)
+			}
+		})
+	}
+}
+
+// TestBreakerOpensOnDeadParentAndRecovers is the delivery-layer breaker
+// integration test: with overload protection enabled, killing a mid-tree
+// parent must open at least one orphan's breaker (isolating the corpse
+// in O(1) per slot instead of a full retry budget), feed the failure
+// detector, and — once the ring routes around — coverage must return to
+// every live node, with zero control traffic shed anywhere.
+func TestBreakerOpensOnDeadParentAndRecovers(t *testing.T) {
+	const n = 24
+	slot := 500 * time.Millisecond
+	c := newCluster(t, cluster.Options{
+		N: n, Seed: 19, Local: localByIndex,
+		Overload: core.OverloadConfig{Enable: true, BreakerCooldown: 250 * time.Millisecond},
+	})
+	key := c.Space.HashString("cpu-usage")
+	latest, err := c.StartContinuousAll(key, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(6 * slot)
+
+	root := c.Ring().SuccessorOf(key)
+	parent := -1
+	best := 0
+	for i := range c.DAT {
+		if !c.Chord[i].Running() || c.Chord[i].Self().ID == root {
+			continue
+		}
+		if kids := len(c.DAT[i].ChildrenInfo(key)); kids > best {
+			best, parent = kids, i
+		}
+	}
+	if parent < 0 || best == 0 {
+		t.Fatal("no mid-tree parent with children found")
+	}
+
+	c.Crash(parent)
+	c.RunFor(3 * slot)
+	opens := uint64(0)
+	for i := range c.DAT {
+		if c.Chord[i].Running() {
+			opens += c.DAT[i].OverloadStats().BreakerOpens
+		}
+	}
+	if opens == 0 {
+		t.Error("no breaker opened within three slots of the parent dying")
+	}
+
+	// Recovery: once the routing tables evict the corpse every live node
+	// is counted again. Poll per slot under a bounded window.
+	recovered := false
+	for i := 0; i < 10 && !recovered; i++ {
+		c.RunFor(slot)
+		if _, agg, ok := latest(); ok && agg.Count == uint64(n-1) {
+			recovered = true
+		}
+	}
+	if !recovered {
+		_, agg, _ := latest()
+		t.Errorf("coverage after recovery window = %d, want %d", agg.Count, n-1)
+	}
+	for i := range c.DAT {
+		if !c.Chord[i].Running() {
+			continue
+		}
+		if shed := c.DAT[i].OverloadStats().Shed["control"]; shed != 0 {
+			t.Errorf("node %d shed %d control elements", i, shed)
+		}
+	}
+}
+
 // TestAckTimeoutFeedsSuspect is the send-suspect-semantics regression
 // test: over a transport where writes to a dead peer succeed locally
 // (exactly what real UDP does), killing a parent's endpoint must still

@@ -21,3 +21,5 @@ func JitterHashForTest(addr transport.Addr, key ident.ID, epoch int64, attempt i
 func (n *Node) ParentForExcluding(key ident.ID, excluded map[transport.Addr]bool) (parent chord.NodeRef, isRoot, parentIsKeyRoot, ok bool) {
 	return n.parentForExcluding(key, excluded)
 }
+
+func (n *Node) HandleUpdateForTest(req *transport.Request) { n.handleUpdate(req) }

@@ -123,20 +123,45 @@ type sendMachine struct {
 
 	mu     sync.Mutex
 	queues map[transport.Addr]*destQueue
+	// seqs is the per-destination timer-arming counter feeding the
+	// deadline jitter. It lives outside destQueue so queue GC (idle
+	// entries are deleted once drained) cannot reset the jitter
+	// sequence: the delays a destination sees are identical whether or
+	// not its queue was collected in between.
+	seqs map[transport.Addr]uint64
+	// genSeq issues queue generations. Drawing them from one monotone
+	// counter (instead of a per-queue counter starting at zero) keeps
+	// deadline timers fenced across GC: a timer armed against a
+	// collected queue can never match a recreated one.
+	genSeq uint64
 	closed bool
+
+	// Overload accounting (all guarded by mu; see overload.go).
+	totalBytes int                 // sum of queue byte estimates
+	hiWater    int                 // max totalBytes ever observed
+	shed       [numClasses]uint64  // elements shed/refused, by class
+	shedBytes  uint64              // estimated bytes of those elements
+	rejected   uint64              // incoming enqueues refused with a typed error
 }
 
 type destQueue struct {
-	elems  []BatchElem
-	cbs    []func(any, error)
-	bytes  int
-	gen    uint64 // bumped on every flush; stale deadline timers no-op
-	seq    uint64 // flush counter, feeds the deadline jitter
-	cancel func() // pending deadline timer, nil when idle
+	elems []BatchElem
+	cbs   []func(any, error)
+	bytes int
+	gen   uint64 // from sm.genSeq; stale deadline timers no-op
+	// classes and times parallel elems; populated only when overload
+	// protection is enabled (shedding priority and queue-age telemetry).
+	classes []msgClass
+	times   []time.Duration
+	cancel  func() // pending deadline timer, nil when idle
 }
 
 func newSendMachine(n *Node, cfg BatchConfig) *sendMachine {
-	return &sendMachine{n: n, cfg: cfg.withDefaults(), queues: make(map[transport.Addr]*destQueue)}
+	return &sendMachine{
+		n: n, cfg: cfg.withDefaults(),
+		queues: make(map[transport.Addr]*destQueue),
+		seqs:   make(map[transport.Addr]uint64),
+	}
 }
 
 // batchCall routes an acked update/detach through the send machine, or
@@ -171,8 +196,38 @@ func (n *Node) treeSent(typ string, payload any) {
 	}
 }
 
+// shedElem is one element dropped (or refused) by the overload layer,
+// carried out of sm.mu so its callback and the Shed hook fire outside
+// the lock.
+type shedElem struct {
+	cb    func(any, error)
+	class msgClass
+}
+
+// fireShed invokes the dropped elements' callbacks with the typed
+// overload error and fires the Shed hook per element. Callers hold no
+// locks. A shed callback is ALWAYS invoked — silent loss would leave
+// the delivery layer waiting on its ack timeout instead of degrading
+// immediately.
+func (sm *sendMachine) fireShed(victims []shedElem, reason string, err error) {
+	h := sm.n.cfg.Obs.Shed
+	for _, v := range victims {
+		if h != nil {
+			h(classLabel(v.class), reason)
+		}
+		if v.cb != nil {
+			v.cb(nil, err)
+		}
+	}
+}
+
 // enqueue appends one element to the destination's queue and flushes it
-// if a size threshold tripped, else arms the deadline timer.
+// if a size threshold tripped, else arms the deadline timer. With
+// overload protection enabled it first runs admission control: open
+// breakers and an exhausted global budget refuse the element with a
+// typed error (after evicting strictly-lower-priority victims), and a
+// destination queue at its own budget is force-flushed rather than
+// grown.
 func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb func(any, error)) {
 	var el BatchElem
 	switch typ {
@@ -185,22 +240,102 @@ func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb fu
 		sm.n.ep.Call(to, typ, payload, cb)
 		return
 	}
+	est := elemEstimate(el)
+	ov := sm.n.cfg.Overload
+
+	var class msgClass
+	var now time.Duration
+	if ov.Enable {
+		class = sm.n.classify(el)
+		now = sm.n.clock.Now()
+		// Fail fast on a peer whose breaker is open: queueing more
+		// traffic at it would only be shed or time out later. The
+		// read-only check cannot refuse a half-open probe the delivery
+		// layer just admitted.
+		if class != classControl && sm.n.breakerOpenNow(to) {
+			sm.mu.Lock()
+			sm.shed[class]++
+			sm.shedBytes += uint64(est)
+			sm.rejected++
+			sm.mu.Unlock()
+			sm.fireShed([]shedElem{{cb: cb, class: class}}, "breaker", ErrBreakerOpen)
+			return
+		}
+		// An element alone exceeding the per-queue budget can never be
+		// queued under it: send it directly.
+		if est > ov.MaxQueueBytes {
+			sm.n.treeSent(typ, payload)
+			sm.n.ep.Call(to, typ, payload, cb)
+			return
+		}
+	}
 
 	sm.mu.Lock()
 	if sm.closed {
+		if ov.Enable {
+			// Typed rejection instead of racing the drained machine
+			// back onto the wire; the caller degrades locally.
+			sm.shed[class]++
+			sm.shedBytes += uint64(est)
+			sm.rejected++
+			sm.mu.Unlock()
+			sm.fireShed([]shedElem{{cb: cb, class: class}}, "closed", ErrSendClosed)
+			return
+		}
 		sm.mu.Unlock()
 		sm.n.treeSent(typ, payload)
 		sm.n.ep.Call(to, typ, payload, cb)
 		return
 	}
+
+	// Global budget: evict strictly-lower-class victims (oldest first,
+	// this destination's queue first, then the rest in sorted address
+	// order), and refuse the element if that still cannot make room.
+	// Control traffic is never refused: it bypasses the queues instead.
+	var victims []shedElem
+	var stops []func()
+	if ov.Enable && sm.totalBytes+est > ov.MaxTotalBytes {
+		if class == classControl {
+			sm.mu.Unlock()
+			sm.n.treeSent(typ, payload)
+			sm.n.ep.Call(to, typ, payload, cb)
+			return
+		}
+		victims, stops = sm.evictLocked(to, class, sm.totalBytes+est-ov.MaxTotalBytes)
+		if sm.totalBytes+est > ov.MaxTotalBytes {
+			sm.shed[class]++
+			sm.shedBytes += uint64(est)
+			sm.rejected++
+			sm.mu.Unlock()
+			for _, s := range stops {
+				s()
+			}
+			sm.fireShed(victims, "evict", ErrOverload)
+			sm.fireShed([]shedElem{{cb: cb, class: class}}, "total-bytes", ErrOverload)
+			return
+		}
+	}
+
 	q := sm.queues[to]
 	if q == nil {
-		q = &destQueue{}
+		sm.genSeq++
+		q = &destQueue{gen: sm.genSeq}
 		sm.queues[to] = q
 	}
 	q.elems = append(q.elems, el)
 	q.cbs = append(q.cbs, cb)
-	q.bytes += elemEstimate(el)
+	q.bytes += est
+	// Byte accounting runs in both modes so OverloadStats can report
+	// queue growth even when no budget is enforced; only the shedding
+	// metadata (classes, enqueue times) is overload-gated.
+	sm.totalBytes += est
+	if sm.totalBytes > sm.hiWater {
+		sm.hiWater = sm.totalBytes
+	}
+	if ov.Enable {
+		q.classes = append(q.classes, class)
+		q.times = append(q.times, now)
+	}
 
 	var reason string
 	switch {
@@ -209,23 +344,42 @@ func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb fu
 	case q.bytes >= sm.cfg.MaxBytes:
 		reason = "bytes"
 	}
+	if reason == "" && ov.Enable && (len(q.elems) >= ov.MaxQueueElems || q.bytes >= ov.MaxQueueBytes) {
+		// A queue at its overload budget is flushed, not shed: the wire
+		// is the pressure-relief valve; shedding is reserved for the
+		// global budget.
+		reason = "overload"
+	}
 	if reason != "" {
-		elems, cbs, stop := q.takeLocked()
+		elems, cbs, stop := sm.takeLocked(to, q)
 		sm.mu.Unlock()
+		for _, s := range stops {
+			s()
+		}
 		if stop != nil {
 			stop()
 		}
+		sm.fireShed(victims, "evict", ErrOverload)
 		sm.flush(to, elems, cbs, reason)
 		return
 	}
 	if q.cancel != nil {
 		sm.mu.Unlock()
+		for _, s := range stops {
+			s()
+		}
+		sm.fireShed(victims, "evict", ErrOverload)
 		return // deadline already armed for this queue
 	}
 	gen := q.gen
-	q.seq++
-	delay := sm.deadline(to, q.seq)
+	sm.seqs[to]++
+	seq := sm.seqs[to]
 	sm.mu.Unlock()
+	for _, s := range stops {
+		s()
+	}
+	sm.fireShed(victims, "evict", ErrOverload)
+	delay := sm.deadline(to, seq)
 
 	stop := sm.n.clock.AfterFunc(delay, func() { sm.onDeadline(to, gen) })
 	sm.mu.Lock()
@@ -236,6 +390,66 @@ func (sm *sendMachine) enqueue(to transport.Addr, typ string, payload any, cb fu
 	}
 	q.cancel = stop
 	sm.mu.Unlock()
+}
+
+// evictLocked frees global queue budget for an incoming element of
+// class incoming by dropping strictly-lower-class queued elements,
+// oldest first — the incoming element's own destination queue first,
+// then the remaining queues in sorted address order, so victim
+// selection is deterministic. Emptied queues are GC'd; their deadline
+// timers are returned for the caller to stop outside sm.mu. Callers
+// hold sm.mu and must fire the returned victims' callbacks (and any
+// timer stops) after unlocking.
+func (sm *sendMachine) evictLocked(to transport.Addr, incoming msgClass, need int) (victims []shedElem, stops []func()) {
+	addrs := make([]transport.Addr, 0, len(sm.queues))
+	for a := range sm.queues {
+		if a != to {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if sm.queues[to] != nil {
+		addrs = append([]transport.Addr{to}, addrs...)
+	}
+	for _, a := range addrs {
+		if need <= 0 {
+			break
+		}
+		q := sm.queues[a]
+		keep := 0
+		for i := range q.elems {
+			if need > 0 && q.classes[i] < incoming {
+				est := elemEstimate(q.elems[i])
+				victims = append(victims, shedElem{cb: q.cbs[i], class: q.classes[i]})
+				sm.shed[q.classes[i]]++
+				sm.shedBytes += uint64(est)
+				q.bytes -= est
+				sm.totalBytes -= est
+				need -= est
+				continue
+			}
+			q.elems[keep] = q.elems[i]
+			q.cbs[keep] = q.cbs[i]
+			q.classes[keep] = q.classes[i]
+			q.times[keep] = q.times[i]
+			keep++
+		}
+		if keep == len(q.elems) {
+			continue
+		}
+		q.elems = q.elems[:keep]
+		q.cbs = q.cbs[:keep]
+		q.classes = q.classes[:keep]
+		q.times = q.times[:keep]
+		if keep == 0 {
+			if q.cancel != nil {
+				stops = append(stops, q.cancel)
+				q.cancel = nil
+			}
+			delete(sm.queues, a)
+		}
+	}
+	return victims, stops
 }
 
 // deadline derives the flush delay for one queue fill: MaxDelay minus a
@@ -260,26 +474,38 @@ func (sm *sendMachine) deadline(to transport.Addr, seq uint64) time.Duration {
 }
 
 // onDeadline flushes the queue whose deadline expired, unless a size
-// trigger already flushed it (gen mismatch).
+// trigger already flushed it (gen mismatch — a flushed queue is also
+// GC'd from the map, so the common stale case is q == nil).
 func (sm *sendMachine) onDeadline(to transport.Addr, gen uint64) {
 	sm.mu.Lock()
 	q := sm.queues[to]
 	if q == nil || q.gen != gen || len(q.elems) == 0 {
+		if q != nil && q.gen == gen && len(q.elems) == 0 {
+			// Emptied without a flush (eviction took every element):
+			// nothing left to send, GC the entry.
+			delete(sm.queues, to)
+		}
 		sm.mu.Unlock()
 		return
 	}
-	elems, cbs, _ := q.takeLocked()
+	elems, cbs, _ := sm.takeLocked(to, q)
 	sm.mu.Unlock()
 	sm.flush(to, elems, cbs, "deadline")
 }
 
-// takeLocked empties the queue and bumps its generation, returning the
-// drained contents and any pending deadline timer for the caller to
-// stop outside the lock. Callers hold sm.mu.
-func (q *destQueue) takeLocked() (elems []BatchElem, cbs []func(any, error), stop func()) {
+// takeLocked empties the queue, returning the drained contents and any
+// pending deadline timer for the caller to stop outside the lock, and
+// GCs the destination's map entry — idle destinations hold no memory
+// under churny membership; a later enqueue recreates the queue with a
+// fresh generation from sm.genSeq, so timers armed against this
+// incarnation can never fire against the next. Callers hold sm.mu.
+func (sm *sendMachine) takeLocked(to transport.Addr, q *destQueue) (elems []BatchElem, cbs []func(any, error), stop func()) {
 	elems, cbs, stop = q.elems, q.cbs, q.cancel
-	q.elems, q.cbs, q.bytes, q.cancel = nil, nil, 0, nil
-	q.gen++
+	sm.totalBytes -= q.bytes
+	q.elems, q.cbs, q.classes, q.times, q.bytes, q.cancel = nil, nil, nil, nil, 0, nil
+	sm.genSeq++
+	q.gen = sm.genSeq
+	delete(sm.queues, to)
 	return elems, cbs, stop
 }
 
@@ -345,8 +571,10 @@ func elemMessage(el BatchElem) (typ string, payload any) {
 }
 
 // Close drains every queue (flushing pending traffic immediately) and
-// stops all deadline timers; later enqueues bypass the machine. The
-// destinations are flushed in sorted order so shutdown traffic is
+// stops all deadline timers. Later enqueues bypass the machine — or,
+// with overload protection enabled, are refused with ErrSendClosed so
+// their callbacks still fire instead of racing shutdown onto the wire.
+// The destinations are flushed in sorted order so shutdown traffic is
 // deterministic.
 func (sm *sendMachine) Close() {
 	sm.mu.Lock()
@@ -363,7 +591,7 @@ func (sm *sendMachine) Close() {
 	}
 	var all []drained
 	for to, q := range sm.queues {
-		elems, cbs, stop := q.takeLocked()
+		elems, cbs, stop := sm.takeLocked(to, q)
 		if len(elems) > 0 || stop != nil {
 			all = append(all, drained{to, elems, cbs, stop})
 		}

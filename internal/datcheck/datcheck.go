@@ -19,6 +19,8 @@ package datcheck
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -33,10 +35,44 @@ import (
 // stays readable.
 const spanRingCapacity = 1024
 
-// transportFaults maps an EvFaults event onto the transport fault plan.
-func transportFaults(ev Event) transport.FaultPlan {
-	return transport.ProbFaults{Drop: ev.Drop, Dup: ev.Dup, DelayJitter: ev.Jitter}
+// slowParentDelay is the extra one-way delay EvSlowParent adds toward its
+// victim: well past the delivery layer's 150ms ack timeout, so every send
+// toward the victim times out even though the victim is alive and
+// processing.
+const slowParentDelay = 400 * time.Millisecond
+
+// targetedFaults layers the overload events' link-targeted behaviors over
+// the probabilistic base plan. With both targets empty it draws exactly
+// the random numbers ProbFaults would, so schedules without overload
+// events are byte-identical to the historical plan.
+type targetedFaults struct {
+	base transport.ProbFaults
+	// slowTo, when set, adds slowParentDelay to every request toward the
+	// address (EvSlowParent). Replies toward it are not delayed: the
+	// victim is slow to serve, not deaf — its own sends still complete,
+	// so it stays coverable while its children's acks time out.
+	slowTo transport.Addr
+	// holeFrom, when set, drops every reply from the address while its
+	// inbound traffic still lands (EvAckBlackhole).
+	holeFrom transport.Addr
 }
+
+// Apply implements transport.FaultPlan.
+func (p targetedFaults) Apply(rng *rand.Rand, from, to transport.Addr, typ string) transport.Fault {
+	f := p.base.Apply(rng, from, to, typ)
+	if p.slowTo != "" && to == p.slowTo && !strings.HasSuffix(typ, ":reply") {
+		f.Delay += slowParentDelay
+	}
+	if p.holeFrom != "" && from == p.holeFrom && strings.HasSuffix(typ, ":reply") {
+		f.Drop = true
+	}
+	return f
+}
+
+// burstTrees is how many extra aggregation trees EvBurstFanin starts on
+// every running node, multiplying per-destination fan-in into the
+// bounded send queues.
+const burstTrees = 3
 
 // Result is everything one scenario run produced.
 type Result struct {
@@ -82,6 +118,13 @@ func RunScenario(sc *Scenario) (*Result, error) {
 	}
 	fmt.Fprintf(&tr, "datcheck seed=%d n=%d bits=%d scheme=%v slot=%v batch=%s selfmon=%s events=%d\n",
 		sc.Seed, sc.N, sc.Bits, sc.Scheme, sc.Slot, batch, selfmon, len(sc.Events))
+	if sc.Overload.Enable {
+		// Extra header line only when the layer is on, so pre-overload
+		// seeds keep byte-identical traces.
+		fmt.Fprintf(&tr, "overload qbytes=%d qelems=%d total=%d cooldown=%v\n",
+			sc.Overload.MaxQueueBytes, sc.Overload.MaxQueueElems,
+			sc.Overload.MaxTotalBytes, sc.Overload.BreakerCooldown)
+	}
 
 	// The observer's hooks never schedule events or draw engine
 	// randomness, so attaching it keeps traces byte-identical per seed;
@@ -97,6 +140,7 @@ func RunScenario(sc *Scenario) (*Result, error) {
 		},
 		ChildTTLSlots: 3,
 		Batch:         sc.Batch,
+		Overload:      sc.Overload,
 		Observer:      observer,
 	}
 	if sc.SelfMon {
@@ -140,6 +184,25 @@ type harness struct {
 	latest func() (int64, core.Aggregate, bool)
 	tr     *bytes.Buffer
 	res    *Result
+
+	// Live fault-plan composition: EvFaults sets the probabilistic base,
+	// EvSlowParent/EvAckBlackhole set the targeted addresses, and settle
+	// clears all three. installFaults reinstalls the composed plan after
+	// any change.
+	baseFaults transport.ProbFaults
+	slowTo     transport.Addr
+	holeFrom   transport.Addr
+}
+
+// installFaults pushes the current fault composition to the network. With
+// no targeted addresses the bare probabilistic plan is installed — the
+// exact value historical schedules installed, so their traces hold.
+func (h *harness) installFaults() {
+	if h.slowTo == "" && h.holeFrom == "" {
+		h.c.Net.SetFaultPlan(h.baseFaults)
+		return
+	}
+	h.c.Net.SetFaultPlan(targetedFaults{base: h.baseFaults, slowTo: h.slowTo, holeFrom: h.holeFrom})
 }
 
 func (h *harness) tracef(format string, args ...any) {
@@ -203,7 +266,8 @@ func (h *harness) apply(ev Event) {
 		c.Net.Heal(addrs[ev.A], addrs[ev.B])
 		h.tracef("%v", ev)
 	case EvFaults:
-		c.Net.SetFaultPlan(transportFaults(ev))
+		h.baseFaults = transport.ProbFaults{Drop: ev.Drop, Dup: ev.Dup, DelayJitter: ev.Jitter}
+		h.installFaults()
 		h.tracef("%v", ev)
 	case EvSettle:
 		h.settle()
@@ -227,6 +291,36 @@ func (h *harness) apply(ev Event) {
 		c.Crash(idx)
 		h.res.Crashes++
 		h.tracef("%v victim=%d", ev, idx)
+	case EvSlowParent, EvAckBlackhole:
+		idx := h.pickVictim(EvCrashParent)
+		if idx < 0 {
+			h.tracef("skip %v (no victim)", ev)
+			return
+		}
+		addr := c.Addrs()[idx]
+		if ev.Kind == EvSlowParent {
+			h.slowTo = addr
+		} else {
+			h.holeFrom = addr
+		}
+		h.installFaults()
+		h.tracef("%v victim=%d", ev, idx)
+	case EvBurstFanin:
+		enrolled := 0
+		for t := 0; t < burstTrees; t++ {
+			bkey := c.Space.HashString(fmt.Sprintf("datcheck-burst-%d", t))
+			for _, i := range h.runningIdxs() {
+				if c.DAT[i].Active(bkey) {
+					continue
+				}
+				if err := c.DAT[i].StartContinuous(bkey, h.sc.Slot, nil); err != nil {
+					h.tracef("burst tree=%d node=%d: %v", t, i, err)
+					continue
+				}
+				enrolled++
+			}
+		}
+		h.tracef("%v trees=%d enrollments=%d", ev, burstTrees, enrolled)
 	case EvProbe:
 		h.probeNoLostSubtrees()
 	}
@@ -289,12 +383,20 @@ func (h *harness) alignFlushWindow() {
 // while the damage is live, so it is satisfied only if the delivery
 // layer re-homed the orphaned subtrees rather than waiting for ring
 // maintenance to repair the overlay.
+//
+// A live node under a targeted impairment (slow-parent, ack-blackhole)
+// is exempt from the floor: an unackable peer flaps in and out of its
+// parent's child cache by design — its parent adopts it on a half-open
+// probe, then expires it when the next acks die — so demanding it in
+// every fresh round would test the impairment, not the failover. Its
+// descendants get no such slack: a re-homed subtree must be counted.
 func (h *harness) probeNoLostSubtrees() {
 	startSlot, _, started := h.latest()
 	if !started {
 		startSlot = -1
 	}
 	running := len(h.runningIdxs())
+	floor := running - h.impairedRunning()
 	step := h.sc.Slot / 5
 	var lastCount uint64
 	var lastSlot int64
@@ -305,14 +407,34 @@ func (h *harness) probeNoLostSubtrees() {
 			continue
 		}
 		lastSlot, lastCount = s, agg.Count
-		if s > startSlot && agg.Count >= uint64(running) {
-			h.tracef("probe ok slot=%d count=%d running=%d", s, agg.Count, running)
+		if s > startSlot && agg.Count >= uint64(floor) {
+			if floor == running {
+				h.tracef("probe ok slot=%d count=%d running=%d", s, agg.Count, running)
+			} else {
+				h.tracef("probe ok slot=%d count=%d running=%d floor=%d", s, agg.Count, running, floor)
+			}
 			return
 		}
 	}
 	h.violate(Violation{Check: "no-lost-subtrees", Detail: fmt.Sprintf(
 		"no fresh result covering all %d running nodes within 5 slots of the probe (last slot=%d count=%d, pre-probe slot=%d)",
-		running, lastSlot, lastCount, startSlot)})
+		floor, lastSlot, lastCount, startSlot)})
+}
+
+// impairedRunning counts live nodes currently under a targeted
+// impairment, for the probe's coverage floor.
+func (h *harness) impairedRunning() int {
+	if h.slowTo == "" && h.holeFrom == "" {
+		return 0
+	}
+	addrs := h.c.Addrs()
+	n := 0
+	for _, i := range h.runningIdxs() {
+		if addrs[i] == h.slowTo || addrs[i] == h.holeFrom {
+			n++
+		}
+	}
+	return n
 }
 
 // rejoin restarts node i with fresh state. If a previous join attempt is
@@ -377,6 +499,8 @@ func (h *harness) settle() {
 	c := h.c
 	c.Net.HealAll()
 	c.Net.SetFaultPlan(nil)
+	h.baseFaults = transport.ProbFaults{}
+	h.slowTo, h.holeFrom = "", ""
 	h.tracef("settle")
 
 	// Re-kick dead nodes. A kick is a full protocol join with internal
@@ -441,6 +565,49 @@ func (h *harness) settle() {
 	}
 	if h.sc.SelfMon {
 		h.checkSelfMon()
+	}
+	if h.sc.Overload.Enable {
+		h.checkOverload()
+	}
+}
+
+// checkOverload audits the overload-protection layer at a settle point.
+// Two hard invariants: the global byte budget was never exceeded — the
+// high-water mark is a lifetime maximum, so one audit covers the whole
+// chaos phase — and no node ever shed control traffic (detaches and
+// handover updates are what keep child caches and rootship coherent;
+// shedding one would corrupt state the other invariants audit). The
+// totals land in the trace, so a seed's shedding behavior is part of its
+// byte-identity.
+func (h *harness) checkOverload() {
+	limit := h.sc.Overload.MaxTotalBytes
+	var hiWater int
+	var shedTotal, rejected, opens uint64
+	ok := true
+	for _, i := range h.runningIdxs() {
+		st := h.c.DAT[i].OverloadStats()
+		if st.HiWaterBytes > hiWater {
+			hiWater = st.HiWaterBytes
+		}
+		for _, n := range st.Shed {
+			shedTotal += n
+		}
+		rejected += st.Rejected
+		opens += st.BreakerOpens
+		if st.HiWaterBytes > limit {
+			h.violate(Violation{Check: "overload-budget", Detail: fmt.Sprintf(
+				"node %d queue high-water %d exceeds MaxTotalBytes %d", i, st.HiWaterBytes, limit)})
+			ok = false
+		}
+		if n := st.Shed["control"]; n != 0 {
+			h.violate(Violation{Check: "overload-control-shed", Detail: fmt.Sprintf(
+				"node %d shed %d control elements", i, n)})
+			ok = false
+		}
+	}
+	if ok {
+		h.tracef("overload ok hiwater=%d shed=%d rejected=%d breaker_opens=%d",
+			hiWater, shedTotal, rejected, opens)
 	}
 }
 

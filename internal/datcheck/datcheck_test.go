@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // Flags. CI logs always contain the failing seed; replay locally with
@@ -31,6 +33,8 @@ var (
 		"number of delivery-fault seeds swept by TestDatcheckFaults")
 	batchSeeds = flag.Int("datcheck.batchseeds", 6,
 		"number of batching-fault seeds swept by TestDatcheckBatchFaults")
+	overloadSeeds = flag.Int("datcheck.overloadseeds", 6,
+		"number of overload-fault seeds swept by TestDatcheckOverloadFaults")
 )
 
 // corpusSeeds is the fixed PR-gating corpus: deterministic, every seed
@@ -48,6 +52,10 @@ var corpusSeeds = []int64{
 	// the send machine's coalescing window, so queued-but-unflushed
 	// batches die with the victim.
 	BatchSeedBase + 1, BatchSeedBase + 2, BatchSeedBase + 3,
+	// Overload-fault family (>= OverloadSeedBase): tight queue budgets
+	// and armed breakers under slow parents, ack blackholes and fan-in
+	// bursts, with the overload invariants audited at every settle.
+	OverloadSeedBase + 1, OverloadSeedBase + 2, OverloadSeedBase + 3,
 }
 
 // runSeed executes one scenario and reports failures with a replay
@@ -136,6 +144,76 @@ func TestDatcheckBatchFaults(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			runSeed(t, seed)
+		})
+	}
+}
+
+// TestDatcheckOverloadFaults sweeps the overload-fault seed family:
+// every scenario runs with tight queue budgets and armed breakers while
+// parents turn slow, acks blackhole and fan-in bursts, probing for lost
+// subtrees mid-damage and auditing the overload invariants at every
+// settle. This is the make datcheck-overload entry point.
+func TestDatcheckOverloadFaults(t *testing.T) {
+	for i := 1; i <= *overloadSeeds; i++ {
+		seed := OverloadSeedBase + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestDatcheckOverloadEquivalence is the overload layer's ablation: for
+// the same seed, the protected run (tight budgets, breakers) and the
+// unprotected run (Overload zeroed, the pre-overload protocol) must both
+// hold every invariant against the identical schedule of slow parents,
+// blackholes and bursts, and must settle on identical root aggregates —
+// shedding and fail-fast reshape transient traffic, never what a settled
+// round computes. The protected run is also played twice to prove its
+// trace stays byte-identical per seed: budgets, eviction order and
+// breaker probes draw from no RNG.
+func TestDatcheckOverloadEquivalence(t *testing.T) {
+	for i := int64(1); i <= 3; i++ {
+		seed := OverloadSeedBase + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			protected, err := RunScenario(Generate(seed))
+			if err != nil {
+				t.Fatalf("protected run: %v", err)
+			}
+			again, err := RunScenario(Generate(seed))
+			if err != nil {
+				t.Fatalf("protected re-run: %v", err)
+			}
+			if !bytes.Equal(protected.Trace, again.Trace) {
+				t.Fatalf("protected runs of seed %d diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					seed, protected.Trace, again.Trace)
+			}
+			plainSc := Generate(seed)
+			plainSc.Overload = core.OverloadConfig{}
+			plain, err := RunScenario(plainSc)
+			if err != nil {
+				t.Fatalf("unprotected run: %v", err)
+			}
+			for _, v := range protected.Violations {
+				t.Errorf("protected: %v", v)
+			}
+			for _, v := range plain.Violations {
+				t.Errorf("unprotected: %v", v)
+			}
+			if t.Failed() {
+				return
+			}
+			if len(protected.Settled) != len(plain.Settled) {
+				t.Fatalf("settle count differs: protected %d, unprotected %d",
+					len(protected.Settled), len(plain.Settled))
+			}
+			for s, agg := range protected.Settled {
+				if agg != plain.Settled[s] {
+					t.Errorf("settle %d: protected root aggregate %+v, unprotected %+v",
+						s, agg, plain.Settled[s])
+				}
+			}
 		})
 	}
 }
@@ -282,6 +360,58 @@ func TestBatchGeneratorGuarantees(t *testing.T) {
 		}
 		if midFlush < 2 || rootCrashes < 1 || probes < 3 {
 			t.Fatalf("seed +%d: midFlush=%d rootCrashes=%d probes=%d", i, midFlush, rootCrashes, probes)
+		}
+		if sc.Events[len(sc.Events)-1].Kind != EvSettle {
+			t.Fatalf("seed +%d: schedule does not end in a settle", i)
+		}
+	}
+}
+
+// TestOverloadGeneratorGuarantees checks the overload-fault generator's
+// contract: cluster size in range, overload protection armed with
+// budgets inside the documented bands, one of each overload stimulus,
+// a targeted parent crash and a partition for the corpus coverage
+// floor, a probe inside every chaos phase, and a terminating settle.
+func TestOverloadGeneratorGuarantees(t *testing.T) {
+	for i := int64(1); i <= 200; i++ {
+		sc := Generate(OverloadSeedBase + i)
+		if sc.N < 12 || sc.N > 24 {
+			t.Fatalf("seed +%d: n=%d out of range", i, sc.N)
+		}
+		ov := sc.Overload
+		if !ov.Enable {
+			t.Fatalf("seed +%d: generator left overload protection off", i)
+		}
+		if ov.MaxQueueElems < 6 || ov.MaxQueueElems > 11 ||
+			ov.MaxQueueBytes < 600 || ov.MaxQueueBytes > 950 ||
+			ov.MaxTotalBytes < 1600 || ov.MaxTotalBytes > 2300 {
+			t.Fatalf("seed +%d: budgets out of band: %+v", i, ov)
+		}
+		if ov.BreakerCooldown <= 0 || ov.BreakerCooldown >= sc.Slot {
+			t.Fatalf("seed +%d: cooldown %v not inside a slot", i, ov.BreakerCooldown)
+		}
+		crashes, partitions := sc.Counts()
+		if crashes < 1 || partitions < 1 {
+			t.Fatalf("seed +%d: coverage floor broken (crashes=%d partitions=%d)", i, crashes, partitions)
+		}
+		var slow, holes, bursts, parentCrashes, probes int
+		for _, ev := range sc.Events {
+			switch ev.Kind {
+			case EvSlowParent:
+				slow++
+			case EvAckBlackhole:
+				holes++
+			case EvBurstFanin:
+				bursts++
+			case EvCrashParent:
+				parentCrashes++
+			case EvProbe:
+				probes++
+			}
+		}
+		if slow < 1 || holes < 1 || bursts < 1 || parentCrashes < 1 || probes < 3 {
+			t.Fatalf("seed +%d: slow=%d holes=%d bursts=%d parentCrashes=%d probes=%d",
+				i, slow, holes, bursts, parentCrashes, probes)
 		}
 		if sc.Events[len(sc.Events)-1].Kind != EvSettle {
 			t.Fatalf("seed +%d: schedule does not end in a settle", i)

@@ -56,6 +56,24 @@ const (
 	// machine's coalescing window, so queued-but-unflushed batches die
 	// with the victim and the delivery layer must recover every element.
 	EvCrashMidFlush
+	// EvSlowParent delays every request TOWARD the busiest aggregation
+	// parent (chosen at apply time) far past the delivery layer's ack
+	// timeout, without killing it. Children see pure ack timeouts against
+	// a live peer — the canonical breaker-opening stimulus — and must
+	// fail over, while the victim's own sends still complete so the tree
+	// can keep counting it. Cleared at the next settle.
+	EvSlowParent
+	// EvAckBlackhole drops every reply FROM the chosen victim while its
+	// inbound traffic still lands: callers burn their full retry budget
+	// into a peer that is actually processing their updates. Without
+	// breakers this is the worst-case wasted-retry amplifier; with them
+	// the victim is isolated in O(1). Cleared at the next settle.
+	EvAckBlackhole
+	// EvBurstFanin enrolls every running node in extra aggregation trees
+	// at once, spiking per-destination fan-in so the bounded send queues
+	// actually fill and the shedding policy (never control, selfmon
+	// before primary) is exercised rather than merely configured.
+	EvBurstFanin
 )
 
 // String names the kind for traces.
@@ -85,6 +103,12 @@ func (k EventKind) String() string {
 		return "probe"
 	case EvCrashMidFlush:
 		return "parent-crash-mid-flush"
+	case EvSlowParent:
+		return "slow-parent"
+	case EvAckBlackhole:
+		return "ack-blackhole"
+	case EvBurstFanin:
+		return "burst-fanin"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -139,7 +163,14 @@ type Scenario struct {
 	// is off, so historical seeds keep their exact schedules; the selfmon
 	// equivalence test flips it on for paired runs.
 	SelfMon bool
-	Events  []Event
+	// Overload tunes the overload-protection layer (bounded queues,
+	// priority shedding, per-peer breakers). The zero value leaves it
+	// off, so historical seeds run the exact pre-overload protocol; the
+	// overload-fault generator sets deliberately tight budgets and every
+	// settle then audits the layer's invariants (budget respected,
+	// control never shed).
+	Overload core.OverloadConfig
+	Events   []Event
 }
 
 // maxConcurrentDead bounds how many nodes may be down at once. The
@@ -165,12 +196,23 @@ const FaultSeedBase = 9_000_000_000
 // schedules.
 const BatchSeedBase = 10_000_000_000
 
+// OverloadSeedBase partitions the seed space a third time: seeds at or
+// above it derive their schedule from the overload-fault generator,
+// which runs with tight queue budgets and breakers enabled and injects
+// slow parents, ack blackholes and fan-in bursts. Seeds in
+// [BatchSeedBase, OverloadSeedBase) keep their historical batching-fault
+// schedules.
+const OverloadSeedBase = 11_000_000_000
+
 // Generate derives a scenario from a seed. The generator maintains a
 // liveness model while scheduling so events are valid when generated
 // (crash only alive nodes, rejoin only dead ones, never exceed the dead
 // cap), and it guarantees at least one crash and one partition per
 // scenario — the coverage the corpus test asserts.
 func Generate(seed int64) *Scenario {
+	if seed >= OverloadSeedBase {
+		return generateOverloadFaults(seed)
+	}
 	if seed >= BatchSeedBase {
 		return generateBatchFaults(seed)
 	}
@@ -440,6 +482,94 @@ func generateBatchFaults(seed int64) *Scenario {
 	}
 	emit(Event{Kind: EvPartition, A: a, B: b})
 	emit(Event{Kind: EvCrashMidFlush})
+	emit(Event{Kind: EvHeal, A: a, B: b})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+	return sc
+}
+
+// generateOverloadFaults derives an overload-fault scenario: the cluster
+// runs with deliberately tight (but steady-state-survivable) queue
+// budgets and breakers armed, and three phases exercise the three
+// overload stimuli. Phase 1 slows the busiest parent past the ack
+// timeout under light background faults; phase 2 blackholes a victim's
+// replies (the wasted-retry worst case), optionally with a bystander
+// crash; phase 3 spikes fan-in with burst trees while a partition and a
+// targeted parent crash supply the corpus coverage floor. Every phase
+// probes for lost subtrees while the damage is live, and every settle
+// additionally audits the overload invariants (budget never exceeded,
+// control never shed). Budgets are randomized in a loose band: tight
+// enough that bursts shed, loose enough that a quiesced cluster runs
+// clean — so settle-time aggregates still match the overload-off
+// ablation.
+func generateOverloadFaults(seed int64) *Scenario {
+	r := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Seed: seed,
+		N:    12 + r.Intn(13), // 12..24: deep enough for a real mid-tree parent
+		Bits: 32,
+		Slot: 500 * time.Millisecond,
+	}
+	if r.Intn(2) == 0 {
+		sc.Scheme = core.Basic
+	} else {
+		sc.Scheme = core.BalancedLocal
+	}
+	sc.Overload = core.OverloadConfig{
+		Enable:        true,
+		MaxQueueElems: 6 + r.Intn(6),        // 6..11 elements per destination
+		MaxQueueBytes: 600 + 50*r.Intn(8),   // 600..950 bytes per destination
+		MaxTotalBytes: 1600 + 100*r.Intn(8), // 1600..2300 bytes global
+		// Half a slot: an opened breaker re-probes well inside the probe
+		// window, so recovery is observable mid-chaos, and many cooldowns
+		// fit into the settle quiesce.
+		BreakerCooldown: sc.Slot / 2,
+	}
+	gap := func() time.Duration {
+		return 200*time.Millisecond + time.Duration(r.Intn(1300))*time.Millisecond
+	}
+	emit := func(e Event) {
+		e.Gap = gap()
+		sc.Events = append(sc.Events, e)
+	}
+
+	// Phase 1: the busiest parent turns slow — alive, but every message
+	// toward it arrives far past the ack timeout. Light drop/dup faults
+	// keep retries in play; the probe demands orphans fail over around
+	// the molasses rather than queue behind it.
+	if r.Float64() < 0.75 {
+		emit(Event{
+			Kind:   EvFaults,
+			Drop:   r.Float64() * 0.04,
+			Dup:    r.Float64() * 0.10,
+			Jitter: time.Duration(r.Intn(4)) * time.Millisecond,
+		})
+	}
+	emit(Event{Kind: EvSlowParent})
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 2: a victim's replies vanish while its inbound traffic still
+	// lands. Breakers must stop the retry amplification; the probe runs
+	// while the blackhole is live. Optionally a bystander dies too.
+	emit(Event{Kind: EvAckBlackhole})
+	if r.Float64() < 0.5 {
+		emit(Event{Kind: EvCrash, A: r.Intn(sc.N)})
+	}
+	emit(Event{Kind: EvProbe})
+	emit(Event{Kind: EvSettle})
+
+	// Phase 3: burst trees spike fan-in into the bounded queues, then a
+	// partition plus a targeted parent crash — the coverage floor the
+	// corpus asserts (>=1 crash, >=1 partition) — healed before probing.
+	emit(Event{Kind: EvBurstFanin})
+	a := r.Intn(sc.N)
+	b := r.Intn(sc.N)
+	for b == a {
+		b = r.Intn(sc.N)
+	}
+	emit(Event{Kind: EvPartition, A: a, B: b})
+	emit(Event{Kind: EvCrashParent})
 	emit(Event{Kind: EvHeal, A: a, B: b})
 	emit(Event{Kind: EvProbe})
 	emit(Event{Kind: EvSettle})

@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -80,4 +81,31 @@ func (w *Worker) GoodHelperTie() {
 
 func (w *Worker) waitLoop() {
 	<-w.stop
+}
+
+// errOverload stands in for the overload layer's typed admission error.
+var errOverload = errors.New("send queues over budget")
+
+// BadShedPump re-fires shed callbacks from a free-running loop with no
+// lifecycle tie: Close cannot stop it re-entering a drained machine.
+func (w *Worker) BadShedPump(cbs []func(error)) {
+	go func() { // want `not tied to a stop channel, context, or WaitGroup`
+		for {
+			for _, cb := range cbs {
+				cb(errOverload)
+			}
+		}
+	}()
+}
+
+// GoodShedDrain is the overload-shedding contract with a clean
+// lifecycle: every dropped element's callback still fires — with the
+// typed error — and the drain loop exits on the owner's stop channel.
+func (w *Worker) GoodShedDrain(cbs []func(error)) {
+	go func() {
+		<-w.stop
+		for _, cb := range cbs {
+			cb(errOverload)
+		}
+	}()
 }

@@ -3,7 +3,11 @@
 // explicitly justified fire-and-forget sites must not.
 package senderr
 
-import "transport"
+import (
+	"errors"
+
+	"transport"
+)
 
 // Node pairs an endpoint with a failure detector hook.
 type Node struct {
@@ -82,6 +86,41 @@ func (n *Node) GoodCallShadow() {
 // JustifiedCall documents a reply-agnostic probe with the pragma.
 func (n *Node) JustifiedCall() {
 	n.ep.Call(n.succ, "probe", nil, func(any, error) {}) //datlint:ignore senderr fixture: liveness probe, reply content irrelevant
+}
+
+// errOverload stands in for the overload layer's typed admission errors
+// (ErrOverload, ErrBreakerOpen, ErrSendClosed): they arrive through the
+// same callback error as an ack timeout.
+var errOverload = errors.New("send queues over budget")
+
+// BadOverloadErrDropped drops the Call error even though the overload
+// layer delivers its typed admission errors through it: a shed update
+// would never mark its tree Degraded.
+func (n *Node) BadOverloadErrDropped() {
+	n.ep.Call(n.succ, "update", nil, func(resp any, _ error) { // want `Call response error ignored by the callback`
+		use(resp)
+	})
+}
+
+// GoodShedPathInvokesCallback is the overload-shedding contract: a
+// callback refused admission is still invoked — with the typed error —
+// and the call site reads it, so nothing is lost silently.
+func (n *Node) GoodShedPathInvokesCallback(full bool) {
+	cb := func(resp any, err error) {
+		if err != nil {
+			if errors.Is(err, errOverload) {
+				return // local admission refusal: degrade, no strike
+			}
+			n.suspect(n.succ)
+			return
+		}
+		use(resp)
+	}
+	if full {
+		cb(nil, errOverload) // shed: the callback still fires, typed
+		return
+	}
+	n.ep.Call(n.succ, "update", nil, cb)
 }
 
 func use(...any) {}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/transport"
 )
 
 // DefaultLoadTrees is the per-tree row cap used when NewLoadVec is given
@@ -330,6 +331,22 @@ func MergeCoreHooks(a, b CoreHooks) CoreHooks {
 			}
 			if b.TreeSent != nil {
 				b.TreeSent(key, typ, bytes)
+			}
+		},
+		Shed: func(class, reason string) {
+			if a.Shed != nil {
+				a.Shed(class, reason)
+			}
+			if b.Shed != nil {
+				b.Shed(class, reason)
+			}
+		},
+		Breaker: func(peer transport.Addr, state string) {
+			if a.Breaker != nil {
+				a.Breaker(peer, state)
+			}
+			if b.Breaker != nil {
+				b.Breaker(peer, state)
 			}
 		},
 	}

@@ -75,10 +75,14 @@ type Observer struct {
 	treeRetries   *CounterVec
 	treeRootSlots *CounterVec
 
+	shedTotal          *CounterVec
+	breakerTransitions *CounterVec
+
 	mu          sync.Mutex
 	health      func() Health
 	debug       []debugSection
 	loadSummary func() (LoadSummary, bool)
+	overload    func(w io.Writer)
 }
 
 type debugSection struct {
@@ -138,6 +142,9 @@ func NewObserver(spanCapacity int) *Observer {
 		treeFanIn:     r.CounterVec("dat_tree_fanin_total", "Child partials folded across rounds, by tree.", "tree"),
 		treeRetries:   r.CounterVec("dat_tree_retries_total", "Acked-update send attempts beyond the first, by tree.", "tree"),
 		treeRootSlots: r.CounterVec("dat_tree_root_slots_total", "Rounds completed as the tree's root, by tree.", "tree"),
+
+		shedTotal:          r.CounterVec("dat_shed_total", "Elements dropped or refused by the overload layer, labelled class/reason (DESIGN.md §14).", "shed"),
+		breakerTransitions: r.CounterVec("dat_breaker_transitions_total", "Per-peer circuit-breaker transitions, by new state.", "state"),
 	}
 }
 
@@ -240,6 +247,13 @@ func (o *Observer) CoreHooks() CoreHooks {
 				o.treeSent.With(label).Inc()
 			}
 		},
+		// The composite class/reason label keeps the registry's
+		// one-label-per-family shape while still answering both "what
+		// was shed" and "why".
+		Shed: func(class, reason string) { o.shedTotal.With(class + "/" + reason).Inc() },
+		Breaker: func(peer transport.Addr, state string) {
+			o.breakerTransitions.With(state).Inc()
+		},
 	}
 }
 
@@ -301,6 +315,28 @@ func (o *Observer) SetLoadSummary(fn func() (LoadSummary, bool)) {
 	o.mu.Lock()
 	o.loadSummary = fn
 	o.mu.Unlock()
+}
+
+// SetOverload installs the /debug/overload renderer: fn writes the
+// node's overload-layer state (queue budgets, shed counts, breaker
+// table — core's Node.WriteOverloadDebug). fn is called per request and
+// must be safe for concurrent use.
+func (o *Observer) SetOverload(fn func(w io.Writer)) {
+	o.mu.Lock()
+	o.overload = fn
+	o.mu.Unlock()
+}
+
+// writeOverload renders /debug/overload.
+func (o *Observer) writeOverload(w io.Writer) {
+	o.mu.Lock()
+	fn := o.overload
+	o.mu.Unlock()
+	if fn == nil {
+		fmt.Fprintln(w, "no overload provider installed")
+		return
+	}
+	fn(w)
 }
 
 // writeLoad renders /debug/load: the cluster-wide summary (when a

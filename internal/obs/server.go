@@ -23,6 +23,8 @@ import (
 //	/debug/load     per-tree load table (?sort=sent|recv|elems|bytes|
 //	                fanin|retries|root|load) plus the cluster-wide
 //	                self-monitoring summary when installed
+//	/debug/overload overload-layer state: queue budgets and depth/age,
+//	                shed counters, per-peer circuit breakers
 //	/debug/pprof/*  net/http/pprof profiles
 //
 // datnode serves it on -obs.addr; tests mount it on httptest servers.
@@ -58,6 +60,10 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		o.writeLoad(w, r.URL.Query().Get("sort"))
+	})
+	mux.HandleFunc("/debug/overload", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.writeOverload(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -55,6 +55,11 @@ type PeerConfig struct {
 	// value enables it with defaults; set Batch.Disable for one
 	// datagram per update.
 	Batch BatchConfig
+	// Overload configures the overload-protection layer: bounded send
+	// queues with priority shedding and per-peer circuit breakers
+	// (DESIGN.md §14). Unlike Delivery/Batch the zero value DISABLES
+	// it; set Overload.Enable to turn it on.
+	Overload OverloadConfig
 	// LegacyWire encodes outbound frames with the pre-compact
 	// whole-envelope gob codec, as peers from before DESIGN.md §11 do.
 	// Inbound decoding always accepts both framings, so mixed rings
@@ -152,6 +157,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		ShareResults: cfg.ShareResults,
 		Delivery:     cfg.Delivery,
 		Batch:        cfg.Batch,
+		Overload:     cfg.Overload,
 		Logger:       nodeLogger.With("layer", "dat"),
 	}
 	if cfg.SelfMon.Enable && cfg.SelfMon.Slot <= 0 {
@@ -206,8 +212,18 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		o.Reg.GaugeFunc("dat_transport_pending_calls",
 			"In-flight UDP requests awaiting a reply or timeout.",
 			func() float64 { return float64(ep.PendingCalls()) })
+		// Overload-layer gauges read the node's own counters so open →
+		// half-open → open cycles cannot double-count the way a
+		// hook-driven gauge would.
+		o.Reg.GaugeFunc("dat_queue_bytes",
+			"Estimated bytes queued across the send machine's destination queues.",
+			func() float64 { return float64(p.dat.OverloadStats().QueuedBytes) })
+		o.Reg.GaugeFunc("dat_breakers_open",
+			"Peers currently isolated by an open or half-open circuit breaker.",
+			func() float64 { return float64(p.dat.OverloadStats().BreakersOpen) })
 		o.SetHealth(p.health)
 		o.AddDebug("dat node "+string(ep.Addr()), p.dat.WriteDebug)
+		o.SetOverload(p.dat.WriteOverloadDebug)
 		if cfg.SelfMon.Enable {
 			// /debug/load's cluster section serves the cached root
 			// result — never a live protocol query on the scrape path.

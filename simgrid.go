@@ -43,6 +43,11 @@ type SimGridConfig struct {
 	// single datagrams. The zero value enables it with defaults; set
 	// Batch.Disable for the one-datagram-per-update ablation.
 	Batch BatchConfig
+	// Overload configures the overload-protection layer: bounded send
+	// queues with priority shedding and per-peer circuit breakers
+	// (DESIGN.md §14). The zero value disables it; set Overload.Enable
+	// for overload experiments.
+	Overload OverloadConfig
 	// SelfMon enables the self-monitoring plane (DESIGN.md §13): every
 	// node accounts its per-tree load and dedicated dat.load.* trees
 	// aggregate the counters, so ClusterLoad reports the live imbalance
@@ -77,6 +82,7 @@ func NewSimGrid(cfg SimGridConfig) (*SimGrid, error) {
 		Scheme:       cfg.Scheme,
 		ProtocolJoin: cfg.ProtocolJoin,
 		Batch:        cfg.Batch,
+		Overload:     cfg.Overload,
 		SelfMon:      cfg.SelfMon,
 	}
 	if cfg.MaintenanceEvery > 0 {
