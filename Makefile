@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-overload datcheck-long bench-json bench-batching bench-selfmon bench-overload obs-smoke ci
+.PHONY: all build vet lint lint-json lint-fixtures test race fuzz datcheck datcheck-faults datcheck-overload datcheck-long bench-json bench-batching bench-selfmon bench-overload bench-scale obs-smoke ci
 
 all: build
 
@@ -103,6 +103,15 @@ bench-overload:
 bench-selfmon:
 	$(GO) run ./cmd/datbench -quick -exp selfmon -json $(BENCH_DIR)
 
+# bench-scale: the arena-substrate scale sweep (DESIGN.md §15) — §3
+# tree bounds asserted on 10240- and 65536-node snapshot rings, plus a
+# live 10240-node ring under continuous aggregation measured for
+# simulator throughput (events_per_sec) and per-node memory
+# (bytes_per_node, peak heap). Runs at full size (not -quick): the
+# 10k-node live ring is the point.
+bench-scale:
+	$(GO) run ./cmd/datbench -exp scale -json $(BENCH_DIR)
+
 # Boot a live datnode with -obs.addr and verify /metrics, /healthz and
 # the debug pages respond with non-empty 200s (DESIGN.md §9).
 obs-smoke:
@@ -117,4 +126,4 @@ fuzz:
 	$(GO) test ./internal/chord -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
-ci: build vet lint test race fuzz bench-selfmon bench-overload obs-smoke
+ci: build vet lint test race fuzz bench-selfmon bench-overload bench-scale obs-smoke

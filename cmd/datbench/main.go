@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload")
+		exp     = flag.String("exp", "all", "experiment: all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload, scale")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json summaries (optional)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -257,9 +257,26 @@ func main() {
 		tables = append(tables, ot)
 	}
 	stamp()
+	if run("scale") {
+		cfg := experiments.ScaleConfig{Seed: *seed}
+		if *quick {
+			cfg.Sizes = []int{10240}
+			cfg.LiveN = 1024
+			cfg.Slots = 4
+		}
+		fmt.Fprintf(os.Stderr, "large-n scale sweep (10k-65k snapshot + live ring)...\n")
+		snapT, liveT, stats, err := experiments.Scale(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  live n=%d: %.0f events/sec, %.0f bytes/node, peak heap %.1f MB\n",
+			stats.LiveN, stats.EventsPerSec, stats.BytesPerNode, float64(stats.PeakHeapBytes)/(1<<20))
+		tables = append(tables, snapT, liveT)
+	}
+	stamp()
 
 	if len(tables) == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, fig7a, fig7b, height, fig8a, fig8b, fig9, churn, maan, ablation, multitree, overhead, widearea, ondemand, wirecodec, batching, selfmon, overload, scale)", *exp))
 	}
 	for _, t := range tables {
 		if err := t.Render(os.Stdout); err != nil {
@@ -340,6 +357,13 @@ type benchRecord struct {
 	BreakerOpens         *float64 `json:"breaker_opens,omitempty"`
 	P99QueueAgeMs        *float64 `json:"p99_queue_age_ms,omitempty"`
 	QueueHiWaterBytes    *float64 `json:"queue_hiwater_bytes,omitempty"`
+	// Scale-sweep headline row (the scalelive table): wall-clock
+	// simulator throughput and per-node memory footprint of the live
+	// large-n ring under continuous aggregation — the numbers the arena
+	// substrate (DESIGN.md §15) is accountable for.
+	EventsPerSec *float64 `json:"events_per_sec,omitempty"`
+	BytesPerNode *float64 `json:"bytes_per_node,omitempty"`
+	PeakHeapMB   *float64 `json:"peak_heap_mb,omitempty"`
 }
 
 func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
@@ -357,6 +381,9 @@ func writeBenchJSON(path string, t *experiments.Table, nsPerOp int64) error {
 	rec.BreakerOpens = lastRowCell(t, "breaker_opens")
 	rec.P99QueueAgeMs = lastRowCell(t, "p99_queue_age_ms")
 	rec.QueueHiWaterBytes = lastRowCell(t, "queue_hiwater_bytes")
+	rec.EventsPerSec = lastRowCell(t, "events_per_sec")
+	rec.BytesPerNode = lastRowCell(t, "bytes_per_node")
+	rec.PeakHeapMB = lastRowCell(t, "peak_heap_mb")
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

@@ -108,20 +108,21 @@ type Node struct {
 	ep    transport.Endpoint
 	clock transport.Clock
 
-	mu       sync.Mutex
-	self     NodeRef
-	pred     NodeRef
-	succs    []NodeRef // non-empty while running; succs[0] is the successor
-	fingers  []NodeRef // indexed by j; zero entries until fixed
-	fofPred  map[transport.Addr]NodeRef
-	strikes  map[transport.Addr]int
-	nextFix  int
-	running  bool
-	stops    []func()
-	rng      *rand.Rand
-	handlers map[string]transport.Handler
-	upcalls  map[string]func(from NodeRef, payload []byte)
-	onPred   func(old, new NodeRef)
+	mu        sync.Mutex
+	self      NodeRef
+	pred      NodeRef
+	succs     []NodeRef // non-empty while running; succs[0] is the successor
+	succSpare []NodeRef // retired succs backing array, reused by stabilize
+	fingers   []NodeRef // indexed by j; zero entries until fixed
+	fofPred   map[transport.Addr]NodeRef
+	strikes   map[transport.Addr]int
+	nextFix   int
+	running   bool
+	stops     []func()
+	rng       *rand.Rand
+	handlers  map[string]transport.Handler
+	upcalls   map[string]func(from NodeRef, payload []byte)
+	onPred    func(old, new NodeRef)
 
 	// JoinedAt records (clock time) when the node finished joining; used
 	// by experiments to measure convergence.
@@ -598,13 +599,28 @@ func (n *Node) handleStep(req *transport.Request) {
 	req.Reply(n.localStep(sr.Key))
 }
 
+// stateRespLocked snapshots the node's neighbor state. The slices must
+// be freshly allocated every call: the response travels by reference
+// through the simulated transport and outlives the lock. Fingers are
+// deduplicated by a linear scan over the output — at most Bits entries,
+// cheaper than the map the hot path used to allocate per exchange.
 func (n *Node) stateRespLocked() StateResp {
 	resp := StateResp{Self: n.self, Predecessor: n.pred}
-	resp.Successors = append(resp.Successors, n.succs...)
-	seen := map[transport.Addr]bool{}
+	resp.Successors = make([]NodeRef, len(n.succs))
+	copy(resp.Successors, n.succs)
+	resp.Fingers = make([]NodeRef, 0, len(n.fingers))
 	for _, f := range n.fingers {
-		if !f.IsZero() && !seen[f.Addr] {
-			seen[f.Addr] = true
+		if f.IsZero() {
+			continue
+		}
+		dup := false
+		for _, have := range resp.Fingers {
+			if have.Addr == f.Addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			resp.Fingers = append(resp.Fingers, f)
 		}
 	}
@@ -910,7 +926,13 @@ func (n *Node) stabilize() {
 		// pointer, and if x turns out dead the node must fall back to succ,
 		// not collapse to believing it is alone (a lone node declares
 		// itself root of every aggregation tree).
-		list := []NodeRef{newSucc}
+		//
+		// Double-buffer: build into the retired backing array from the
+		// round before last and swap, so steady-state stabilization stops
+		// allocating a fresh list every round. Safe because every reader
+		// of n.succs either copies under the lock or drops its reference
+		// before unlocking.
+		list := append(n.succSpare[:0], newSucc)
 		appendRef := func(s NodeRef) {
 			if len(list) >= n.cfg.SuccessorListLen || s.IsZero() || s.Addr == n.self.Addr {
 				return
@@ -926,6 +948,7 @@ func (n *Node) stabilize() {
 		for _, s := range resp.Successors {
 			appendRef(s)
 		}
+		n.succSpare = n.succs
 		n.succs = list
 		notifyTo := newSucc
 		selfRef := n.self
@@ -943,16 +966,16 @@ func (n *Node) fixFingers() {
 		return
 	}
 	bits := int(n.space.Bits())
-	idxs := make([]int, 0, n.cfg.FingersPerFix)
-	for i := 0; i < n.cfg.FingersPerFix; i++ {
-		idxs = append(idxs, n.nextFix)
-		n.nextFix = (n.nextFix + 1) % bits
-	}
+	first := n.nextFix
+	count := n.cfg.FingersPerFix
+	n.nextFix = (n.nextFix + count) % bits
 	self := n.self
 	n.mu.Unlock()
 
-	for _, j := range idxs {
-		j := j
+	// Walk the same window the retired idxs slice used to hold; the
+	// cursor math above replaces a per-round allocation.
+	for i := 0; i < count; i++ {
+		j := (first + i) % bits
 		start := n.space.FingerStart(self.ID, uint(j))
 		n.Lookup(start, func(ref NodeRef, err error) {
 			if err != nil {

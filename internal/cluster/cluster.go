@@ -170,6 +170,20 @@ type Cluster struct {
 
 	eps []transport.Endpoint
 
+	// Struct-of-arrays node registry, indexed like Chord/DAT/eps: the
+	// identifier and address of every node ever built, surviving crashes
+	// and rejoins (both reuse the slot). Large-n paths read these instead
+	// of chasing per-node pointers or re-deriving addresses.
+	ids   []ident.ID
+	addrs []transport.Addr
+
+	// Reusable scratch for the convergence-polling hot path: Ring() and
+	// Converged() run once per simulated second while a 10k-node cluster
+	// settles, and chord.NewRing copies its input, so one buffer serves
+	// every call.
+	ringIDs   []ident.ID
+	liveNodes []*chord.Node
+
 	// selfMonKeys maps each monitoring tree's rendezvous key back to its
 	// attribute; immutable after New.
 	selfMonKeys map[ident.ID]string
@@ -336,12 +350,15 @@ func (c *Cluster) newStack(addr transport.Addr, id ident.ID, idx int) (transport
 	return ep, cn, dn
 }
 
-// buildNode appends a freshly constructed node stack to the cluster.
+// buildNode appends a freshly constructed node stack to the cluster's
+// parallel registry slices.
 func (c *Cluster) buildNode(addr transport.Addr, id ident.ID, idx int) {
 	ep, cn, dn := c.newStack(addr, id, idx)
 	c.eps = append(c.eps, ep)
 	c.Chord = append(c.Chord, cn)
 	c.DAT = append(c.DAT, dn)
+	c.ids = append(c.ids, id)
+	c.addrs = append(c.addrs, addr)
 }
 
 func (c *Cluster) runningCount() int {
@@ -356,22 +373,26 @@ func (c *Cluster) runningCount() int {
 
 func (c *Cluster) allRunning() bool { return c.runningCount() == len(c.Chord) }
 
-// warmStart seeds every node's neighbor state from the ideal ring.
+// warmStart seeds every node's neighbor state from the ideal ring. The
+// seeding is batched: one flat finger buffer and one successor scratch
+// serve every node (SeedState copies what it keeps), so warm-starting a
+// 10k-node ring costs O(1) transient allocations rather than O(n).
 func (c *Cluster) warmStart(ids []ident.ID) {
 	ring := mustRing(c.Space, ids)
 	byID := make(map[ident.ID]chord.NodeRef, len(ids))
 	for i, n := range c.Chord {
 		byID[ids[i]] = n.Self()
-		_ = n // refs collected below
 	}
 	listLen := c.Opts.SuccessorListLen
 	if listLen <= 0 {
 		listLen = 4
 	}
+	fingers := make([]chord.NodeRef, c.Space.Bits())
+	succs := make([]chord.NodeRef, 0, listLen)
 	for i, n := range c.Chord {
 		self := ids[i]
 		pred := byID[ring.Pred(self)]
-		var succs []chord.NodeRef
+		succs = succs[:0]
 		cur := self
 		for k := 0; k < listLen && len(ids) > 1; k++ {
 			cur = ring.Succ(cur)
@@ -380,7 +401,6 @@ func (c *Cluster) warmStart(ids []ident.ID) {
 			}
 			succs = append(succs, byID[cur])
 		}
-		fingers := make([]chord.NodeRef, c.Space.Bits())
 		for j := range fingers {
 			fingers[j] = byID[ring.Finger(self, uint(j))]
 		}
@@ -413,12 +433,13 @@ func (c *Cluster) protocolJoin() {
 
 // Ring returns the ideal snapshot of the currently running nodes.
 func (c *Cluster) Ring() *chord.Ring {
-	var ids []ident.ID
-	for _, n := range c.Chord {
+	ids := c.ringIDs[:0]
+	for i, n := range c.Chord {
 		if n.Running() {
-			ids = append(ids, n.Self().ID)
+			ids = append(ids, c.ids[i])
 		}
 	}
+	c.ringIDs = ids
 	return mustRing(c.Space, ids)
 }
 
@@ -447,12 +468,13 @@ func (c *Cluster) AwaitConverged(limit time.Duration) error {
 
 // Converged reports whether the live overlay matches the ideal ring.
 func (c *Cluster) Converged() bool {
-	var live []*chord.Node
+	live := c.liveNodes[:0]
 	for _, n := range c.Chord {
 		if n.Running() {
 			live = append(live, n)
 		}
 	}
+	c.liveNodes = live
 	if len(live) == 0 {
 		return false
 	}
@@ -487,14 +509,21 @@ func (c *Cluster) RunFor(d time.Duration) { c.Engine.RunFor(d) }
 // DAT layers; additional layers like MAAN send through it too).
 func (c *Cluster) Endpoint(i int) transport.Endpoint { return c.eps[i] }
 
-// Addrs returns every node's transport address, indexed like Chord/DAT.
+// Addrs returns a copy of every node's transport address, indexed like
+// Chord/DAT.
 func (c *Cluster) Addrs() []transport.Addr {
-	out := make([]transport.Addr, len(c.eps))
-	for i, ep := range c.eps {
-		out[i] = ep.Addr()
-	}
+	out := make([]transport.Addr, len(c.addrs))
+	copy(out, c.addrs)
 	return out
 }
+
+// NodeAddr returns node i's transport address from the registry, without
+// touching the endpoint.
+func (c *Cluster) NodeAddr(i int) transport.Addr { return c.addrs[i] }
+
+// NodeID returns node i's ring identifier from the registry. It is valid
+// even while the node is crashed (Rejoin reuses it).
+func (c *Cluster) NodeID(i int) ident.ID { return c.ids[i] }
 
 // AddNode creates a fresh node with the given identifier and joins it to
 // the ring through the protocol (never warm-started: joining nodes are

@@ -257,6 +257,7 @@ type aggEntry struct {
 	slotDur    time.Duration
 	onResult   func(slot int64, agg Aggregate)
 	stop       func()
+	tickFn     func() // tick+re-arm closure, built once and reused every slot
 	children   map[transport.Addr]childState
 	height     int            // subtree height: 0 for leaves, 1+max(child heights)
 	lastParent transport.Addr // previous slot's parent, to detach on switch
@@ -407,10 +408,16 @@ func (n *Node) scheduleTick(e *aggEntry) {
 	nextBoundary := (now/e.slotDur + 1) * e.slotDur
 	hold := time.Duration(e.height) * n.cfg.HoldPerLevel
 	delay := nextBoundary + hold - now
-	e.stop = n.clock.AfterFunc(delay, func() {
-		n.tickContinuous(e.key)
-		n.scheduleTick(e)
-	})
+	if e.tickFn == nil {
+		// Built once per tree, not once per slot: the closure (and the
+		// goroutine-free re-arm through it) is part of the entry's
+		// steady-state footprint rather than per-round garbage.
+		e.tickFn = func() {
+			n.tickContinuous(e.key)
+			n.scheduleTick(e)
+		}
+	}
+	e.stop = n.clock.AfterFunc(delay, e.tickFn)
 	n.mu.Unlock()
 }
 

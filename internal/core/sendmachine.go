@@ -137,11 +137,11 @@ type sendMachine struct {
 	closed bool
 
 	// Overload accounting (all guarded by mu; see overload.go).
-	totalBytes int                 // sum of queue byte estimates
-	hiWater    int                 // max totalBytes ever observed
-	shed       [numClasses]uint64  // elements shed/refused, by class
-	shedBytes  uint64              // estimated bytes of those elements
-	rejected   uint64              // incoming enqueues refused with a typed error
+	totalBytes int                // sum of queue byte estimates
+	hiWater    int                // max totalBytes ever observed
+	shed       [numClasses]uint64 // elements shed/refused, by class
+	shedBytes  uint64             // estimated bytes of those elements
+	rejected   uint64             // incoming enqueues refused with a typed error
 }
 
 type destQueue struct {

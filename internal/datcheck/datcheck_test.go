@@ -1,11 +1,16 @@
 package datcheck
 
 import (
+	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -35,6 +40,9 @@ var (
 		"number of batching-fault seeds swept by TestDatcheckBatchFaults")
 	overloadSeeds = flag.Int("datcheck.overloadseeds", 6,
 		"number of overload-fault seeds swept by TestDatcheckOverloadFaults")
+	writeGolden = flag.Bool("datcheck.writegolden", false,
+		"rewrite testdata/trace_sha256.txt from the current engine; only for "+
+			"PRs that intentionally change event ordering or RNG draw order")
 )
 
 // corpusSeeds is the fixed PR-gating corpus: deterministic, every seed
@@ -501,6 +509,99 @@ func TestDatcheckDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Trace, b.Trace) {
 		t.Fatalf("two runs of seed %d diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", seed, a.Trace, b.Trace)
+	}
+}
+
+// goldenPath pins the SHA-256 of every corpus seed's trace. The file was
+// generated by the pre-arena (pointer-heap) engine, so matching it proves
+// the arena engine reproduces the historical engine's event ordering and
+// RNG draw order byte for byte — the safety argument for the PR 10
+// substrate refactor. Regenerate with -datcheck.writegolden only when a
+// PR intentionally changes ordering semantics, and say so in the PR.
+const goldenPath = "testdata/trace_sha256.txt"
+
+func traceHash(trace []byte) string {
+	sum := sha256.Sum256(trace)
+	return hex.EncodeToString(sum[:])
+}
+
+func loadGolden(t *testing.T) map[int64]string {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("golden trace hashes missing (regenerate with -datcheck.writegolden): %v", err)
+	}
+	defer f.Close()
+	golden := make(map[int64]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var seed int64
+		var hash string
+		if _, err := fmt.Sscanf(line, "%d %s", &seed, &hash); err != nil {
+			t.Fatalf("bad golden line %q: %v", line, err)
+		}
+		golden[seed] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	return golden
+}
+
+// TestDatcheckTraceGolden is the historical-equivalence gate: every
+// corpus seed's trace must hash to the value recorded by the engine that
+// shipped before the arena refactor. A mismatch means event ordering or
+// RNG draw order changed — exactly the regression the arena engine's
+// "no semantic change" contract forbids.
+func TestDatcheckTraceGolden(t *testing.T) {
+	if *writeGolden {
+		lines := make([]string, 0, len(corpusSeeds))
+		for _, seed := range corpusSeeds {
+			res, err := Run(seed)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			lines = append(lines, fmt.Sprintf("%d %s", seed, traceHash(res.Trace)))
+		}
+		sort.Strings(lines) // stable file regardless of corpus ordering
+		body := "# seed sha256(trace) — see TestDatcheckTraceGolden\n" +
+			strings.Join(lines, "\n") + "\n"
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d seeds)", goldenPath, len(lines))
+		return
+	}
+	golden := loadGolden(t)
+	for _, seed := range corpusSeeds {
+		if _, ok := golden[seed]; !ok {
+			t.Errorf("seed %d has no golden hash; regenerate with -datcheck.writegolden", seed)
+		}
+	}
+	for _, seed := range corpusSeeds {
+		seed := seed
+		want, ok := golden[seed]
+		if !ok {
+			continue
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(seed)
+			if err != nil {
+				t.Fatalf("harness setup failed: %v", err)
+			}
+			if got := traceHash(res.Trace); got != want {
+				t.Errorf("seed %d: trace diverged from the historical engine (sha256 %s, want %s)",
+					seed, got, want)
+			}
+		})
 	}
 }
 

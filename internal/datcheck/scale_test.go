@@ -1,0 +1,26 @@
+package datcheck
+
+import "testing"
+
+// TestDatcheckScale runs the large-n snapshot sweep: every scheme and
+// placement must produce a valid tree inside the §3 bounds at 10240
+// nodes, and — outside -short — at 65536 nodes too.
+func TestDatcheckScale(t *testing.T) {
+	sizes := []int{10240}
+	if !testing.Short() {
+		sizes = append(sizes, 65536)
+	}
+	points, violations := RunScale(ScaleConfig{Sizes: sizes})
+	for _, v := range violations {
+		t.Errorf("%s", v)
+	}
+	if want := len(sizes) * 2 * 3; len(points) != want {
+		t.Fatalf("sweep produced %d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.MaxBranching <= 0 || p.Height <= 0 {
+			t.Errorf("n=%d %s/%v: degenerate tree (maxB=%d height=%d)",
+				p.N, p.Placement, p.Scheme, p.MaxBranching, p.Height)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestScaleShape smoke-runs the scale experiment at reduced size: the
+// snapshot sweep must pass its own bounds, and the live ring must fold
+// a complete count at the root.
+func TestScaleShape(t *testing.T) {
+	snap, live, stats, err := Scale(ScaleConfig{
+		Sizes: []int{512}, LiveN: 64, Slots: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 2 * 3; len(snap.Rows) != want {
+		t.Fatalf("snapshot table has %d rows, want %d", len(snap.Rows), want)
+	}
+	if len(live.Rows) != 1 {
+		t.Fatalf("live table has %d rows, want 1", len(live.Rows))
+	}
+	if stats.RootCount != 64 {
+		t.Fatalf("root count %d, want 64", stats.RootCount)
+	}
+	if stats.EventsFired == 0 || stats.EventsPerSec <= 0 {
+		t.Fatalf("degenerate throughput measurement: %+v", stats)
+	}
+	if stats.BytesPerNode <= 0 || stats.PeakHeapBytes == 0 {
+		t.Fatalf("degenerate memory measurement: %+v", stats)
+	}
+}

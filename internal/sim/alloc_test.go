@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The arena contract (DESIGN.md §15): once the slot arena and the heap
+// have grown to working-set size, scheduling, firing and re-arming events
+// allocate nothing. These tests are the regression gate for that — the
+// PR 5 codec-allocs pattern applied to the engine hot paths.
+
+// TestScheduleAllocs pins the steady-state schedule→fire cycle at zero
+// allocations: the slot freed by the fire is reused by the next Schedule.
+func TestScheduleAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the arena and the heap backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+Step allocates %.1f/op; budget is 0", allocs)
+	}
+}
+
+// TestScheduleRunAllocs pins the Runner-based path (pooled message
+// records, tickers) at zero allocations including the interface plumbing.
+func TestScheduleRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := NewEngine(1)
+	r := &countRunner{}
+	e.ScheduleRun(time.Microsecond, r, 0)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleRun(time.Millisecond, r, 7)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ScheduleRun+Step allocates %.1f/op; budget is 0", allocs)
+	}
+}
+
+// TestTickerAllocs pins the re-arm path: after creation, a ticker's
+// periodic firings must reuse its arena slot and allocate nothing.
+func TestTickerAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := NewEngine(1)
+	ticks := 0
+	tk := e.Every(time.Second, 500*time.Millisecond, func() { ticks++ })
+	e.Step() // first firing: arena warm from here on
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step() // each step is one ticker period: fire + re-arm
+	})
+	if allocs != 0 {
+		t.Errorf("ticker re-arm allocates %.1f/op; budget is 0", allocs)
+	}
+	tk.Stop()
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+type countRunner struct{ n int }
+
+func (r *countRunner) RunEvent(int32) { r.n++ }
+
+// TestStaleHandleInert is the generation guard: a handle whose slot was
+// freed and recycled by a later event must not cancel that later event.
+func TestStaleHandleInert(t *testing.T) {
+	e := NewEngine(1)
+	first := e.Schedule(time.Millisecond, func() {})
+	e.Run() // fires first; its slot returns to the free list
+	fired := false
+	second := e.Schedule(time.Millisecond, func() { fired = true })
+	if second.idx != first.idx {
+		t.Fatalf("free list did not recycle the slot (idx %d -> %d)", first.idx, second.idx)
+	}
+	if first.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if !second.Pending() {
+		t.Fatal("live event lost to a stale cancel")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// TestArenaReuseKeepsOrdering floods the arena through several
+// grow/drain cycles and checks the (at, seq) order survives slot reuse.
+func TestArenaReuseKeepsOrdering(t *testing.T) {
+	e := NewEngine(3)
+	var got []int
+	next := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			v := next
+			next++
+			// Same timestamp for everything in a round: order must be
+			// insertion order even though slots come off the free list in
+			// LIFO order.
+			e.Schedule(time.Millisecond, func() { got = append(got, v) })
+		}
+		e.Run()
+	}
+	if len(got) != 500 {
+		t.Fatalf("fired %d events, want 500", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// BenchmarkEngineSchedule measures the steady-state schedule→fire cycle.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleDeep measures scheduling against a deep heap —
+// the shape a 10k-node ring produces (tens of thousands of pending
+// maintenance timers).
+func BenchmarkEngineScheduleDeep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 50_000; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}

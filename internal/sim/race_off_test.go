@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled mirrors the build's -race flag so allocation tests can
+// skip themselves: the race runtime instruments allocations and makes
+// AllocsPerRun counts meaningless.
+const raceEnabled = false

@@ -1,16 +1,24 @@
 // Package sim provides the discrete event simulation engine used to run
 // the Chord/DAT protocol stack at scales beyond what a single machine can
-// host as real processes (the paper evaluates up to 8192 nodes this way).
+// host as real processes (the paper evaluates up to 8192 nodes this way;
+// the arena engine here sweeps 10k–65k).
 //
-// The engine is a classic heap-based event queue with a virtual clock:
+// The engine is a classic heap-ordered event queue with a virtual clock:
 // events are (time, sequence, callback) triples fired in chronological
 // order; ties break by insertion order so runs are fully deterministic for
 // a given seed. The engine is single-goroutine by design — protocol code
 // scheduled on it must not block.
+//
+// Storage is an arena: event state lives in pooled slots addressed by
+// index, the heap orders slot indices, and freed slots recycle through an
+// intrusive free list. The steady-state Schedule/Cancel/fire paths
+// therefore allocate nothing (see DESIGN.md §15); ordering semantics are
+// identical to the original pointer-heap engine — the (at, seq) comparator
+// and the per-At sequence counter are unchanged, which datcheck's golden
+// trace hashes pin down byte for byte.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,68 +34,79 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 // String renders the time as a duration since simulation start.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. Events are created via Engine.Schedule
-// or Engine.At and may be cancelled until they fire.
+// Runner is the allocation-free alternative to a closure callback: hot
+// paths that would otherwise capture per-event state in a fresh closure
+// (simulated message deliveries, tickers) implement RunEvent on a pooled
+// record and schedule it with Engine.ScheduleRun, threading a small op
+// code instead of a context.
+type Runner interface {
+	// RunEvent fires the event. op is the value passed to ScheduleRun,
+	// letting one record distinguish several event roles.
+	RunEvent(op int32)
+}
+
+// Event is a handle to a scheduled callback, created by Engine.Schedule,
+// Engine.At or their Runner variants. It is a small value (not a pointer
+// into the engine): copying it is cheap and the zero Event is a valid
+// "no event" — Cancel and Pending on it are no-ops. A generation counter
+// makes handles to recycled slots inert, so a stale Cancel can never kill
+// an unrelated later event.
 type Event struct {
-	at     Time
-	seq    uint64
-	index  int // heap index, -1 once fired or cancelled
-	fn     func()
 	engine *Engine
+	idx    int32
+	gen    uint32
+	at     Time
 }
 
 // Time returns when the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+func (e Event) Time() Time { return e.at }
 
 // Cancel removes the event from the queue. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel reports whether the
-// event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.index < 0 {
+// already fired or been cancelled (or the zero Event) is a no-op. Cancel
+// reports whether the event was still pending.
+func (e Event) Cancel() bool {
+	eng := e.engine
+	if eng == nil {
 		return false
 	}
-	heap.Remove(&e.engine.queue, e.index)
-	e.index = -1
-	e.fn = nil
+	s := &eng.slots[e.idx]
+	if s.gen != e.gen || s.pos < 0 {
+		return false
+	}
+	eng.heapRemove(int(s.pos))
+	eng.freeSlot(e.idx)
 	return true
 }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e Event) Pending() bool {
+	if e.engine == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	s := &e.engine.slots[e.idx]
+	return s.gen == e.gen && s.pos >= 0
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// slot is one arena cell. A slot is either queued (pos is its heap
+// position) or free (pos == -1, next links the free list). gen advances
+// every time the slot is released, invalidating outstanding handles.
+type slot struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	run  Runner
+	op   int32
+	gen  uint32
+	pos  int32
+	next int32
 }
 
 // Engine is a discrete event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	queue   eventQueue
+	slots   []slot
+	heap    []int32 // slot indices ordered by (at, seq)
+	free    int32   // head of the free-slot list, -1 when empty
 	now     Time
 	seq     uint64
 	rng     *rand.Rand
@@ -99,7 +118,7 @@ type Engine struct {
 // NewEngine returns an engine with its virtual clock at zero and a
 // deterministic random source derived from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed, free: -1}
 }
 
 // Now returns the current virtual time.
@@ -115,48 +134,184 @@ func (e *Engine) Seed() int64 { return e.seed }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Len returns the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return len(e.heap) }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// --- arena + index heap ---
+
+func (e *Engine) allocSlot() int32 {
+	if e.free >= 0 {
+		i := e.free
+		e.free = e.slots[i].next
+		return i
+	}
+	e.slots = append(e.slots, slot{pos: -1, next: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot releases a slot back to the free list. Callbacks are cleared
+// so the arena retains no closures, and the generation advances so stale
+// handles go inert.
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.fn = nil
+	s.run = nil
+	s.gen++
+	s.pos = -1
+	s.next = e.free
+	e.free = i
+}
+
+// less orders slot indices by the historical (at, seq) comparator. seq is
+// unique per event, so the order is total and independent of the heap's
+// internal arrangement.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapSwap(a, b int) {
+	e.heap[a], e.heap[b] = e.heap[b], e.heap[a]
+	e.slots[e.heap[a]].pos = int32(a)
+	e.slots[e.heap[b]].pos = int32(b)
+}
+
+func (e *Engine) siftUp(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !e.less(e.heap[j], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(j, parent)
+		j = parent
+	}
+}
+
+func (e *Engine) siftDown(j int) {
+	n := len(e.heap)
+	for {
+		left := 2*j + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			min = right
+		}
+		if !e.less(e.heap[min], e.heap[j]) {
+			return
+		}
+		e.heapSwap(j, min)
+		j = min
+	}
+}
+
+func (e *Engine) heapPush(i int32) {
+	e.heap = append(e.heap, i)
+	e.slots[i].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapRemove detaches and returns the slot index at heap position pos.
+func (e *Engine) heapRemove(pos int) int32 {
+	i := e.heap[pos]
+	n := len(e.heap) - 1
+	if pos != n {
+		e.heap[pos] = e.heap[n]
+		e.slots[e.heap[pos]].pos = int32(pos)
+	}
+	e.heap = e.heap[:n]
+	if pos < n {
+		e.siftDown(pos)
+		e.siftUp(pos)
+	}
+	e.slots[i].pos = -1
+	return i
+}
+
+// --- scheduling ---
+
 // Schedule queues fn to run after delay d of virtual time. Negative
 // delays are treated as zero (fire at the current instant, after already
 // queued same-time events). It returns a cancellable handle.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(d time.Duration, fn func()) Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now+Time(d), fn)
+	return e.at(e.now+Time(d), fn, nil, 0)
 }
 
 // At queues fn to run at absolute virtual time t. Times in the past are
 // clamped to now.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
+	return e.at(t, fn, nil, 0)
+}
+
+// ScheduleRun is the allocation-free Schedule: it queues r.RunEvent(op)
+// after delay d. The caller owns r's lifetime — the engine drops its
+// reference when the event fires or is cancelled.
+func (e *Engine) ScheduleRun(d time.Duration, r Runner, op int32) Event {
+	if r == nil {
+		panic("sim: ScheduleRun with nil runner")
+	}
+	if d < 0 {
+		d = 0
+	}
+	return e.at(e.now+Time(d), nil, r, op)
+}
+
+// AtRun is the allocation-free At.
+func (e *Engine) AtRun(t Time, r Runner, op int32) Event {
+	if r == nil {
+		panic("sim: AtRun with nil runner")
+	}
+	return e.at(t, nil, r, op)
+}
+
+func (e *Engine) at(t Time, fn func(), r Runner, op int32) Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
+	s.run = r
+	s.op = op
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(i)
+	return Event{engine: e, idx: i, gen: s.gen, at: t}
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	i := e.heapRemove(0)
+	s := &e.slots[i]
+	e.now = s.at
+	fn, r, op := s.fn, s.run, s.op
+	e.freeSlot(i) // before the callback: it may reuse the slot immediately
 	e.fired++
-	fn()
+	if r != nil {
+		r.RunEvent(op)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -176,7 +331,7 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	start := e.fired
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -208,13 +363,16 @@ func (e *Engine) Every(period, jitter time.Duration, fn func()) *Ticker {
 	return t
 }
 
-// Ticker is a recurring event created by Engine.Every.
+// Ticker is a recurring event created by Engine.Every. The ticker itself
+// is the event's Runner, so re-arming each period reuses its arena slot
+// and allocates nothing — with 3 maintenance tickers per node, this is
+// what keeps a 10k-node ring's steady state allocation-free.
 type Ticker struct {
 	engine  *Engine
 	period  time.Duration
 	jitter  time.Duration
 	fn      func()
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
@@ -223,15 +381,19 @@ func (t *Ticker) schedule() {
 	if t.jitter > 0 {
 		d += time.Duration(t.engine.rng.Int63n(int64(t.jitter)))
 	}
-	t.ev = t.engine.Schedule(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.ev = t.engine.ScheduleRun(d, t, 0)
+}
+
+// RunEvent implements Runner: one periodic firing. It is invoked by the
+// engine and is not meant to be called directly.
+func (t *Ticker) RunEvent(int32) {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.schedule()
+	}
 }
 
 // Stop halts the ticker. Safe to call multiple times.

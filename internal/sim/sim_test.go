@@ -75,7 +75,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine(1)
 	var fired []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, e.Schedule(time.Duration(i)*time.Millisecond, func() {
@@ -340,8 +340,11 @@ func TestEventTimeAndPending(t *testing.T) {
 	if ev.Cancel() {
 		t.Fatal("cancel after fire returned true")
 	}
-	if (*Event)(nil).Cancel() {
-		t.Fatal("nil event cancel returned true")
+	if (Event{}).Cancel() {
+		t.Fatal("zero event cancel returned true")
+	}
+	if (Event{}).Pending() {
+		t.Fatal("zero event reported pending")
 	}
 }
 

@@ -41,11 +41,32 @@ func (c SimConfig) withDefaults() SimConfig {
 // single-threaded — all endpoints, handlers and callbacks run on the
 // engine's event loop, so protocol code needs no locking but must never
 // block. Not safe for concurrent use from multiple goroutines.
+//
+// Deliveries are pooled records (simMsg) fired through the engine's
+// Runner seam rather than per-message closures, and endpoints live in a
+// dense slice indexed by an addr map, so the steady-state one-way send
+// path allocates nothing (DESIGN.md §15). One consequence of pooling:
+// the *Request passed to a handler for a ONE-WAY message is only valid
+// for the duration of the handler call — handlers must copy what they
+// keep. (Two-way requests are pinned by their call records and stay
+// valid until replied to.)
 type SimNetwork struct {
-	engine    *sim.Engine
-	cfg       SimConfig
-	endpoints map[Addr]*simEndpoint
-	tap       Tap
+	engine *sim.Engine
+	cfg    SimConfig
+	tap    Tap
+
+	// Dense endpoint index: eps holds endpoints in creation order (nil
+	// holes after Close, recycled via epFree); epIndex maps a live
+	// address to its slot. Destination resolution happens at fire time
+	// through epIndex — an in-flight message to an address that closed
+	// and was re-created (cluster rejoins reuse addresses) reaches the
+	// new endpoint, exactly like the historical per-delivery map lookup.
+	eps     []*simEndpoint
+	epIndex map[Addr]int32
+	epFree  []int32
+
+	// msgPool is the free list of delivery records.
+	msgPool *simMsg
 
 	// partitions holds the currently severed links; a message in either
 	// direction across a severed pair is dropped before the fault plan or
@@ -63,7 +84,7 @@ func NewSimNetwork(engine *sim.Engine, cfg SimConfig) *SimNetwork {
 	return &SimNetwork{
 		engine:     engine,
 		cfg:        cfg.withDefaults(),
-		endpoints:  make(map[Addr]*simEndpoint),
+		epIndex:    make(map[Addr]int32),
 		partitions: make(map[pairKey]bool),
 	}
 }
@@ -121,27 +142,101 @@ func (n *SimNetwork) Clock() Clock { return SimClock{Engine: n.engine} }
 // Creating an endpoint with an address that is already live panics: that
 // is a wiring bug in the experiment setup.
 func (n *SimNetwork) Endpoint(addr Addr) Endpoint {
-	if _, ok := n.endpoints[addr]; ok {
+	if _, ok := n.epIndex[addr]; ok {
 		panic("transport: duplicate sim endpoint " + string(addr))
 	}
-	ep := &simEndpoint{net: n, addr: addr}
-	n.endpoints[addr] = ep
+	var slot int32
+	if k := len(n.epFree); k > 0 {
+		slot = n.epFree[k-1]
+		n.epFree = n.epFree[:k-1]
+	} else {
+		n.eps = append(n.eps, nil)
+		slot = int32(len(n.eps) - 1)
+	}
+	ep := &simEndpoint{net: n, addr: addr, slot: slot}
+	n.eps[slot] = ep
+	n.epIndex[addr] = slot
 	return ep
 }
 
-// deliver schedules fn after a sampled latency, honoring partitions and
-// drop/duplicate/delay injection. typ is reported to the tap on actual
-// delivery. A duplicated message's copy draws an independent latency
-// sample, so with a jittery latency model the copy can overtake the
-// original — that is what makes reordering exercisable.
-func (n *SimNetwork) deliver(from, to Addr, typ string, oneWay bool, fn func()) {
-	if n.partitions[makePair(from, to)] {
+// lookup resolves a live endpoint by address at fire time.
+func (n *SimNetwork) lookup(addr Addr) *simEndpoint {
+	slot, ok := n.epIndex[addr]
+	if !ok {
+		return nil
+	}
+	return n.eps[slot]
+}
+
+// --- pooled delivery records ---
+
+// Message-record kinds. One record serves both copies of a duplicated
+// message (refs counts the scheduled fires).
+const (
+	msgOneWay int8 = iota
+	msgRequest
+	msgReply
+)
+
+// simMsg is one in-flight message: a pooled record scheduled on the
+// engine through the Runner seam, replacing the historical per-delivery
+// closure. For one-way messages the inbound Request is embedded and
+// reused across deliveries (see the SimNetwork doc comment for the
+// retention contract).
+type simMsg struct {
+	net     *SimNetwork
+	kind    int8
+	oneWay  bool
+	from    Addr
+	to      Addr
+	typ     string
+	payload any
+	err     error    // reply deliveries: the callee's error
+	call    *simCall // request/reply deliveries: the owning exchange
+	refs    int32
+	next    *simMsg // free-list link
+	req     Request // one-way deliveries: reused inbound request
+}
+
+func (n *SimNetwork) getMsg() *simMsg {
+	m := n.msgPool
+	if m == nil {
+		m = &simMsg{net: n}
+	} else {
+		n.msgPool = m.next
+		m.next = nil
+	}
+	m.refs = 1
+	return m
+}
+
+// release returns the record to the pool once every scheduled fire (the
+// original and an injected duplicate) has happened, clearing payload and
+// callback references so the pool retains no protocol state.
+func (m *simMsg) release() {
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	n := m.net
+	*m = simMsg{net: n, next: n.msgPool}
+	n.msgPool = m
+}
+
+// dispatch pushes a record through partitions and fault injection and
+// schedules its deliveries. The rng draw order (fault plan or drop draw,
+// then latency sample, then the duplicate draw and its independent
+// latency sample) matches the historical deliver() exactly — datcheck's
+// golden traces pin this down.
+func (n *SimNetwork) dispatch(m *simMsg) {
+	if n.partitions[makePair(m.from, m.to)] {
 		n.partitionDropped++
+		m.release()
 		return
 	}
 	var f Fault
 	if n.cfg.Faults != nil {
-		f = n.cfg.Faults.Apply(n.engine.Rand(), from, to, typ)
+		f = n.cfg.Faults.Apply(n.engine.Rand(), m.from, m.to, m.typ)
 	} else {
 		// Legacy scalar knobs; rng draw order matches historic behavior
 		// so existing seeded experiments are unperturbed.
@@ -151,35 +246,114 @@ func (n *SimNetwork) deliver(from, to Addr, typ string, oneWay bool, fn func()) 
 	}
 	if f.Drop {
 		n.dropped++
+		m.release()
 		return
 	}
-	d := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to)) + f.Delay
-	wrapped := func() {
-		if n.tap != nil {
-			n.tap.Message(from, to, typ, oneWay)
-		}
-		fn()
-	}
-	n.engine.Schedule(d, wrapped)
+	d := n.cfg.Latency.Sample(n.engine.Rand(), string(m.from), string(m.to)) + f.Delay
+	n.engine.ScheduleRun(d, m, 0)
 	if n.cfg.Faults == nil && n.cfg.DupProb > 0 && n.engine.Rand().Float64() < n.cfg.DupProb {
 		f.Duplicate = true
 	}
 	if f.Duplicate {
 		n.duplicated++
-		d2 := n.cfg.Latency.Sample(n.engine.Rand(), string(from), string(to)) + f.Delay
+		d2 := n.cfg.Latency.Sample(n.engine.Rand(), string(m.from), string(m.to)) + f.Delay
 		if d2 == d {
 			// Under a constant-latency model an independent sample ties
 			// exactly; nudge the copy so original and duplicate never
 			// collapse into the same instant.
 			d2 += time.Microsecond
 		}
-		n.engine.Schedule(d2, wrapped)
+		m.refs++
+		n.engine.ScheduleRun(d2, m, 0)
 	}
 }
+
+// RunEvent implements sim.Runner: one delivery of the message. The tap
+// observes the delivery before destination resolution, matching the
+// historical wrapper (a message to a dead address is still traffic).
+func (m *simMsg) RunEvent(int32) {
+	n := m.net
+	if n.tap != nil {
+		n.tap.Message(m.from, m.to, m.typ, m.oneWay)
+	}
+	switch m.kind {
+	case msgOneWay:
+		if dst := n.lookup(m.to); dst != nil && dst.handler != nil {
+			m.req = Request{From: m.from, Type: m.typ, Payload: m.payload}
+			dst.handler(&m.req)
+		}
+		// else: dropped, like UDP to a dead host
+	case msgRequest:
+		if dst := n.lookup(m.to); dst != nil && dst.handler != nil {
+			dst.handler(m.call.request())
+		}
+		// else: the request reached a dead address; the caller's timeout
+		// will fire. (Real UDP behaves the same way.)
+	case msgReply:
+		c := m.call
+		c.timeout.Cancel()
+		c.finish(m.payload, m.err)
+	}
+	m.release()
+}
+
+// simCall is one request/response exchange. It is allocated per Call (a
+// handler may legally hold the *Request past the delivery event, so call
+// state cannot recycle on a fixed schedule) but replaces the historical
+// closure spray: the record itself is the timeout's Runner, the embedded
+// Request serves the first delivery, and the reply path is a method
+// value bound once at creation.
+type simCall struct {
+	net       *SimNetwork
+	from, to  Addr
+	typ       string
+	cb        ResponseFunc
+	done      bool
+	delivered bool
+	timeout   sim.Event
+	req       Request
+	replyFn   func(payload any, err error)
+}
+
+// request returns the inbound *Request for one delivery of the call. An
+// injected duplicate gets a fresh Request so each copy carries its own
+// reply-once state, as two genuinely distinct datagrams would.
+func (c *simCall) request() *Request {
+	if !c.delivered {
+		c.delivered = true
+		return &c.req
+	}
+	return NewRequest(c.from, c.typ, c.req.Payload, c.replyFn)
+}
+
+// onReply is the callee's reply path: route the response back through
+// the network's partition/fault/latency pipeline.
+func (c *simCall) onReply(payload any, err error) {
+	m := c.net.getMsg()
+	m.kind = msgReply
+	m.oneWay = false
+	m.from, m.to = c.to, c.from
+	m.typ = c.typ + ":reply"
+	m.payload, m.err = payload, err
+	m.call = c
+	c.net.dispatch(m)
+}
+
+func (c *simCall) finish(payload any, err error) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cb(payload, err)
+}
+
+// RunEvent implements sim.Runner: the call timeout.
+func (c *simCall) RunEvent(int32) { c.finish(nil, ErrTimeout) }
 
 type simEndpoint struct {
 	net     *SimNetwork
 	addr    Addr
+	slot    int32
 	handler Handler
 	closed  bool
 }
@@ -192,7 +366,9 @@ func (e *simEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	delete(e.net.endpoints, e.addr)
+	e.net.eps[e.slot] = nil
+	e.net.epFree = append(e.net.epFree, e.slot)
+	delete(e.net.epIndex, e.addr)
 	return nil
 }
 
@@ -200,13 +376,13 @@ func (e *simEndpoint) Send(to Addr, typ string, payload any) error {
 	if e.closed {
 		return ErrClosed
 	}
-	e.net.deliver(e.addr, to, typ, true, func() {
-		dst, ok := e.net.endpoints[to]
-		if !ok || dst.handler == nil {
-			return // dropped, like UDP to a dead host
-		}
-		dst.handler(&Request{From: e.addr, Type: typ, Payload: payload})
-	})
+	m := e.net.getMsg()
+	m.kind = msgOneWay
+	m.oneWay = true
+	m.from, m.to = e.addr, to
+	m.typ = typ
+	m.payload = payload
+	e.net.dispatch(m)
 	return nil
 }
 
@@ -218,37 +394,18 @@ func (e *simEndpoint) Call(to Addr, typ string, payload any, cb ResponseFunc) {
 		cb(nil, ErrClosed)
 		return
 	}
-	done := false
-	finish := func(payload any, err error) {
-		if done {
-			return
-		}
-		done = true
-		cb(payload, err)
-	}
-	timeout := e.net.engine.Schedule(e.net.cfg.CallTimeout, func() {
-		finish(nil, ErrTimeout)
-	})
-
-	from := e.addr
-	e.net.deliver(from, to, typ, false, func() {
-		dst, ok := e.net.endpoints[to]
-		if !ok || dst.handler == nil {
-			// The request reached a dead address; the caller's timeout
-			// will fire. (Real UDP behaves the same way.)
-			return
-		}
-		req := &Request{
-			From:    from,
-			Type:    typ,
-			Payload: payload,
-			reply: func(respPayload any, respErr error) {
-				e.net.deliver(to, from, typ+":reply", false, func() {
-					timeout.Cancel()
-					finish(respPayload, respErr)
-				})
-			},
-		}
-		dst.handler(req)
-	})
+	c := &simCall{net: e.net, from: e.addr, to: to, typ: typ, cb: cb}
+	c.replyFn = c.onReply
+	c.req = Request{From: e.addr, Type: typ, Payload: payload, reply: c.replyFn}
+	// The timeout is scheduled before the request delivery, preserving
+	// the historical event sequence order.
+	c.timeout = e.net.engine.ScheduleRun(e.net.cfg.CallTimeout, c, 0)
+	m := e.net.getMsg()
+	m.kind = msgRequest
+	m.oneWay = false
+	m.from, m.to = e.addr, to
+	m.typ = typ
+	m.payload = payload
+	m.call = c
+	e.net.dispatch(m)
 }
